@@ -1,0 +1,108 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * `ablation_txq` — TXQ watermark depth vs the backpressure cliff;
+//! * `ablation_cmt` — CMT capacity vs device throughput (miss penalty);
+//! * `ablation_wrr_vs_fifo` — the queueing discipline itself under a
+//!   saturating mixed workload;
+//! * `ablation_forest_size` — TPM accuracy/cost tradeoff across tree
+//!   counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ml::{Dataset, RandomForest, RandomForestParams, Regressor};
+use sim_engine::ByteSize;
+use ssd_sim::SsdConfig;
+use storage_node::{run_trace_windowed, DisciplineKind, NodeConfig};
+use workload::micro::{generate_micro, MicroConfig};
+
+fn saturating_trace(seed: u64) -> workload::Trace {
+    generate_micro(
+        &MicroConfig {
+            read_iat_mean_us: 8.0,
+            write_iat_mean_us: 8.0,
+            read_size_mean: 36_000.0,
+            write_size_mean: 36_000.0,
+            read_count: 1_500,
+            write_count: 1_500,
+            ..MicroConfig::default()
+        },
+        seed,
+    )
+}
+
+fn ablation_wrr_vs_fifo(c: &mut Criterion) {
+    let trace = saturating_trace(3);
+    let mut g = c.benchmark_group("ablation_discipline");
+    g.sample_size(10);
+    for (name, disc) in [
+        ("fifo", DisciplineKind::Fifo),
+        ("ssq_w1", DisciplineKind::Ssq { weight: 1 }),
+        ("ssq_w4", DisciplineKind::Ssq { weight: 4 }),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &disc, |b, disc| {
+            b.iter(|| {
+                black_box(run_trace_windowed(
+                    &NodeConfig {
+                        ssd: SsdConfig::ssd_a(),
+                        discipline: *disc,
+                        merge_cap: None,
+                    },
+                    &trace,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_cmt(c: &mut Criterion) {
+    let trace = saturating_trace(5);
+    let mut g = c.benchmark_group("ablation_cmt");
+    g.sample_size(10);
+    for mib in [0u64, 2, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(mib), &mib, |b, &mib| {
+            let cfg = NodeConfig {
+                ssd: SsdConfig {
+                    cmt: ByteSize::from_mib(mib),
+                    ..SsdConfig::ssd_a()
+                },
+                discipline: DisciplineKind::Ssq { weight: 1 },
+                merge_cap: None,
+            };
+            b.iter(|| black_box(run_trace_windowed(&cfg, &trace)))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_forest_size(c: &mut Criterion) {
+    let x: Vec<Vec<f64>> = (0..200)
+        .map(|i| (0..12).map(|j| ((i * (j + 3)) % 23) as f64).collect())
+        .collect();
+    let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0] + r[11] * 2.0, r[5]]).collect();
+    let data = Dataset::new(x, y);
+    let mut g = c.benchmark_group("ablation_forest_size");
+    g.sample_size(10);
+    for n_trees in [10usize, 50, 100] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n_trees),
+            &n_trees,
+            |b, &n| {
+                b.iter(|| {
+                    let f = RandomForest::fit(
+                        &data,
+                        &RandomForestParams {
+                            n_trees: n,
+                            ..Default::default()
+                        },
+                        1,
+                    );
+                    black_box(f.predict_one(&[1.0; 12]))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation_wrr_vs_fifo, ablation_cmt, ablation_forest_size);
+criterion_main!(benches);

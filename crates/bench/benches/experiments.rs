@@ -1,0 +1,64 @@
+//! Scaled-down end-to-end runs of every paper experiment, so
+//! `cargo bench` exercises each table/figure code path with measured
+//! timings. Full-scale reproductions are the `src/bin` binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ssd_sim::SsdConfig;
+use system_sim::experiments::{
+    fig10, fig5, fig7_fig8, fig9, table1, table3, table4, train_tpm, Scale, TrainKnob,
+};
+
+fn bench_scale() -> Scale {
+    Scale {
+        requests_per_target: 400,
+        train: TrainKnob::Quick,
+    }
+}
+
+fn tiny_scale() -> Scale {
+    Scale {
+        requests_per_target: 200,
+        train: TrainKnob::Quick,
+    }
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let ssd = SsdConfig::ssd_a();
+    let scale = bench_scale();
+    let tpm = train_tpm(&ssd, &tiny_scale(), 42);
+
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+
+    g.bench_function("fig5_grid", |b| {
+        let s = tiny_scale();
+        b.iter(|| black_box(fig5(&ssd, &s, 1)))
+    });
+    g.bench_function("table1_models", |b| {
+        let s = tiny_scale();
+        b.iter(|| black_box(table1(&ssd, &s, 1)))
+    });
+    g.bench_function("table3_crossval", |b| {
+        let s = tiny_scale();
+        b.iter(|| black_box(table3(&ssd, &s, 1)))
+    });
+    g.bench_function("fig7_fig8_both_modes", |b| {
+        b.iter(|| black_box(fig7_fig8(&ssd, &scale, tpm.clone(), 7)))
+    });
+    g.bench_function("fig9_scripted", |b| {
+        let s = tiny_scale();
+        b.iter(|| black_box(fig9(&s, 11)))
+    });
+    g.bench_function("fig10_intensities", |b| {
+        let s = tiny_scale();
+        b.iter(|| black_box(fig10(&ssd, &s, tpm.clone(), 23)))
+    });
+    g.bench_function("table4_incast", |b| {
+        let s = tiny_scale();
+        b.iter(|| black_box(table4(&ssd, &s, tpm.clone(), 31)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Reproduce Figs. 7 and 8: runtime read/write/aggregated throughput
+//! and PFC pause counts under DCQCN-only vs DCQCN-SRC, on the VDI-like
+//! synthetic workload (1 Initiator × 2 Targets, SSD-A).
+//!
+//! Usage: `fig7_fig8_throughput [quick|full]`
+
+use src_bench::{rule, scale_from_args, scale_label};
+use ssd_sim::SsdConfig;
+use system_sim::experiments::{fig7_fig8, train_tpm};
+use system_sim::SystemReport;
+
+fn series_table(label: &str, r: &SystemReport, step_ms: usize) {
+    println!("\n{label}: per-{step_ms}ms throughput (Gbps) and pauses");
+    println!("{:>7} {:>9} {:>9} {:>9} {:>8}", "t(ms)", "read", "write", "aggr", "pauses");
+    let reads = r.read_series.bins();
+    let writes = r.write_series.bins();
+    let pauses = r.pause_series.bins();
+    let n = reads.len().max(writes.len());
+    let to_gbps = |v: f64| v * 8.0 / 1e6; // bytes per 1ms bin -> Gbps
+    let mut t = 0;
+    while t < n {
+        let rsum: f64 = reads.iter().skip(t).take(step_ms).sum::<f64>() / step_ms as f64;
+        let wsum: f64 = writes.iter().skip(t).take(step_ms).sum::<f64>() / step_ms as f64;
+        let psum: f64 = pauses.iter().skip(t).take(step_ms).sum();
+        println!(
+            "{:>7} {:>9.2} {:>9.2} {:>9.2} {:>8.0}",
+            t,
+            to_gbps(rsum),
+            to_gbps(wsum),
+            to_gbps(rsum + wsum),
+            psum
+        );
+        t += step_ms;
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "Figs. 7/8 — runtime throughput and pause number ({})",
+        scale_label(&scale)
+    );
+    rule();
+    let ssd = SsdConfig::ssd_a();
+    eprintln!("training TPM on SSD-A ...");
+    let tpm = train_tpm(&ssd, &scale, 42);
+    eprintln!("running DCQCN-only and DCQCN-SRC ...");
+    let r = fig7_fig8(&ssd, &scale, tpm, 7);
+
+    let step = (r.dcqcn_only.read_series.len() / 20).max(1);
+    series_table("DCQCN-only", &r.dcqcn_only, step);
+    series_table("DCQCN-SRC", &r.dcqcn_src, step);
+
+    rule();
+    let o = &r.dcqcn_only;
+    let s = &r.dcqcn_src;
+    println!(
+        "summary        read      write      aggregate   pauses   makespan"
+    );
+    println!(
+        "DCQCN-only {:>7.2} {:>10.2} {:>11.2} Gbps {:>7} {:>8.1} ms",
+        o.read_tput().as_gbps_f64(),
+        o.write_tput().as_gbps_f64(),
+        o.aggregated_tput().as_gbps_f64(),
+        o.pauses_total,
+        o.makespan.as_ms_f64()
+    );
+    println!(
+        "DCQCN-SRC  {:>7.2} {:>10.2} {:>11.2} Gbps {:>7} {:>8.1} ms",
+        s.read_tput().as_gbps_f64(),
+        s.write_tput().as_gbps_f64(),
+        s.aggregated_tput().as_gbps_f64(),
+        s.pauses_total,
+        s.makespan.as_ms_f64()
+    );
+    let gain = (s.aggregated_tput().as_gbps_f64() / o.aggregated_tput().as_gbps_f64() - 1.0) * 100.0;
+    println!("\naggregate improvement of SRC: {gain:+.0} %");
+    println!(
+        "paper: DCQCN-only aggregate collapses (7.5 -> 2.5 Gbps) during \
+         congestion;\nSRC holds it near the uncongested level and boosts writes."
+    );
+}

@@ -1,0 +1,38 @@
+//! Reproduce Table I: regression accuracy (R²) of the five model
+//! families on micro-trace sweeps, plus the Breiman feature-importance
+//! result (the paper: arrival flow speed dominates at 0.39).
+//!
+//! Usage: `table1_regression [quick|full]`
+
+use src_bench::{rule, scale_from_args, scale_label};
+use ssd_sim::SsdConfig;
+use system_sim::experiments::{feature_importance, table1};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table I — regression accuracy ({})", scale_label(&scale));
+    rule();
+    let rows = table1(&SsdConfig::ssd_a(), &scale, 42);
+    println!("{:<28} {:>9}", "Model", "Accuracy");
+    for (label, r2) in &rows {
+        println!("{label:<28} {r2:>9.2}");
+    }
+    rule();
+    println!("paper: 0.77 / 0.74 / 0.86 / 0.89 / 0.94 (random forest best)\n");
+
+    println!("TPM feature importance (Breiman):");
+    let mut imp = feature_importance(&SsdConfig::ssd_a(), &scale, 42);
+    imp.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (name, v) in imp.iter().take(6) {
+        println!("  {name:<20} {v:.3}");
+    }
+    let flow: f64 = imp
+        .iter()
+        .filter(|(n, _)| n.contains("flow"))
+        .map(|(_, v)| v)
+        .sum();
+    println!(
+        "\ncombined read+write arrival-flow-speed importance: {flow:.2} \
+         (paper reports 0.39)"
+    );
+}

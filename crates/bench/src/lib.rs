@@ -1,0 +1,30 @@
+//! Shared helpers for the reproduction binaries.
+
+use system_sim::experiments::{Scale, TrainKnob};
+
+/// Parse the common `[quick|full]` CLI argument (default: full).
+pub fn scale_from_args() -> Scale {
+    match std::env::args().nth(1).as_deref() {
+        Some("quick") => Scale::quick(),
+        _ => Scale::full(),
+    }
+}
+
+/// Pretty horizontal rule.
+pub fn rule() {
+    println!("{}", "-".repeat(72));
+}
+
+/// Format a scale for banners.
+pub fn scale_label(s: &Scale) -> String {
+    format!(
+        "{} requests/class/target, {:?} training grid",
+        s.requests_per_target, s.train
+    )
+}
+
+/// Re-export for binary convenience.
+pub use system_sim;
+
+/// The knob type, re-exported.
+pub type Knob = TrainKnob;

@@ -1,0 +1,180 @@
+//! Algorithm 1 — SRC dynamic weight adjustment.
+//!
+//! `PredictWeightRatio(r, Ch)` searches increasing integer weight ratios
+//! until the predicted read throughput converges (relative change below
+//! `tau`), returning the ratio whose prediction lies closest to the
+//! demanded sending rate `r`. `DynamicAdjustment` maps a stream of
+//! congestion events to weight adjustments.
+
+use crate::tpm::ThroughputPredictionModel;
+use serde::{Deserialize, Serialize};
+use sim_engine::{Rate, SimTime};
+use workload::WorkloadFeatures;
+
+/// Convergence threshold `tau` from the paper (10 %).
+pub const DEFAULT_TAU: f64 = 0.10;
+
+/// Safety bound on the weight search (the paper's sweeps stop at 8; we
+/// leave headroom).
+pub const DEFAULT_MAX_WEIGHT: u32 = 16;
+
+/// Pause (throttle) or retrieval (recover) notification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CongestionKind {
+    /// Congestion: reduce the sending rate to the demanded value.
+    Pause,
+    /// Congestion relieved: the demanded rate rose.
+    Retrieval,
+}
+
+/// A congestion event delivered to SRC by the network congestion control
+/// (Alg. 1 input `e_i`).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CongestionEvent {
+    /// Event timestamp `t`.
+    pub at: SimTime,
+    /// Demanded data sending rate `r`.
+    pub demanded: Rate,
+    /// Pause or retrieval.
+    pub kind: CongestionKind,
+}
+
+/// `PredictWeightRatio` (Alg. 1 lines 10–29): the weight ratio whose
+/// predicted read throughput is closest to the demanded rate `r`.
+///
+/// Mirrors the pseudocode exactly: returns 1 immediately when even the
+/// fair (w = 1) read throughput is below `r`; otherwise increases `w`
+/// until the predicted read throughput changes by less than `tau`
+/// (relative), tracking the argmin of `|TPUT_R - r|`.
+pub fn predict_weight_ratio(
+    tpm: &ThroughputPredictionModel,
+    r_gbps: f64,
+    ch: &WorkloadFeatures,
+    tau: f64,
+    max_weight: u32,
+) -> u32 {
+    assert!(tau > 0.0, "tau must be positive");
+    assert!(max_weight >= 1);
+    let mut w = 1u32;
+    let mut w_star = 1u32;
+    let (tput_r, _) = tpm.predict(ch, w);
+    if tput_r < r_gbps {
+        return w;
+    }
+    let mut min_dis = (tput_r - r_gbps).abs();
+    let mut pre_tput = tput_r;
+    loop {
+        if w >= max_weight {
+            break;
+        }
+        w += 1;
+        let (cur_tput, _) = tpm.predict(ch, w);
+        let dis = (cur_tput - r_gbps).abs();
+        if min_dis > dis {
+            min_dis = dis;
+            w_star = w;
+        }
+        // Convergence: relative change of the predicted read throughput
+        // under the previous and current ratios below tau.
+        let rel = if pre_tput > 0.0 {
+            (pre_tput - cur_tput).abs() / pre_tput
+        } else {
+            0.0
+        };
+        pre_tput = cur_tput;
+        if rel < tau {
+            break;
+        }
+    }
+    w_star
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpm::{samples_to_dataset, ThroughputPredictionModel};
+    use ml::Dataset;
+
+    /// Build a synthetic TPM whose read throughput is `10 / w` Gbps and
+    /// write throughput `2 + w` Gbps, independent of features — by
+    /// training the forest on exactly that function (forests interpolate
+    /// grids well).
+    fn synthetic_tpm() -> (ThroughputPredictionModel, WorkloadFeatures) {
+        let ch = WorkloadFeatures {
+            read_ratio: 0.5,
+            read_iat_mean_us: 10.0,
+            write_iat_mean_us: 10.0,
+            read_size_mean: 30_000.0,
+            write_size_mean: 30_000.0,
+            read_flow_bpus: 3_000.0,
+            write_flow_bpus: 3_000.0,
+            ..Default::default()
+        };
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        // Replicate rows so bootstrap sampling sees every grid point.
+        for _rep in 0..8 {
+            for w in 1..=12u32 {
+                let mut row = ch.to_vec();
+                row.push(w as f64);
+                x.push(row);
+                y.push(vec![10.0 / w as f64, 2.0 + w as f64]);
+            }
+        }
+        let data = Dataset::new(x, y);
+        (ThroughputPredictionModel::train(&data, 40, 0), ch)
+    }
+
+    #[test]
+    fn returns_one_when_already_below_demand() {
+        let (tpm, ch) = synthetic_tpm();
+        // w=1 predicts ~10 Gbps; demand 20 Gbps → already below.
+        assert_eq!(predict_weight_ratio(&tpm, 20.0, &ch, DEFAULT_TAU, 16), 1);
+    }
+
+    #[test]
+    fn finds_ratio_near_demand() {
+        let (tpm, ch) = synthetic_tpm();
+        // Demand 5 Gbps: 10/w = 5 at w = 2.
+        let w = predict_weight_ratio(&tpm, 5.0, &ch, 0.01, 16);
+        assert!((2..=3).contains(&w), "w={w}");
+        // Demand 2.5 Gbps: w = 4.
+        let w = predict_weight_ratio(&tpm, 2.5, &ch, 0.01, 16);
+        assert!((3..=5).contains(&w), "w={w}");
+    }
+
+    #[test]
+    fn tau_stops_search_early() {
+        let (tpm, ch) = synthetic_tpm();
+        // With a huge tau the loop stops after the first step, so the
+        // answer can be at most 2 even for tiny demands.
+        let w = predict_weight_ratio(&tpm, 0.1, &ch, 10.0, 16);
+        assert!(w <= 2, "w={w}");
+    }
+
+    #[test]
+    fn max_weight_bounds_search() {
+        let (tpm, ch) = synthetic_tpm();
+        let w = predict_weight_ratio(&tpm, 0.0, &ch, 1e-6, 4);
+        assert!(w <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be positive")]
+    fn bad_tau_rejected() {
+        let (tpm, ch) = synthetic_tpm();
+        let _ = predict_weight_ratio(&tpm, 1.0, &ch, 0.0, 8);
+    }
+
+    #[test]
+    fn event_structs() {
+        let e = CongestionEvent {
+            at: SimTime::from_ms(5),
+            demanded: Rate::from_gbps(6),
+            kind: CongestionKind::Pause,
+        };
+        assert_eq!(e.kind, CongestionKind::Pause);
+        assert_ne!(e.kind, CongestionKind::Retrieval);
+        let _ = samples_to_dataset(&[]);
+    }
+}

@@ -1,0 +1,44 @@
+//! **SRC — Storage-side Rate Control**, the paper's contribution.
+//!
+//! When DCQCN throttles a Target's NIC because read data congests the
+//! network, the SSD keeps serving reads the NIC cannot ship; the transmit
+//! queue becomes the bottleneck and aggregate throughput collapses
+//! (paper Fig. 2-b). SRC moves the rate control into the storage stack:
+//!
+//! 1. the **separate submission queue** (in the `nvme-queues` crate)
+//!    gives the driver a write:read weight knob `w`;
+//! 2. the [`tpm::ThroughputPredictionModel`] learns
+//!    `TPUT_{R,W} = F(Ch, w)` (Eq. 1) with random-forest regression over
+//!    workload features;
+//! 3. [`algorithm::predict_weight_ratio`] (Algorithm 1) inverts the
+//!    model: given the data sending rate DCQCN demands, find the `w`
+//!    whose predicted read throughput lands closest;
+//! 4. the [`controller::SrcController`] wires it together at run time —
+//!    a [`monitor::WorkloadMonitor`] profiles the live request stream in
+//!    prediction windows, congestion notifications trigger
+//!    re-prediction, and the chosen `w` is applied to the SSQ.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use src_core::tpm::{ThroughputPredictionModel, TrainingConfig};
+//! use src_core::controller::{SrcController, SrcConfig};
+//! use ssd_sim::SsdConfig;
+//!
+//! let tpm = ThroughputPredictionModel::train_for_device(
+//!     &SsdConfig::ssd_a(), &TrainingConfig::quick(), 42);
+//! let mut src = SrcController::new(tpm, SrcConfig::default());
+//! # let _ = src;
+//! ```
+
+pub mod algorithm;
+pub mod controller;
+pub mod monitor;
+pub mod reactive;
+pub mod tpm;
+
+pub use algorithm::{predict_weight_ratio, CongestionEvent, CongestionKind};
+pub use controller::{SrcConfig, SrcController};
+pub use monitor::WorkloadMonitor;
+pub use reactive::{RateController, ReactiveConfig, ReactiveController, TpmRateController};
+pub use tpm::{ThroughputPredictionModel, TrainingConfig};

@@ -1,0 +1,133 @@
+//! The Workload Monitor (paper Fig. 6): profiles the live request stream
+//! and extracts the feature vector `Ch` over a sliding prediction window.
+
+use sim_engine::{SimDuration, SimTime};
+use std::collections::VecDeque;
+use workload::{extract_features, Request, WorkloadFeatures};
+
+/// Sliding-window request profiler.
+///
+/// The paper profiles "the workload characteristics in a user-specific
+/// time window (e.g., 10 ms)"; [`WorkloadMonitor::features`] returns the
+/// characteristics of the interval `[t - delta, t]`.
+#[derive(Debug)]
+pub struct WorkloadMonitor {
+    window: SimDuration,
+    seen: VecDeque<Request>,
+}
+
+impl WorkloadMonitor {
+    /// Monitor with the given prediction window `delta`.
+    ///
+    /// # Panics
+    /// Panics on a zero window.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(window > SimDuration::ZERO, "window must be positive");
+        WorkloadMonitor {
+            window,
+            seen: VecDeque::new(),
+        }
+    }
+
+    /// The configured prediction window.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Record a request arriving at the Target at `now`. Requests must be
+    /// observed in nondecreasing time order. Old entries are evicted
+    /// lazily.
+    pub fn observe(&mut self, req: &Request, now: SimTime) {
+        debug_assert!(
+            self.seen.back().map_or(true, |r| r.arrival <= now),
+            "observations must be time-ordered"
+        );
+        let mut r = *req;
+        r.arrival = now;
+        self.seen.push_back(r);
+        self.evict(now);
+    }
+
+    fn evict(&mut self, now: SimTime) {
+        let cutoff = now.saturating_sub(self.window);
+        while self
+            .seen
+            .front()
+            .is_some_and(|r| r.arrival < cutoff)
+        {
+            self.seen.pop_front();
+        }
+    }
+
+    /// Feature vector of the window ending at `now`.
+    pub fn features(&mut self, now: SimTime) -> WorkloadFeatures {
+        self.evict(now);
+        self.seen.make_contiguous();
+        extract_features(self.seen.as_slices().0)
+    }
+
+    /// Requests currently inside the window.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True when no requests are in the window.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::IoType;
+
+    fn req(id: u64, op: IoType, size: u64) -> Request {
+        Request {
+            id,
+            op,
+            lba: id,
+            size,
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn window_eviction() {
+        let mut m = WorkloadMonitor::new(SimDuration::from_ms(10));
+        for i in 0..20 {
+            m.observe(&req(i, IoType::Read, 4096), SimTime::from_ms(i));
+        }
+        // At t=19ms the window [9, 19] holds arrivals 9..=19.
+        let f = m.features(SimTime::from_ms(19));
+        assert_eq!(m.len(), 11);
+        assert_eq!(f.read_ratio, 1.0);
+        assert!((f.read_iat_mean_us - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_features_are_default() {
+        let mut m = WorkloadMonitor::new(SimDuration::from_ms(10));
+        m.observe(&req(0, IoType::Write, 8192), SimTime::from_ms(0));
+        let f = m.features(SimTime::from_ms(100));
+        assert!(m.is_empty());
+        assert_eq!(f, workload::WorkloadFeatures::default());
+    }
+
+    #[test]
+    fn mixed_workload_ratio() {
+        let mut m = WorkloadMonitor::new(SimDuration::from_ms(50));
+        for i in 0..10 {
+            let op = if i % 5 == 0 { IoType::Write } else { IoType::Read };
+            m.observe(&req(i, op, 16_384), SimTime::from_us(i * 100));
+        }
+        let f = m.features(SimTime::from_ms(1));
+        assert!((f.read_ratio - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = WorkloadMonitor::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,201 @@
+//! The reactive baseline SRC argues against (Sec. II-C): "An intuitive
+//! method is to monitor the current system status and reactively adjust
+//! the request priority. However, such a method suffers from slow
+//! response and control delay."
+//!
+//! [`ReactiveController`] implements that intuitive method — AIMD-style
+//! weight stepping driven by the measured read throughput — so the
+//! claim can be tested head-to-head against the TPM-based controller
+//! (see `system_sim::controlled` and the `ablation_reactive` binary).
+
+use crate::tpm::ThroughputPredictionModel;
+use serde::{Deserialize, Serialize};
+use sim_engine::SimTime;
+use std::sync::Arc;
+use workload::WorkloadFeatures;
+
+/// A run-time weight controller: periodically told the demanded rate and
+/// the measured read throughput, answers with a new weight ratio when it
+/// wants a change.
+pub trait RateController {
+    /// One control tick. `demanded_gbps` is the rate the congestion
+    /// control asks for; `measured_read_gbps` the read throughput
+    /// observed over the last measurement window; `ch` the current
+    /// workload features.
+    fn control(
+        &mut self,
+        demanded_gbps: f64,
+        measured_read_gbps: f64,
+        ch: &WorkloadFeatures,
+        now: SimTime,
+    ) -> Option<u32>;
+
+    /// The currently applied weight.
+    fn current_weight(&self) -> u32;
+}
+
+/// Configuration of the reactive stepper.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReactiveConfig {
+    /// Dead band around the demanded rate (relative) within which no
+    /// adjustment happens.
+    pub dead_band: f64,
+    /// Weight step per tick.
+    pub step: u32,
+    /// Upper bound on the weight.
+    pub max_weight: u32,
+}
+
+impl Default for ReactiveConfig {
+    fn default() -> Self {
+        ReactiveConfig {
+            dead_band: 0.15,
+            step: 1,
+            max_weight: 16,
+        }
+    }
+}
+
+/// The measurement-driven stepper: if measured read throughput exceeds
+/// the demanded rate, raise the weight one step; if it undershoots,
+/// lower it one step. Converges — but only one step per control period.
+#[derive(Clone, Debug)]
+pub struct ReactiveController {
+    cfg: ReactiveConfig,
+    weight: u32,
+}
+
+impl ReactiveController {
+    /// Fresh controller at w = 1.
+    pub fn new(cfg: ReactiveConfig) -> Self {
+        ReactiveController { cfg, weight: 1 }
+    }
+}
+
+impl RateController for ReactiveController {
+    fn control(
+        &mut self,
+        demanded_gbps: f64,
+        measured_read_gbps: f64,
+        _ch: &WorkloadFeatures,
+        _now: SimTime,
+    ) -> Option<u32> {
+        if demanded_gbps <= 0.0 {
+            return None;
+        }
+        let err = (measured_read_gbps - demanded_gbps) / demanded_gbps;
+        let new = if err > self.cfg.dead_band {
+            (self.weight + self.cfg.step).min(self.cfg.max_weight)
+        } else if err < -self.cfg.dead_band {
+            self.weight.saturating_sub(self.cfg.step).max(1)
+        } else {
+            self.weight
+        };
+        if new != self.weight {
+            self.weight = new;
+            Some(new)
+        } else {
+            None
+        }
+    }
+
+    fn current_weight(&self) -> u32 {
+        self.weight
+    }
+}
+
+/// The TPM-based controller in [`RateController`] clothing: jumps
+/// straight to Algorithm 1's answer whenever the demanded rate changes.
+pub struct TpmRateController {
+    tpm: Arc<ThroughputPredictionModel>,
+    tau: f64,
+    max_weight: u32,
+    weight: u32,
+    last_demand: Option<f64>,
+}
+
+impl TpmRateController {
+    /// Build from a trained model.
+    pub fn new(tpm: Arc<ThroughputPredictionModel>, tau: f64, max_weight: u32) -> Self {
+        TpmRateController {
+            tpm,
+            tau,
+            max_weight,
+            weight: 1,
+            last_demand: None,
+        }
+    }
+}
+
+impl RateController for TpmRateController {
+    fn control(
+        &mut self,
+        demanded_gbps: f64,
+        _measured_read_gbps: f64,
+        ch: &WorkloadFeatures,
+        _now: SimTime,
+    ) -> Option<u32> {
+        // Re-predict only when the demand changes (Algorithm 1 is
+        // event-driven, not periodic).
+        if self.last_demand == Some(demanded_gbps) {
+            return None;
+        }
+        self.last_demand = Some(demanded_gbps);
+        let w = crate::algorithm::predict_weight_ratio(
+            &self.tpm,
+            demanded_gbps,
+            ch,
+            self.tau,
+            self.max_weight,
+        );
+        if w != self.weight {
+            self.weight = w;
+            Some(w)
+        } else {
+            None
+        }
+    }
+
+    fn current_weight(&self) -> u32 {
+        self.weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reactive_steps_toward_demand() {
+        let mut c = ReactiveController::new(ReactiveConfig::default());
+        let ch = WorkloadFeatures::default();
+        // Measured 8 Gbps, demanded 2: raise one step per tick.
+        assert_eq!(c.control(2.0, 8.0, &ch, SimTime::from_ms(1)), Some(2));
+        assert_eq!(c.control(2.0, 6.0, &ch, SimTime::from_ms(2)), Some(3));
+        assert_eq!(c.control(2.0, 4.0, &ch, SimTime::from_ms(3)), Some(4));
+        // Within the dead band: hold.
+        assert_eq!(c.control(2.0, 2.1, &ch, SimTime::from_ms(4)), None);
+        // Undershoot: step back down.
+        assert_eq!(c.control(2.0, 1.0, &ch, SimTime::from_ms(5)), Some(3));
+        assert_eq!(c.current_weight(), 3);
+    }
+
+    #[test]
+    fn reactive_respects_bounds() {
+        let mut c = ReactiveController::new(ReactiveConfig {
+            max_weight: 3,
+            ..Default::default()
+        });
+        let ch = WorkloadFeatures::default();
+        for _ in 0..10 {
+            let _ = c.control(1.0, 100.0, &ch, SimTime::ZERO);
+        }
+        assert_eq!(c.current_weight(), 3);
+        for _ in 0..10 {
+            let _ = c.control(1.0, 0.0, &ch, SimTime::ZERO);
+        }
+        assert_eq!(c.current_weight(), 1);
+        // Zero demand is ignored.
+        assert_eq!(c.control(0.0, 5.0, &ch, SimTime::ZERO), None);
+    }
+}

@@ -1,0 +1,273 @@
+//! The Throughput Prediction Model (paper Sec. III-B): learns
+//! `TPUT_{R,W} = F(Ch, w)` from device sweeps and predicts the read and
+//! write throughput a given workload achieves under a given SSQ weight
+//! ratio.
+
+use ml::{Dataset, ModelKind, RandomForest, RandomForestParams, Regressor};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use ssd_sim::SsdConfig;
+use storage_node::{weight_sweep, SweepPoint};
+use workload::micro::{generate_micro, MicroConfig};
+use workload::WorkloadFeatures;
+
+/// A trained TPM: a random forest mapping `(Ch, w)` to
+/// `[TPUT_R, TPUT_W]` in Gbps.
+pub struct ThroughputPredictionModel {
+    model: RandomForest,
+    /// Number of training samples.
+    n_samples: usize,
+}
+
+/// Configuration of the training sweep: the grid of micro workloads and
+/// weight ratios used to collect samples on a device.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Mean inter-arrival times to sweep, µs (per class).
+    pub iat_means_us: Vec<f64>,
+    /// Mean request sizes to sweep, bytes (per class).
+    pub size_means: Vec<f64>,
+    /// Weight ratios to sweep.
+    pub weights: Vec<u32>,
+    /// Requests per class per trace.
+    pub requests_per_class: usize,
+    /// Random-forest size.
+    pub n_trees: usize,
+    /// Independent traces (seeds) generated per grid cell.
+    pub seeds_per_cell: usize,
+    /// Read:write request-count mixes swept per cell (fraction of
+    /// requests that are reads). Diversifies the `Ch` features so the
+    /// model learns the workload dependence, not just the weight knob.
+    pub read_mixes: Vec<f64>,
+}
+
+impl TrainingConfig {
+    /// The full grid used by the experiments. The paper sweeps
+    /// inter-arrival 10–25 µs on MQSim's default (several-GB/s) device;
+    /// our device is ~4x slower (see DESIGN.md), so the grid stretches
+    /// to 80 µs to span the same saturated-to-idle range — Fig. 5's
+    /// light-cell fade-out needs genuinely unsaturated cells.
+    pub fn full() -> Self {
+        TrainingConfig {
+            iat_means_us: vec![10.0, 20.0, 40.0, 80.0],
+            size_means: vec![10_000.0, 20_000.0, 30_000.0, 40_000.0],
+            weights: (1..=8).collect(),
+            requests_per_class: 3_000,
+            n_trees: 100,
+            seeds_per_cell: 2,
+            read_mixes: vec![0.33, 0.5, 0.67],
+        }
+    }
+
+    /// A reduced grid for tests and quick starts.
+    pub fn quick() -> Self {
+        TrainingConfig {
+            iat_means_us: vec![10.0, 60.0],
+            size_means: vec![16_000.0, 32_000.0],
+            weights: vec![1, 2, 3, 4, 6, 8],
+            requests_per_class: 600,
+            n_trees: 30,
+            seeds_per_cell: 1,
+            read_mixes: vec![0.5],
+        }
+    }
+}
+
+/// Generate TPM training samples by sweeping micro workloads on a
+/// device. Each `(trace, w)` pair is one sample; sweeps run in parallel
+/// across workloads (each DES run itself stays single-threaded, so the
+/// result is deterministic).
+pub fn generate_training_samples(
+    ssd: &SsdConfig,
+    cfg: &TrainingConfig,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let mut combos: Vec<(f64, f64, f64, usize)> = Vec::new();
+    for &iat in &cfg.iat_means_us {
+        for &size in &cfg.size_means {
+            for &mix in &cfg.read_mixes {
+                for k in 0..cfg.seeds_per_cell.max(1) {
+                    combos.push((iat, size, mix, k));
+                }
+            }
+        }
+    }
+    combos
+        .par_iter()
+        .enumerate()
+        .flat_map(|(i, &(iat, size, mix, _k))| {
+            let total = 2 * cfg.requests_per_class;
+            let read_count = ((total as f64) * mix).round() as usize;
+            let mc = MicroConfig {
+                read_iat_mean_us: iat,
+                write_iat_mean_us: iat,
+                read_size_mean: size,
+                write_size_mean: size,
+                read_count: read_count.max(1),
+                write_count: (total - read_count).max(1),
+                ..MicroConfig::default()
+            };
+            let trace = generate_micro(&mc, seed.wrapping_add(i as u64));
+            weight_sweep(ssd, &trace, &cfg.weights)
+        })
+        .collect()
+}
+
+/// Assemble sweep points into an ML dataset.
+pub fn samples_to_dataset(samples: &[SweepPoint]) -> Dataset {
+    let x = samples.iter().map(|s| s.x()).collect();
+    let y = samples.iter().map(|s| s.y()).collect();
+    Dataset::new(x, y)
+}
+
+impl ThroughputPredictionModel {
+    /// Train on an explicit dataset.
+    pub fn train(data: &Dataset, n_trees: usize, seed: u64) -> Self {
+        let model = RandomForest::fit(
+            data,
+            &RandomForestParams {
+                n_trees,
+                ..Default::default()
+            },
+            seed,
+        );
+        ThroughputPredictionModel {
+            model,
+            n_samples: data.len(),
+        }
+    }
+
+    /// End-to-end: sweep the device, then train.
+    pub fn train_for_device(ssd: &SsdConfig, cfg: &TrainingConfig, seed: u64) -> Self {
+        let samples = generate_training_samples(ssd, cfg, seed);
+        Self::train(&samples_to_dataset(&samples), cfg.n_trees, seed)
+    }
+
+    /// Predict `(TPUT_R, TPUT_W)` in Gbps for workload `ch` under weight
+    /// ratio `w`.
+    pub fn predict(&self, ch: &WorkloadFeatures, w: u32) -> (f64, f64) {
+        let mut x = ch.to_vec();
+        x.push(w as f64);
+        let y = self.model.predict_one(&x);
+        (y[0].max(0.0), y[1].max(0.0))
+    }
+
+    /// Breiman feature importance over `(Ch, w)`, normalized to 1. The
+    /// last entry is the weight ratio's importance.
+    pub fn feature_importance(&self) -> Vec<f64> {
+        self.model.feature_importance()
+    }
+
+    /// Number of training samples.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+}
+
+/// Train every Table I model family on the same dataset and score them
+/// with a train/test split; returns `(label, R²)` rows in table order.
+pub fn table1_accuracy(data: &Dataset, train_frac: f64, seed: u64) -> Vec<(&'static str, f64)> {
+    let (train, test) = ml::train_test_split(data, train_frac, seed);
+    ModelKind::ALL
+        .iter()
+        .map(|kind| {
+            let model = kind.fit(&train, seed);
+            let pred = model.predict(&test.x);
+            (kind.label(), ml::r2_score_multi(&test.y, &pred))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_samples() -> Vec<SweepPoint> {
+        generate_training_samples(&SsdConfig::ssd_a(), &TrainingConfig::quick(), 9)
+    }
+
+    #[test]
+    fn samples_cover_grid() {
+        let cfg = TrainingConfig::quick();
+        let s = quick_samples();
+        assert_eq!(
+            s.len(),
+            cfg.iat_means_us.len()
+                * cfg.size_means.len()
+                * cfg.weights.len()
+                * cfg.seeds_per_cell
+                * cfg.read_mixes.len()
+        );
+        for p in &s {
+            assert!(p.read_gbps >= 0.0 && p.write_gbps >= 0.0);
+            assert!(p.read_gbps < 40.0, "throughput exceeds device ballpark");
+        }
+    }
+
+    #[test]
+    fn tpm_predicts_monotone_read_decrease() {
+        let samples = quick_samples();
+        let tpm = ThroughputPredictionModel::train(&samples_to_dataset(&samples), 30, 1);
+        // Heavy workload features: read tput should not increase with w.
+        let heavy = samples
+            .iter()
+            .find(|p| p.features.read_iat_mean_us < 12.0 && p.features.read_size_mean > 30_000.0)
+            .expect("grid contains heavy cell")
+            .features;
+        let (r1, w1) = tpm.predict(&heavy, 1);
+        let (r6, w6) = tpm.predict(&heavy, 6);
+        assert!(r6 <= r1 + 0.3, "read {r1} -> {r6} should fall or hold");
+        assert!(w6 + 0.3 >= w1, "write {w1} -> {w6} should rise or hold");
+    }
+
+    #[test]
+    fn tpm_fits_its_training_data() {
+        let samples = quick_samples();
+        let data = samples_to_dataset(&samples);
+        let tpm = ThroughputPredictionModel::train(&data, 30, 2);
+        assert_eq!(tpm.n_samples(), data.len());
+        // In-sample accuracy should be high (forests nearly interpolate).
+        let preds: Vec<Vec<f64>> = data
+            .x
+            .iter()
+            .map(|x| {
+                let mut ch = workload::WorkloadFeatures::default();
+                // Rebuild prediction through the public API: x already has
+                // w appended, so call the model directly instead.
+                let _ = &mut ch;
+                tpm.model.predict_one(x)
+            })
+            .collect();
+        let r2 = ml::r2_score_multi(&data.y, &preds);
+        assert!(r2 > 0.8, "in-sample r2={r2}");
+    }
+
+    #[test]
+    fn importance_is_distribution() {
+        let samples = quick_samples();
+        let tpm = ThroughputPredictionModel::train(&samples_to_dataset(&samples), 20, 3);
+        let imp = tpm.feature_importance();
+        assert_eq!(imp.len(), workload::features::N_FEATURES + 1);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn table1_ranks_forest_high() {
+        let samples = quick_samples();
+        let data = samples_to_dataset(&samples);
+        let rows = table1_accuracy(&data, 0.6, 7);
+        assert_eq!(rows.len(), 5);
+        let rf = rows
+            .iter()
+            .find(|(l, _)| *l == "Random Forest Regression")
+            .unwrap()
+            .1;
+        // At the quick grid's tiny sample count any model family can win
+        // a given split; the Table I ranking (RF on top) is reproduced by
+        // the full-grid `table1_regression` experiment binary. Here we
+        // only require the forest to be a usable predictor.
+        assert!(rf > 0.5, "rf r2={rf}");
+        assert!(rows.iter().all(|(_, r2)| *r2 <= 1.0));
+    }
+}

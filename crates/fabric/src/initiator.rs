@@ -1,0 +1,175 @@
+//! The NVMe-oF Initiator driver: issues trace requests to Targets and
+//! tracks completions.
+
+use crate::wire::{encode_tag, MsgKind, WireSend, CMD_HEADER_BYTES};
+use net_sim::FlowId;
+use sim_engine::SimTime;
+use std::collections::HashMap;
+use workload::{IoType, Request};
+
+/// A completed request as observed at the Initiator.
+#[derive(Clone, Copy, Debug)]
+pub struct InitiatorCompletion {
+    /// Global request id.
+    pub req_id: u64,
+    /// I/O type.
+    pub op: IoType,
+    /// Payload size, bytes.
+    pub size: u64,
+    /// Time the request was issued.
+    pub issued: SimTime,
+    /// Completion time at the Initiator.
+    pub at: SimTime,
+}
+
+struct PendingReq {
+    op: IoType,
+    size: u64,
+    issued: SimTime,
+}
+
+/// Initiator-side protocol state for one Initiator host. Requests may be
+/// spread across several Targets; the caller supplies the per-request
+/// outbound flow.
+pub struct InitiatorProto {
+    pending: HashMap<u64, PendingReq>,
+    issued: u64,
+}
+
+impl InitiatorProto {
+    /// Fresh driver.
+    pub fn new() -> Self {
+        InitiatorProto {
+            pending: HashMap::new(),
+            issued: 0,
+        }
+    }
+
+    /// Issue one request toward a Target over `out_flow`. Returns the
+    /// wire message to send.
+    ///
+    /// # Panics
+    /// Panics on a duplicate in-flight request id.
+    pub fn issue(&mut self, req: &Request, out_flow: FlowId, now: SimTime) -> WireSend {
+        let prev = self.pending.insert(
+            req.id,
+            PendingReq {
+                op: req.op,
+                size: req.size,
+                issued: now,
+            },
+        );
+        assert!(prev.is_none(), "duplicate request id {}", req.id);
+        self.issued += 1;
+        match req.op {
+            IoType::Read => WireSend {
+                flow: out_flow,
+                bytes: CMD_HEADER_BYTES,
+                tag: encode_tag(MsgKind::ReadCmd, req.id),
+            },
+            IoType::Write => WireSend {
+                flow: out_flow,
+                bytes: CMD_HEADER_BYTES + req.size,
+                tag: encode_tag(MsgKind::WriteCmd, req.id),
+            },
+        }
+    }
+
+    /// An inbound message completed (its last packet arrived). Returns
+    /// the completion when it terminates a pending request.
+    ///
+    /// # Panics
+    /// Panics on a completion for an unknown request or a kind mismatch.
+    pub fn on_inbound(&mut self, kind: MsgKind, req_id: u64, now: SimTime) -> InitiatorCompletion {
+        let p = self
+            .pending
+            .remove(&req_id)
+            .unwrap_or_else(|| panic!("completion for unknown request {req_id}"));
+        match (kind, p.op) {
+            (MsgKind::ReadData, IoType::Read) | (MsgKind::WriteAck, IoType::Write) => {}
+            other => panic!("mismatched completion {other:?} for request {req_id}"),
+        }
+        InitiatorCompletion {
+            req_id,
+            op: p.op,
+            size: p.size,
+            issued: p.issued,
+            at: now,
+        }
+    }
+
+    /// Requests still awaiting completion.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Requests issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+impl Default for InitiatorProto {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, op: IoType, size: u64) -> Request {
+        Request {
+            id,
+            op,
+            lba: 0,
+            size,
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn read_sends_header_only() {
+        let mut p = InitiatorProto::new();
+        let w = p.issue(&req(1, IoType::Read, 44_000), FlowId(0), SimTime::ZERO);
+        assert_eq!(w.bytes, CMD_HEADER_BYTES);
+        assert_eq!(crate::wire::decode_tag(w.tag), (MsgKind::ReadCmd, 1));
+        assert_eq!(p.in_flight(), 1);
+    }
+
+    #[test]
+    fn write_sends_data_in_capsule() {
+        let mut p = InitiatorProto::new();
+        let w = p.issue(&req(2, IoType::Write, 23_000), FlowId(3), SimTime::ZERO);
+        assert_eq!(w.bytes, CMD_HEADER_BYTES + 23_000);
+        assert_eq!(w.flow, FlowId(3));
+    }
+
+    #[test]
+    fn completion_round_trip() {
+        let mut p = InitiatorProto::new();
+        let t0 = SimTime::from_us(10);
+        p.issue(&req(5, IoType::Read, 8_192), FlowId(0), t0);
+        let c = p.on_inbound(MsgKind::ReadData, 5, SimTime::from_us(90));
+        assert_eq!(c.size, 8_192);
+        assert_eq!(c.issued, t0);
+        assert_eq!(c.at, SimTime::from_us(90));
+        assert_eq!(p.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched completion")]
+    fn wrong_kind_panics() {
+        let mut p = InitiatorProto::new();
+        p.issue(&req(5, IoType::Read, 8_192), FlowId(0), SimTime::ZERO);
+        let _ = p.on_inbound(MsgKind::WriteAck, 5, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown request")]
+    fn unknown_completion_panics() {
+        let mut p = InitiatorProto::new();
+        let _ = p.on_inbound(MsgKind::ReadData, 9, SimTime::ZERO);
+    }
+}

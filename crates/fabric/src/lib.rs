@@ -1,0 +1,52 @@
+//! NVMe-over-Fabrics layer: the protocol between Initiators and Targets
+//! over the RDMA network (paper Fig. 1).
+//!
+//! Message flow per request:
+//!
+//! * **Read**: Initiator sends a command capsule (64 B, outbound);
+//!   Target submits it to its storage stack; the retrieved data travels
+//!   back as an inbound transfer (`size` + 64 B header). Read throughput
+//!   is measured where the data lands: at the Initiator.
+//! * **Write**: Initiator sends command + in-capsule data (64 B + size,
+//!   outbound); Target submits to storage; the completion acknowledgment
+//!   returns as a 64 B inbound message. Write throughput is measured at
+//!   the Target (completion time), matching the paper's metric.
+//!
+//! The module is pure protocol: [`InitiatorProto`] / [`TargetProto`]
+//! translate between trace requests, wire messages (encoded in the
+//! network's `tag`), and storage submissions. The `system-sim` crate owns
+//! the event loop and moves the produced [`WireSend`]s onto the network.
+//! [`TxqPolicy`] implements the transmit-queue watermark gate that
+//! couples network backpressure to the SSD fetch gate — the bottleneck
+//! coupling SRC is designed around.
+//!
+//! # Example
+//!
+//! ```
+//! use fabric::{InitiatorProto, TargetProto, MsgKind, decode_tag};
+//! use net_sim::FlowId;
+//! use sim_engine::SimTime;
+//! use workload::{IoType, Request};
+//!
+//! let req = Request { id: 9, op: IoType::Read, lba: 0,
+//!     size: 44_000, arrival: SimTime::ZERO };
+//! let mut init = InitiatorProto::new();
+//! let cmd = init.issue(&req, FlowId(0), SimTime::ZERO);
+//! let (kind, id) = decode_tag(cmd.tag);
+//! assert_eq!((kind, id), (MsgKind::ReadCmd, 9));
+//!
+//! let mut tgt = TargetProto::new();
+//! let sub = tgt.on_command(kind, &req, FlowId(1), SimTime::from_us(3));
+//! let reply = tgt.on_storage_completion(sub.request.id, SimTime::from_us(80));
+//! assert_eq!(reply.bytes, 64 + 44_000); // header + data
+//! ```
+
+pub mod initiator;
+pub mod target;
+pub mod txq;
+pub mod wire;
+
+pub use initiator::InitiatorProto;
+pub use target::TargetProto;
+pub use txq::TxqPolicy;
+pub use wire::{decode_tag, encode_tag, MsgKind, WireSend, CMD_HEADER_BYTES};

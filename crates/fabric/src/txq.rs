@@ -1,0 +1,114 @@
+//! Transmit-queue watermark policy.
+//!
+//! The Target's RDMA TXQ is where read data piles up when DCQCN cuts the
+//! sending rate (paper Sec. II-B: "the TXQ on Targets becomes the
+//! bottleneck of read throughput"). The storage stack must stop fetching
+//! new commands when the TXQ is full — otherwise completed read data has
+//! nowhere to go — and resume below a low watermark. This hysteresis gate
+//! is exactly the coupling that makes the DCQCN-only baseline collapse
+//! and that SRC relieves by throttling reads at the SSD instead.
+
+use serde::{Deserialize, Serialize};
+
+/// Hysteresis gate over TXQ occupancy.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TxqPolicy {
+    /// Occupancy (bytes) at which the storage fetch gate closes.
+    pub high_watermark: u64,
+    /// Occupancy below which it reopens.
+    pub low_watermark: u64,
+    gated: bool,
+}
+
+impl TxqPolicy {
+    /// New policy; gate initially open.
+    ///
+    /// # Panics
+    /// Panics unless `0 < low <= high`.
+    pub fn new(high_watermark: u64, low_watermark: u64) -> Self {
+        assert!(low_watermark > 0 && low_watermark <= high_watermark);
+        TxqPolicy {
+            high_watermark,
+            low_watermark,
+            gated: false,
+        }
+    }
+
+    /// Update with the current TXQ occupancy; returns `Some(open)` when
+    /// the gate state changed.
+    pub fn observe(&mut self, backlog_bytes: u64) -> Option<bool> {
+        if !self.gated && backlog_bytes >= self.high_watermark {
+            self.gated = true;
+            Some(false)
+        } else if self.gated && backlog_bytes <= self.low_watermark {
+            self.gated = false;
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Is the fetch gate currently closed?
+    pub fn is_gated(&self) -> bool {
+        self.gated
+    }
+}
+
+impl Default for TxqPolicy {
+    /// 2 MiB high / 1 MiB low — a few hundred microseconds of line-rate
+    /// drain, deep enough to ride bursts, shallow enough that DCQCN's
+    /// cuts propagate to the SSD quickly.
+    fn default() -> Self {
+        TxqPolicy::new(2 * 1024 * 1024, 1024 * 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hysteresis_cycle() {
+        let mut p = TxqPolicy::new(100, 50);
+        assert!(!p.is_gated());
+        assert_eq!(p.observe(99), None);
+        assert_eq!(p.observe(100), Some(false));
+        assert!(p.is_gated());
+        // Between watermarks: no change.
+        assert_eq!(p.observe(75), None);
+        assert!(p.is_gated());
+        assert_eq!(p.observe(50), Some(true));
+        assert!(!p.is_gated());
+        // Repeated low observations don't re-fire.
+        assert_eq!(p.observe(0), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_watermarks() {
+        let _ = TxqPolicy::new(10, 20);
+    }
+
+    proptest::proptest! {
+        /// The gate is closed iff the last crossing was upward, for any
+        /// occupancy trajectory.
+        #[test]
+        fn prop_gate_consistency(levels in proptest::collection::vec(0u64..200, 1..100)) {
+            let mut p = TxqPolicy::new(100, 50);
+            let mut expect_gated = false;
+            for &l in &levels {
+                let change = p.observe(l);
+                if !expect_gated && l >= 100 {
+                    expect_gated = true;
+                    proptest::prop_assert_eq!(change, Some(false));
+                } else if expect_gated && l <= 50 {
+                    expect_gated = false;
+                    proptest::prop_assert_eq!(change, Some(true));
+                } else {
+                    proptest::prop_assert_eq!(change, None);
+                }
+                proptest::prop_assert_eq!(p.is_gated(), expect_gated);
+            }
+        }
+    }
+}

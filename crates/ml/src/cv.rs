@@ -1,0 +1,147 @@
+//! Train/test splitting and k-fold cross-validation (paper Sec. IV-C:
+//! "we shuffle the whole data set and use the partial data set for
+//! training and the rest for validation").
+
+use crate::dataset::Dataset;
+use crate::metrics::r2_score_multi;
+use crate::ModelKind;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shuffle and split a dataset into `(train, test)` with `train_frac` of
+/// the samples in the training part (at least one sample in each part).
+///
+/// # Panics
+/// Panics if the dataset has fewer than 2 samples or `train_frac` is not
+/// in `(0, 1)`.
+pub fn train_test_split(data: &Dataset, train_frac: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(data.len() >= 2, "need at least 2 samples to split");
+    assert!(
+        train_frac > 0.0 && train_frac < 1.0,
+        "train_frac must be in (0, 1)"
+    );
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let cut = (((data.len() as f64) * train_frac).round() as usize).clamp(1, data.len() - 1);
+    (data.subset(&idx[..cut]), data.subset(&idx[cut..]))
+}
+
+/// K-fold cross-validated R² for one model family. The dataset is
+/// shuffled once; each fold serves as the validation set while the rest
+/// trains. Returns the mean R² across folds.
+///
+/// # Panics
+/// Panics when `k < 2` or the dataset has fewer than `k` samples.
+pub fn k_fold_r2(data: &Dataset, kind: &ModelKind, k: usize, seed: u64) -> f64 {
+    assert!(k >= 2, "k must be at least 2");
+    assert!(data.len() >= k, "need at least k samples");
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut total = 0.0;
+    for fold in 0..k {
+        let test_idx: Vec<usize> = idx
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| i % k == fold)
+            .map(|(_, v)| v)
+            .collect();
+        let train_idx: Vec<usize> = idx
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| i % k != fold)
+            .map(|(_, v)| v)
+            .collect();
+        let train = data.subset(&train_idx);
+        let test = data.subset(&test_idx);
+        let model = kind.fit(&train, seed.wrapping_add(fold as u64));
+        let pred = model.predict(&test.x);
+        total += r2_score_multi(&test.y, &pred);
+    }
+    total / k as f64
+}
+
+/// Leave-one-group-out validation: train on `train`, validate on `held`,
+/// return R² (used by Table III's quadrant cross-validation).
+pub fn holdout_r2(train: &Dataset, held: &Dataset, kind: &ModelKind, seed: u64) -> f64 {
+    let model = kind.fit(train, seed);
+    r2_score_multi(&held.y, &model.predict(&held.x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize) -> Dataset {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i % 13) as f64]).collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![3.0 * r[0] + r[1]]).collect();
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = linear_data(100);
+        let (tr, te) = train_test_split(&d, 0.6, 1);
+        assert_eq!(tr.len(), 60);
+        assert_eq!(te.len(), 40);
+        // Deterministic for a given seed.
+        let (tr2, _) = train_test_split(&d, 0.6, 1);
+        assert_eq!(tr.x, tr2.x);
+        // Different seeds shuffle differently.
+        let (tr3, _) = train_test_split(&d, 0.6, 2);
+        assert_ne!(tr.x, tr3.x);
+    }
+
+    #[test]
+    fn split_extreme_fracs_keep_both_nonempty() {
+        let d = linear_data(10);
+        let (tr, te) = train_test_split(&d, 0.999, 0);
+        assert!(!te.is_empty());
+        assert!(!tr.is_empty());
+        let (tr, te) = train_test_split(&d, 0.001, 0);
+        assert!(!tr.is_empty());
+        assert!(!te.is_empty());
+    }
+
+    #[test]
+    fn kfold_high_r2_on_linear_data() {
+        let d = linear_data(120);
+        let r2 = k_fold_r2(&d, &ModelKind::Linear, 5, 3);
+        assert!(r2 > 0.999, "r2={r2}");
+    }
+
+    #[test]
+    fn kfold_covers_every_sample_once() {
+        // Indirect check: with k=4 and 8 samples, all folds have size 2.
+        // We validate via determinism + no panic; exact coverage is a
+        // structural property of the i % k partition.
+        let d = linear_data(8);
+        let r2a = k_fold_r2(&d, &ModelKind::Knn, 4, 9);
+        let r2b = k_fold_r2(&d, &ModelKind::Knn, 4, 9);
+        assert_eq!(r2a, r2b);
+    }
+
+    #[test]
+    fn holdout_r2_works() {
+        let d = linear_data(100);
+        let (tr, te) = train_test_split(&d, 0.7, 5);
+        let r2 = holdout_r2(&tr, &te, &ModelKind::Linear, 0);
+        assert!(r2 > 0.999, "r2={r2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "train_frac")]
+    fn bad_frac_rejected() {
+        let _ = train_test_split(&linear_data(10), 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 2")]
+    fn bad_k_rejected() {
+        let _ = k_fold_r2(&linear_data(10), &ModelKind::Linear, 1, 0);
+    }
+}

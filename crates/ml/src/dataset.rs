@@ -1,0 +1,194 @@
+//! Training data container.
+
+use serde::{Deserialize, Serialize};
+
+/// A supervised dataset: feature rows `x` and multi-output targets `y`.
+///
+/// Invariants enforced at construction: `x.len() == y.len()`, all feature
+/// rows have equal width, all target rows have equal width, and both
+/// widths are nonzero when the set is nonempty.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature rows.
+    pub x: Vec<Vec<f64>>,
+    /// Target rows (one vector per sample; multi-output).
+    pub y: Vec<Vec<f64>>,
+}
+
+impl Dataset {
+    /// Build a dataset, validating shape invariants.
+    ///
+    /// # Panics
+    /// Panics on ragged rows or mismatched lengths.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<Vec<f64>>) -> Self {
+        assert_eq!(x.len(), y.len(), "x and y must have equal length");
+        if let Some(first) = x.first() {
+            let nf = first.len();
+            assert!(nf > 0, "feature rows must be nonempty");
+            assert!(x.iter().all(|r| r.len() == nf), "ragged feature rows");
+        }
+        if let Some(first) = y.first() {
+            let no = first.len();
+            assert!(no > 0, "target rows must be nonempty");
+            assert!(y.iter().all(|r| r.len() == no), "ragged target rows");
+        }
+        Dataset { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature dimensionality (0 when empty).
+    pub fn n_features(&self) -> usize {
+        self.x.first().map_or(0, |r| r.len())
+    }
+
+    /// Output dimensionality (0 when empty).
+    pub fn n_outputs(&self) -> usize {
+        self.y.first().map_or(0, |r| r.len())
+    }
+
+    /// Add one sample.
+    ///
+    /// # Panics
+    /// Panics if the row shapes disagree with the existing data.
+    pub fn push(&mut self, x: Vec<f64>, y: Vec<f64>) {
+        if !self.is_empty() {
+            assert_eq!(x.len(), self.n_features(), "feature width mismatch");
+            assert_eq!(y.len(), self.n_outputs(), "target width mismatch");
+        }
+        self.x.push(x);
+        self.y.push(y);
+    }
+
+    /// Select a subset by sample indices (indices may repeat, enabling
+    /// bootstrap resampling).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: indices.iter().map(|&i| self.x[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i].clone()).collect(),
+        }
+    }
+
+    /// Concatenate two datasets with matching shapes.
+    pub fn concat(mut self, other: Dataset) -> Dataset {
+        if self.is_empty() {
+            return other;
+        }
+        if !other.is_empty() {
+            assert_eq!(self.n_features(), other.n_features());
+            assert_eq!(self.n_outputs(), other.n_outputs());
+        }
+        self.x.extend(other.x);
+        self.y.extend(other.y);
+        self
+    }
+
+    /// Per-feature mean and standard deviation (std floored at a tiny
+    /// epsilon so standardization never divides by zero).
+    pub fn feature_moments(&self) -> (Vec<f64>, Vec<f64>) {
+        let nf = self.n_features();
+        let n = self.len().max(1) as f64;
+        let mut mean = vec![0.0; nf];
+        for row in &self.x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; nf];
+        for row in &self.x {
+            for ((v, m), x) in var.iter_mut().zip(&mean).zip(row) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let std: Vec<f64> = var.iter().map(|v| (v / n).sqrt().max(1e-12)).collect();
+        (mean, std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let d = Dataset::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![vec![1.0], vec![2.0]]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_outputs(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged feature rows")]
+    fn ragged_rejected() {
+        let _ = Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![vec![0.0], vec![0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_rejected() {
+        let _ = Dataset::new(vec![vec![1.0]], vec![]);
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut d = Dataset::default();
+        d.push(vec![1.0, 2.0], vec![3.0]);
+        d.push(vec![4.0, 5.0], vec![6.0]);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn push_rejects_wrong_width() {
+        let mut d = Dataset::default();
+        d.push(vec![1.0, 2.0], vec![3.0]);
+        d.push(vec![4.0], vec![6.0]);
+    }
+
+    #[test]
+    fn subset_with_repeats() {
+        let d = Dataset::new(
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+            vec![vec![10.0], vec![20.0], vec![30.0]],
+        );
+        let s = d.subset(&[2, 0, 2]);
+        assert_eq!(s.x, vec![vec![3.0], vec![1.0], vec![3.0]]);
+        assert_eq!(s.y[0], vec![30.0]);
+    }
+
+    #[test]
+    fn concat_shapes() {
+        let a = Dataset::new(vec![vec![1.0]], vec![vec![1.0]]);
+        let b = Dataset::new(vec![vec![2.0]], vec![vec![2.0]]);
+        let c = a.concat(b);
+        assert_eq!(c.len(), 2);
+        let empty = Dataset::default();
+        assert_eq!(empty.concat(c.clone()).len(), 2);
+        assert_eq!(c.concat(Dataset::default()).len(), 2);
+    }
+
+    #[test]
+    fn moments() {
+        let d = Dataset::new(
+            vec![vec![1.0, 0.0], vec![3.0, 0.0]],
+            vec![vec![0.0], vec![0.0]],
+        );
+        let (mean, std) = d.feature_moments();
+        assert_eq!(mean, vec![2.0, 0.0]);
+        assert!((std[0] - 1.0).abs() < 1e-12);
+        assert!(std[1] > 0.0); // floored, not zero
+    }
+}

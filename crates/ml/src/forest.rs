@@ -1,0 +1,273 @@
+//! Random-forest regression: bootstrap-bagged CART trees with per-split
+//! feature subsampling, trained in parallel with rayon.
+//!
+//! This is the model the paper adopts for its throughput prediction
+//! model (Table I: R² = 0.94, the best of the five).
+
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, TreeParams};
+use crate::Regressor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Random-forest hyperparameters.
+#[derive(Clone, Debug)]
+pub struct RandomForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree induction parameters. `max_features: None` here means
+    /// "use √p", resolved at fit time.
+    pub tree: TreeParams,
+    /// Bootstrap sample size as a fraction of the training set.
+    pub sample_fraction: f64,
+}
+
+impl Default for RandomForestParams {
+    fn default() -> Self {
+        RandomForestParams {
+            n_trees: 100,
+            tree: TreeParams {
+                max_depth: 20,
+                min_samples_split: 4,
+                min_samples_leaf: 2,
+                max_features: None,
+            },
+            sample_fraction: 1.0,
+        }
+    }
+}
+
+/// A fitted random forest.
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Fit `params.n_trees` trees on bootstrap resamples. Deterministic
+    /// for a given `(data, params, seed)` triple: each tree draws from
+    /// its own seeded RNG stream, and rayon only parallelizes across
+    /// already-seeded independent tree fits.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or zero trees.
+    pub fn fit(data: &Dataset, params: &RandomForestParams, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        assert!(params.n_trees > 0, "need at least one tree");
+        let p = data.n_features();
+        // Regression default: consider every feature at each split (the
+        // scikit-learn RandomForestRegressor default). Bagging alone
+        // provides the variance reduction; sqrt-p subsampling costs too
+        // much accuracy at this feature count (see DESIGN.md ablations).
+        let mtry = params.tree.max_features.unwrap_or(p).clamp(1, p);
+        let tree_params = TreeParams {
+            max_features: Some(mtry),
+            ..params.tree.clone()
+        };
+        let n = data.len();
+        let draw = ((n as f64) * params.sample_fraction).round().max(1.0) as usize;
+        let trees: Vec<DecisionTree> = (0..params.n_trees)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(
+                    sim_seed(seed, t as u64),
+                );
+                let idx: Vec<usize> = (0..draw).map(|_| rng.gen_range(0..n)).collect();
+                let sample = data.subset(&idx);
+                DecisionTree::fit_with(&sample, &tree_params, &mut rng)
+            })
+            .collect();
+        RandomForest {
+            trees,
+            n_features: p,
+        }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Breiman impurity-decrease feature importance, averaged over trees
+    /// and normalized to sum to 1.
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n_features];
+        for t in &self.trees {
+            for (a, &v) in acc.iter_mut().zip(t.raw_importance()) {
+                *a += v;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.n_features];
+        }
+        acc.iter().map(|&v| v / total).collect()
+    }
+}
+
+/// SplitMix-style per-tree seed derivation (keeps trees decorrelated and
+/// runs reproducible regardless of rayon's scheduling order).
+fn sim_seed(master: u64, idx: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(idx.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Regressor for RandomForest {
+    fn predict_one(&self, x: &[f64]) -> Vec<f64> {
+        let m = self
+            .trees
+            .first()
+            .map(|t| t.predict_one(x).len())
+            .unwrap_or(0);
+        let mut out = vec![0.0; m];
+        for t in &self.trees {
+            for (o, v) in out.iter_mut().zip(t.predict_one(x)) {
+                *o += v;
+            }
+        }
+        for o in &mut out {
+            *o /= self.trees.len() as f64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score_multi;
+
+    fn noisy_nonlinear(n: usize) -> Dataset {
+        // y = sin(x0) * 5 + x1, with a deterministic pseudo-noise term.
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 * 0.2, ((i * 7) % 10) as f64])
+            .collect();
+        let y: Vec<Vec<f64>> = x
+            .iter()
+            .enumerate()
+            .map(|(i, r)| vec![5.0 * r[0].sin() + r[1] + ((i % 3) as f64 - 1.0) * 0.1])
+            .collect();
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn beats_mean_predictor_on_nonlinear_data() {
+        let d = noisy_nonlinear(300);
+        let f = RandomForest::fit(
+            &d,
+            &RandomForestParams {
+                n_trees: 30,
+                tree: TreeParams {
+                    max_depth: 64,
+                    min_samples_split: 2,
+                    min_samples_leaf: 1,
+                    // With only 2 features, sqrt(p) subsampling (mtry=1)
+                    // starves the trees; use both features per split.
+                    max_features: Some(2),
+                },
+                ..Default::default()
+            },
+            42,
+        );
+        let r2 = r2_score_multi(&d.y, &f.predict(&d.x));
+        assert!(r2 > 0.9, "r2={r2}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = noisy_nonlinear(120);
+        let params = RandomForestParams {
+            n_trees: 10,
+            ..Default::default()
+        };
+        let a = RandomForest::fit(&d, &params, 7);
+        let b = RandomForest::fit(&d, &params, 7);
+        let pa = a.predict_one(&[3.0, 4.0]);
+        let pb = b.predict_one(&[3.0, 4.0]);
+        assert_eq!(pa, pb);
+        let c = RandomForest::fit(&d, &params, 8);
+        assert_ne!(pa, c.predict_one(&[3.0, 4.0]));
+    }
+
+    #[test]
+    fn importance_sums_to_one_and_finds_signal() {
+        // Feature 0 is signal, feature 1 noise.
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![i as f64, ((i * 37) % 17) as f64])
+            .collect();
+        let y: Vec<Vec<f64>> = (0..200).map(|i| vec![(i as f64) * 2.0]).collect();
+        let f = RandomForest::fit(
+            &Dataset::new(x, y),
+            &RandomForestParams {
+                n_trees: 20,
+                ..Default::default()
+            },
+            1,
+        );
+        let imp = f.feature_importance();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > 0.8, "imp={imp:?}");
+    }
+
+    #[test]
+    fn prediction_stays_within_target_hull() {
+        let d = noisy_nonlinear(150);
+        let lo = d
+            .y
+            .iter()
+            .map(|r| r[0])
+            .fold(f64::INFINITY, f64::min);
+        let hi = d
+            .y
+            .iter()
+            .map(|r| r[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let f = RandomForest::fit(
+            &d,
+            &RandomForestParams {
+                n_trees: 15,
+                ..Default::default()
+            },
+            3,
+        );
+        // Even for wildly extrapolated queries, tree averaging cannot
+        // leave the hull of training targets.
+        for q in [[-100.0, -100.0], [1e6, 1e6], [0.0, 1e3]] {
+            let p = f.predict_one(&q)[0];
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "p={p} outside [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        let d = noisy_nonlinear(10);
+        let _ = RandomForest::fit(
+            &d,
+            &RandomForestParams {
+                n_trees: 0,
+                ..Default::default()
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn n_trees_reported() {
+        let d = noisy_nonlinear(30);
+        let f = RandomForest::fit(
+            &d,
+            &RandomForestParams {
+                n_trees: 7,
+                ..Default::default()
+            },
+            0,
+        );
+        assert_eq!(f.n_trees(), 7);
+    }
+}

@@ -1,0 +1,153 @@
+//! K-nearest-neighbour regression over standardized features.
+
+use crate::dataset::Dataset;
+use crate::Regressor;
+
+/// A fitted (memorized) KNN regressor. Prediction averages the targets of
+/// the `k` training rows closest in standardized Euclidean distance.
+#[derive(Clone, Debug)]
+pub struct KnnRegressor {
+    k: usize,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    /// Standardized training rows.
+    x: Vec<Vec<f64>>,
+    y: Vec<Vec<f64>>,
+}
+
+impl KnnRegressor {
+    /// "Fit" (memorize) the training set.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or `k == 0`.
+    pub fn fit(data: &Dataset, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let (mean, std) = data.feature_moments();
+        let x: Vec<Vec<f64>> = data
+            .x
+            .iter()
+            .map(|r| standardize(r, &mean, &std))
+            .collect();
+        KnnRegressor {
+            k: k.min(data.len()),
+            mean,
+            std,
+            x,
+            y: data.y.clone(),
+        }
+    }
+
+    /// Effective `k` (clamped to the training-set size).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+fn standardize(row: &[f64], mean: &[f64], std: &[f64]) -> Vec<f64> {
+    row.iter()
+        .zip(mean.iter().zip(std))
+        .map(|(x, (m, s))| (x - m) / s)
+        .collect()
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl Regressor for KnnRegressor {
+    fn predict_one(&self, x: &[f64]) -> Vec<f64> {
+        let q = standardize(x, &self.mean, &self.std);
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .enumerate()
+            .map(|(i, row)| (sq_dist(&q, row), i))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("no NaN distances")
+        });
+        let m = self.y[0].len();
+        let mut out = vec![0.0; m];
+        for &(_, i) in &dists[..k] {
+            for (o, v) in out.iter_mut().zip(&self.y[i]) {
+                *o += v;
+            }
+        }
+        for o in &mut out {
+            *o /= k as f64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_dataset() -> Dataset {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<Vec<f64>> = (0..20).map(|i| vec![(i * 10) as f64]).collect();
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn k1_returns_nearest_target() {
+        let m = KnnRegressor::fit(&grid_dataset(), 1);
+        assert_eq!(m.predict_one(&[7.2]), vec![70.0]);
+        assert_eq!(m.predict_one(&[-5.0]), vec![0.0]);
+        assert_eq!(m.predict_one(&[100.0]), vec![190.0]);
+    }
+
+    #[test]
+    fn k3_averages() {
+        let m = KnnRegressor::fit(&grid_dataset(), 3);
+        // Nearest to 10.0 are rows 9, 10, 11 -> mean 100.
+        let p = m.predict_one(&[10.0]);
+        assert!((p[0] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_clamped_to_dataset() {
+        let d = Dataset::new(vec![vec![0.0], vec![1.0]], vec![vec![0.0], vec![10.0]]);
+        let m = KnnRegressor::fit(&d, 100);
+        assert_eq!(m.k(), 2);
+        assert!((m.predict_one(&[0.5])[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standardization_balances_scales() {
+        // Feature 0 spans 0..1, feature 1 spans 0..1e6. Without
+        // standardization feature 1 would dominate; with it, a query
+        // differing only in feature 0 finds the right neighbour.
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1e6],
+            vec![0.0, 1e6],
+            vec![1.0, 0.0],
+        ];
+        let y = vec![vec![0.0], vec![3.0], vec![1.0], vec![2.0]];
+        let m = KnnRegressor::fit(&Dataset::new(x, y), 1);
+        // Query near (1, 1e6): neighbour should be row 1.
+        assert_eq!(m.predict_one(&[0.9, 0.95e6]), vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = KnnRegressor::fit(&grid_dataset(), 0);
+    }
+
+    #[test]
+    fn multi_output() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![1.0]],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+        );
+        let m = KnnRegressor::fit(&d, 2);
+        let p = m.predict_one(&[0.5]);
+        assert_eq!(p, vec![2.0, 3.0]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Statistical regression models for the throughput prediction model
+//! (paper Sec. III-B, Table I).
+//!
+//! The paper trains five regressors to learn
+//! `TPUT_{R,W} = F(Ch, w)` — the mapping from workload characteristics
+//! plus SSQ weight ratio to read/write throughput — and picks Random
+//! Forest Regression (highest R², 0.94). All five are implemented here
+//! from scratch, multi-output (read *and* write throughput predicted
+//! jointly), with the coefficient of determination used for accuracy and
+//! Breiman impurity importance for feature weights.
+//!
+//! # Example
+//!
+//! ```
+//! use ml::{Dataset, ModelKind};
+//!
+//! // y = [2x, 3x] — a trivially learnable multi-output mapping.
+//! let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+//! let y: Vec<Vec<f64>> = (0..50).map(|i| vec![2.0 * i as f64, 3.0 * i as f64]).collect();
+//! let data = Dataset::new(x, y);
+//! let model = ModelKind::Linear.fit(&data, 0);
+//! let pred = model.predict_one(&[10.0]);
+//! assert!((pred[0] - 20.0).abs() < 1e-6);
+//! assert!((pred[1] - 30.0).abs() < 1e-6);
+//! ```
+
+pub mod cv;
+pub mod dataset;
+pub mod forest;
+pub mod knn;
+pub mod linalg;
+pub mod linear;
+pub mod metrics;
+pub mod poly;
+pub mod tree;
+
+pub use cv::{k_fold_r2, train_test_split};
+pub use dataset::Dataset;
+pub use forest::{RandomForest, RandomForestParams};
+pub use knn::KnnRegressor;
+pub use linear::LinearRegression;
+pub use metrics::{mae, mse, r2_score, r2_score_multi};
+pub use poly::PolynomialRegression;
+pub use tree::{DecisionTree, TreeParams};
+
+/// A fitted multi-output regressor.
+pub trait Regressor: Send + Sync {
+    /// Predict the output vector for one feature row.
+    fn predict_one(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Predict for a batch of rows.
+    fn predict(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.iter().map(|r| self.predict_one(r)).collect()
+    }
+}
+
+/// The five model families evaluated in Table I.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelKind {
+    /// Ordinary least squares.
+    Linear,
+    /// Degree-2 polynomial expansion + least squares.
+    Polynomial,
+    /// K-nearest-neighbour regression (k = 5, standardized features).
+    Knn,
+    /// Single CART regression tree.
+    DecisionTree,
+    /// Random forest (bagged CART with feature subsampling).
+    RandomForest,
+}
+
+impl ModelKind {
+    /// All five kinds in Table I's row order.
+    pub const ALL: [ModelKind; 5] = [
+        ModelKind::Linear,
+        ModelKind::Polynomial,
+        ModelKind::Knn,
+        ModelKind::DecisionTree,
+        ModelKind::RandomForest,
+    ];
+
+    /// Table I row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelKind::Linear => "Linear Regression",
+            ModelKind::Polynomial => "Polynomial Regression",
+            ModelKind::Knn => "K-Nearest Neighbor",
+            ModelKind::DecisionTree => "Decision Tree Regression",
+            ModelKind::RandomForest => "Random Forest Regression",
+        }
+    }
+
+    /// Fit this model family on a dataset with default hyperparameters
+    /// (the ones used throughout the reproduction).
+    pub fn fit(&self, data: &Dataset, seed: u64) -> Box<dyn Regressor> {
+        match self {
+            ModelKind::Linear => Box::new(LinearRegression::fit(data)),
+            ModelKind::Polynomial => Box::new(PolynomialRegression::fit(data, 2)),
+            ModelKind::Knn => Box::new(KnnRegressor::fit(data, 5)),
+            ModelKind::DecisionTree => {
+                Box::new(DecisionTree::fit(data, &TreeParams::default()))
+            }
+            ModelKind::RandomForest => {
+                Box::new(RandomForest::fit(data, &RandomForestParams::default(), seed))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_labels() {
+        for k in ModelKind::ALL {
+            assert!(!k.label().is_empty());
+        }
+        assert_eq!(ModelKind::ALL.len(), 5);
+    }
+}

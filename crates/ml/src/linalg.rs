@@ -1,0 +1,147 @@
+//! Minimal dense linear algebra: just enough to solve the normal
+//! equations of (polynomial) least squares.
+
+/// Solve `A x = b` for square `A` by Gaussian elimination with partial
+/// pivoting. `a` is row-major `n × n`, consumed; `b` has length `n`.
+///
+/// Returns `None` when the matrix is numerically singular.
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = a.len();
+    assert!(a.iter().all(|r| r.len() == n), "matrix must be square");
+    assert_eq!(b.len(), n, "rhs length must match");
+    for col in 0..n {
+        // Partial pivot: the row with the largest |a[row][col]|.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("no NaN in matrix")
+            })
+            .expect("nonempty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let inv = 1.0 / a[col][col];
+        for row in col + 1..n {
+            let factor = a[row][col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Compute `X^T X + ridge*I` (as `p × p`) and `X^T Y` (as `p × m`) for a
+/// design matrix `X` (`n × p`, rows) and targets `Y` (`n × m`).
+pub fn normal_equations(
+    x: &[Vec<f64>],
+    y: &[Vec<f64>],
+    ridge: f64,
+) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let n = x.len();
+    assert_eq!(n, y.len());
+    let p = x.first().map_or(0, |r| r.len());
+    let m = y.first().map_or(0, |r| r.len());
+    let mut xtx = vec![vec![0.0; p]; p];
+    let mut xty = vec![vec![0.0; m]; p];
+    for (xi, yi) in x.iter().zip(y) {
+        for a in 0..p {
+            let xa = xi[a];
+            if xa == 0.0 {
+                continue;
+            }
+            for b in a..p {
+                xtx[a][b] += xa * xi[b];
+            }
+            for (o, &yv) in yi.iter().enumerate() {
+                xty[a][o] += xa * yv;
+            }
+        }
+    }
+    // Mirror the upper triangle and add the ridge.
+    for a in 0..p {
+        for b in 0..a {
+            xtx[a][b] = xtx[b][a];
+        }
+        xtx[a][a] += ridge;
+    }
+    (xtx, xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_system() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve(a, vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading() {
+        // Leading zero requires a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(a, vec![3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn normal_equations_shapes_and_values() {
+        // X = [[1,2],[3,4]], Y = [[1],[2]].
+        let x = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let y = vec![vec![1.0], vec![2.0]];
+        let (xtx, xty) = normal_equations(&x, &y, 0.0);
+        assert_eq!(xtx, vec![vec![10.0, 14.0], vec![14.0, 20.0]]);
+        assert_eq!(xty, vec![vec![7.0], vec![10.0]]);
+        let (ridged, _) = normal_equations(&x, &y, 0.5);
+        assert_eq!(ridged[0][0], 10.5);
+        assert_eq!(ridged[1][1], 20.5);
+        assert_eq!(ridged[0][1], 14.0);
+    }
+
+    #[test]
+    fn larger_random_system_round_trip() {
+        // Build A = M^T M + I (SPD) and a known x; verify solve recovers x.
+        let n = 8;
+        let m: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| ((i * 31 + j * 17) % 13) as f64 / 13.0).collect())
+            .collect();
+        let (a, _) = normal_equations(&m, &vec![vec![0.0]; n], 1.0);
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| a[i][j] * x_true[j]).sum())
+            .collect();
+        let x = solve(a, b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+}

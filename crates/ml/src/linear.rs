@@ -1,0 +1,132 @@
+//! Ordinary least squares (multi-output), solved through the normal
+//! equations with a tiny ridge term for numerical robustness.
+
+use crate::dataset::Dataset;
+use crate::linalg::{normal_equations, solve};
+use crate::Regressor;
+
+/// A fitted multi-output linear model: `y = W x + b`.
+#[derive(Clone, Debug)]
+pub struct LinearRegression {
+    /// `weights[o]` is the coefficient vector for output `o`.
+    weights: Vec<Vec<f64>>,
+    /// Per-output intercepts.
+    intercepts: Vec<f64>,
+}
+
+/// Ridge regularization applied to the normal equations. Small enough to
+/// be invisible on well-conditioned data, large enough to keep nearly
+/// collinear feature sets solvable.
+const RIDGE: f64 = 1e-8;
+
+impl LinearRegression {
+    /// Fit by least squares.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset) -> Self {
+        Self::fit_design(&data.x, &data.y)
+    }
+
+    /// Fit on an explicit design matrix (used by
+    /// [`crate::poly::PolynomialRegression`] after feature expansion).
+    pub fn fit_design(x: &[Vec<f64>], y: &[Vec<f64>]) -> Self {
+        assert!(!x.is_empty(), "cannot fit on an empty dataset");
+        let p = x[0].len();
+        let m = y[0].len();
+        // Augment with a bias column.
+        let design: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| {
+                let mut d = Vec::with_capacity(p + 1);
+                d.extend_from_slice(r);
+                d.push(1.0);
+                d
+            })
+            .collect();
+        let (xtx, xty) = normal_equations(&design, y, RIDGE);
+        let mut weights = vec![vec![0.0; p]; m];
+        let mut intercepts = vec![0.0; m];
+        for o in 0..m {
+            let rhs: Vec<f64> = xty.iter().map(|row| row[o]).collect();
+            let sol = solve(xtx.clone(), rhs)
+                .expect("ridge-regularized normal equations are nonsingular");
+            weights[o].copy_from_slice(&sol[..p]);
+            intercepts[o] = sol[p];
+        }
+        LinearRegression {
+            weights,
+            intercepts,
+        }
+    }
+
+    /// Coefficients for output `o`.
+    pub fn coefficients(&self, o: usize) -> &[f64] {
+        &self.weights[o]
+    }
+
+    /// Intercept for output `o`.
+    pub fn intercept(&self, o: usize) -> f64 {
+        self.intercepts[o]
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn predict_one(&self, x: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .zip(&self.intercepts)
+            .map(|(w, b)| w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + b)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score_multi;
+
+    #[test]
+    fn recovers_exact_linear_map() {
+        // y0 = 2a - b + 3 ; y1 = a + 4b - 1
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64])
+            .collect();
+        let y: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| vec![2.0 * r[0] - r[1] + 3.0, r[0] + 4.0 * r[1] - 1.0])
+            .collect();
+        let m = LinearRegression::fit(&Dataset::new(x.clone(), y.clone()));
+        assert!((m.coefficients(0)[0] - 2.0).abs() < 1e-6);
+        assert!((m.coefficients(0)[1] + 1.0).abs() < 1e-6);
+        assert!((m.intercept(0) - 3.0).abs() < 1e-5);
+        assert!((m.intercept(1) + 1.0).abs() < 1e-5);
+        let pred = m.predict(&x);
+        assert!(r2_score_multi(&y, &pred) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn collinear_features_survive_via_ridge() {
+        // Second feature is an exact copy of the first.
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<Vec<f64>> = (0..20).map(|i| vec![3.0 * i as f64]).collect();
+        let m = LinearRegression::fit(&Dataset::new(x.clone(), y.clone()));
+        let pred = m.predict(&x);
+        assert!(r2_score_multi(&y, &pred) > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_rejected() {
+        let _ = LinearRegression::fit(&Dataset::default());
+    }
+
+    #[test]
+    fn constant_target() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![vec![7.0]; 10];
+        let m = LinearRegression::fit(&Dataset::new(x, y));
+        let p = m.predict_one(&[100.0]);
+        assert!((p[0] - 7.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,141 @@
+//! Regression quality metrics. The paper reports the coefficient of
+//! determination (R²) as "accuracy" in Tables I and III.
+
+/// Coefficient of determination for a single output:
+/// `1 - SS_res / SS_tot`. Returns 0 when the target variance is zero and
+/// predictions are imperfect, 1 when both are degenerate and equal.
+pub fn r2_score(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_tot: f64 = y_true.iter().map(|&y| (y - mean) * (y - mean)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(&t, &p)| (t - p) * (t - p))
+        .sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Mean R² across outputs for multi-output predictions (the paper's
+/// single "accuracy" figure covers both read and write throughput).
+pub fn r2_score_multi(y_true: &[Vec<f64>], y_pred: &[Vec<f64>]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let m = y_true[0].len();
+    let mut total = 0.0;
+    for o in 0..m {
+        let t: Vec<f64> = y_true.iter().map(|r| r[o]).collect();
+        let p: Vec<f64> = y_pred.iter().map(|r| r[o]).collect();
+        total += r2_score(&t, &p);
+    }
+    total / m as f64
+}
+
+/// Mean squared error over all outputs.
+pub fn mse(y_true: &[Vec<f64>], y_pred: &[Vec<f64>]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (t, p) in y_true.iter().zip(y_pred) {
+        assert_eq!(t.len(), p.len());
+        for (a, b) in t.iter().zip(p) {
+            acc += (a - b) * (a - b);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        acc / n as f64
+    }
+}
+
+/// Mean absolute error over all outputs.
+pub fn mae(y_true: &[Vec<f64>], y_pred: &[Vec<f64>]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (t, p) in y_true.iter().zip(y_pred) {
+        for (a, b) in t.iter().zip(p) {
+            acc += (a - b).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        acc / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_one() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(r2_score(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn mean_prediction_is_zero() {
+        let y = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!((r2_score(&y, &pred)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_prediction_is_negative() {
+        let y = [1.0, 2.0, 3.0];
+        let pred = [3.0, 2.0, 1.0];
+        assert!(r2_score(&y, &pred) < 0.0);
+    }
+
+    #[test]
+    fn degenerate_targets() {
+        assert_eq!(r2_score(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+        assert_eq!(r2_score(&[5.0, 5.0], &[4.0, 6.0]), 0.0);
+        assert_eq!(r2_score(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn multi_output_average() {
+        let t = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        // First output predicted perfectly, second at the mean.
+        let p = vec![vec![1.0, 20.0], vec![2.0, 20.0], vec![3.0, 20.0]];
+        let r2 = r2_score_multi(&t, &p);
+        assert!((r2 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors() {
+        let t = vec![vec![1.0], vec![2.0]];
+        let p = vec![vec![2.0], vec![4.0]];
+        assert!((mse(&t, &p) - 2.5).abs() < 1e-12);
+        assert!((mae(&t, &p) - 1.5).abs() < 1e-12);
+        assert_eq!(mse(&[], &[]), 0.0);
+        assert_eq!(mae(&[], &[]), 0.0);
+    }
+
+    proptest::proptest! {
+        /// R² of any prediction never exceeds 1.
+        #[test]
+        fn prop_r2_upper_bound(
+            y in proptest::collection::vec(-1e3f64..1e3, 2..50),
+            p in proptest::collection::vec(-1e3f64..1e3, 2..50),
+        ) {
+            let n = y.len().min(p.len());
+            let r2 = r2_score(&y[..n], &p[..n]);
+            proptest::prop_assert!(r2 <= 1.0 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Polynomial regression: degree-d feature expansion (powers and
+//! pairwise interactions for d = 2) feeding ordinary least squares.
+//!
+//! Features are standardized before expansion so that squared terms of
+//! large-magnitude features (e.g. flow speed in bytes/µs) do not wreck
+//! the conditioning of the normal equations.
+
+use crate::dataset::Dataset;
+use crate::linear::LinearRegression;
+use crate::Regressor;
+
+/// A fitted polynomial regressor.
+#[derive(Clone, Debug)]
+pub struct PolynomialRegression {
+    degree: u32,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    inner: LinearRegression,
+}
+
+/// Expand a standardized row into polynomial features.
+///
+/// Degree 1: the row itself. Degree 2: row + all squares + all pairwise
+/// interaction terms. Higher degrees add pure powers only (interaction
+/// blow-up is not worth it for this feature count).
+fn expand(row: &[f64], degree: u32) -> Vec<f64> {
+    let p = row.len();
+    let mut out = Vec::with_capacity(p * (degree as usize) + p * (p - 1) / 2);
+    out.extend_from_slice(row);
+    if degree >= 2 {
+        for i in 0..p {
+            for j in i..p {
+                out.push(row[i] * row[j]);
+            }
+        }
+    }
+    for d in 3..=degree {
+        for &v in row {
+            out.push(v.powi(d as i32));
+        }
+    }
+    out
+}
+
+impl PolynomialRegression {
+    /// Fit with the given polynomial degree (≥ 1).
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or `degree == 0`.
+    pub fn fit(data: &Dataset, degree: u32) -> Self {
+        assert!(degree >= 1, "degree must be at least 1");
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let (mean, std) = data.feature_moments();
+        let design: Vec<Vec<f64>> = data
+            .x
+            .iter()
+            .map(|r| {
+                let z: Vec<f64> = r
+                    .iter()
+                    .zip(mean.iter().zip(&std))
+                    .map(|(x, (m, s))| (x - m) / s)
+                    .collect();
+                expand(&z, degree)
+            })
+            .collect();
+        let inner = LinearRegression::fit_design(&design, &data.y);
+        PolynomialRegression {
+            degree,
+            mean,
+            std,
+            inner,
+        }
+    }
+
+    /// The fitted degree.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+}
+
+impl Regressor for PolynomialRegression {
+    fn predict_one(&self, x: &[f64]) -> Vec<f64> {
+        let z: Vec<f64> = x
+            .iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(x, (m, s))| (x - m) / s)
+            .collect();
+        self.inner.predict_one(&expand(&z, self.degree))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score_multi;
+
+    #[test]
+    fn expansion_size_degree2() {
+        // p features -> p + p(p+1)/2 terms.
+        let row = [1.0, 2.0, 3.0];
+        let e = expand(&row, 2);
+        assert_eq!(e.len(), 3 + 6);
+        assert_eq!(&e[..3], &row);
+        assert!(e.contains(&4.0)); // 2*2
+        assert!(e.contains(&6.0)); // 2*3
+    }
+
+    #[test]
+    fn expansion_degree1_is_identity() {
+        assert_eq!(expand(&[5.0, 7.0], 1), vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn fits_quadratic_exactly() {
+        // y = x^2 - 2x + 1 on a grid.
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 5.0]).collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0] * r[0] - 2.0 * r[0] + 1.0]).collect();
+        let m = PolynomialRegression::fit(&Dataset::new(x.clone(), y.clone()), 2);
+        let pred = m.predict(&x);
+        assert!(r2_score_multi(&y, &pred) > 1.0 - 1e-8);
+        assert_eq!(m.degree(), 2);
+    }
+
+    #[test]
+    fn fits_interaction_term() {
+        // y = a*b (pure interaction, invisible to a linear model).
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..8 {
+            for b in 0..8 {
+                xs.push(vec![a as f64, b as f64]);
+                ys.push(vec![(a * b) as f64]);
+            }
+        }
+        let data = Dataset::new(xs.clone(), ys.clone());
+        let poly = PolynomialRegression::fit(&data, 2);
+        let lin = LinearRegression::fit(&data);
+        let r2_poly = r2_score_multi(&ys, &poly.predict(&xs));
+        let r2_lin = r2_score_multi(&ys, &lin.predict(&xs));
+        assert!(r2_poly > 0.999, "poly r2={r2_poly}");
+        assert!(r2_lin < 0.95, "lin r2={r2_lin}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be at least 1")]
+    fn degree_zero_rejected() {
+        let _ = PolynomialRegression::fit(
+            &Dataset::new(vec![vec![1.0]], vec![vec![1.0]]),
+            0,
+        );
+    }
+
+    #[test]
+    fn degree3_pure_powers() {
+        let e = expand(&[2.0], 3);
+        // [x, x^2, x^3]
+        assert_eq!(e, vec![2.0, 4.0, 8.0]);
+    }
+}

@@ -1,0 +1,185 @@
+//! TIMELY — RTT-gradient rate control (Mittal et al., SIGCOMM 2015),
+//! the other major RDMA congestion control the paper names alongside
+//! DCQCN ("NS3 has been widely used to evaluate rate control-based
+//! schemes, e.g., DCQCN, TIMELY, and PCN").
+//!
+//! TIMELY needs no switch support at all: the sender adjusts its rate
+//! from acknowledgment RTTs. Below `t_low` it increases additively;
+//! above `t_high` it decreases multiplicatively; in between it follows
+//! the normalized RTT gradient (decrease on rising RTT, additive
+//! increase — with a hyper-active mode after several consecutive
+//! negative gradients — on falling RTT).
+
+use serde::{Deserialize, Serialize};
+use sim_engine::{Rate, SimDuration};
+
+/// TIMELY tuning. Defaults follow the SIGCOMM'15 paper scaled to the
+/// 40 Gbps, microsecond-RTT fabric simulated here.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimelyParams {
+    /// RTT below which the rate always increases.
+    pub t_low: SimDuration,
+    /// RTT above which the rate always decreases.
+    pub t_high: SimDuration,
+    /// Additive increase step.
+    pub delta: Rate,
+    /// Multiplicative decrease factor β.
+    pub beta: f64,
+    /// EWMA weight α for the RTT-difference filter.
+    pub alpha: f64,
+    /// Consecutive negative-gradient completions before hyper-active
+    /// increase (N in the paper).
+    pub hai_threshold: u32,
+    /// Floor on the sending rate.
+    pub min_rate: Rate,
+    /// Minimum RTT used to normalize the gradient.
+    pub min_rtt: SimDuration,
+}
+
+impl Default for TimelyParams {
+    fn default() -> Self {
+        TimelyParams {
+            t_low: SimDuration::from_us(20),
+            t_high: SimDuration::from_us(200),
+            delta: Rate::from_mbps(200),
+            beta: 0.8,
+            alpha: 0.875,
+            hai_threshold: 5,
+            min_rate: Rate::from_mbps(100),
+            min_rtt: SimDuration::from_us(4),
+        }
+    }
+}
+
+/// Per-flow TIMELY sender state.
+#[derive(Clone, Debug)]
+pub struct TimelyState {
+    /// Current sending rate.
+    pub rate: Rate,
+    line_rate: Rate,
+    prev_rtt_us: Option<f64>,
+    /// EWMA of the RTT difference (µs).
+    rtt_diff_us: f64,
+    /// Consecutive completions with negative gradient.
+    neg_streak: u32,
+}
+
+impl TimelyState {
+    /// Fresh sender at line rate.
+    pub fn new(line_rate: Rate) -> Self {
+        TimelyState {
+            rate: line_rate,
+            line_rate,
+            prev_rtt_us: None,
+            rtt_diff_us: 0.0,
+            neg_streak: 0,
+        }
+    }
+
+    /// Process one RTT sample; returns the new rate (also stored).
+    pub fn on_rtt(&mut self, rtt: SimDuration, p: &TimelyParams) -> Rate {
+        let rtt_us = rtt.as_us_f64();
+        let prev = self.prev_rtt_us.replace(rtt_us);
+
+        if rtt < p.t_low {
+            self.neg_streak = 0;
+            self.rate = Rate::from_bps(
+                (self.rate.as_bps() + p.delta.as_bps()).min(self.line_rate.as_bps()),
+            );
+            return self.rate;
+        }
+        if rtt > p.t_high {
+            self.neg_streak = 0;
+            let f = 1.0 - p.beta * (1.0 - p.t_high.as_us_f64() / rtt_us);
+            self.rate = self.rate.scale(f.clamp(0.0, 1.0)).max(p.min_rate);
+            return self.rate;
+        }
+
+        // Gradient mode.
+        let new_diff = prev.map(|pr| rtt_us - pr).unwrap_or(0.0);
+        self.rtt_diff_us = (1.0 - p.alpha) * self.rtt_diff_us + p.alpha * new_diff;
+        let gradient = self.rtt_diff_us / p.min_rtt.as_us_f64();
+        if gradient <= 0.0 {
+            self.neg_streak += 1;
+            let n = if self.neg_streak >= p.hai_threshold { 5 } else { 1 };
+            self.rate = Rate::from_bps(
+                (self.rate.as_bps() + n * p.delta.as_bps()).min(self.line_rate.as_bps()),
+            );
+        } else {
+            self.neg_streak = 0;
+            let f = 1.0 - p.beta * gradient.min(1.0);
+            self.rate = self.rate.scale(f.max(0.0)).max(p.min_rate);
+        }
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> TimelyParams {
+        TimelyParams::default()
+    }
+
+    #[test]
+    fn low_rtt_increases_additively() {
+        let mut t = TimelyState::new(Rate::from_gbps(40));
+        t.rate = Rate::from_gbps(10);
+        let r = t.on_rtt(SimDuration::from_us(10), &p());
+        assert_eq!(r, Rate::from_bps(10_000_000_000 + 200_000_000));
+    }
+
+    #[test]
+    fn high_rtt_decreases_multiplicatively() {
+        let mut t = TimelyState::new(Rate::from_gbps(40));
+        let r = t.on_rtt(SimDuration::from_us(400), &p());
+        // f = 1 - 0.8*(1 - 200/400) = 0.6
+        assert!((r.as_gbps_f64() - 24.0).abs() < 0.01, "{r:?}");
+    }
+
+    #[test]
+    fn rising_gradient_decreases() {
+        let mut t = TimelyState::new(Rate::from_gbps(40));
+        let _ = t.on_rtt(SimDuration::from_us(50), &p());
+        let before = t.rate;
+        // RTT jumps 50 -> 100 µs: strong positive gradient.
+        let after = t.on_rtt(SimDuration::from_us(100), &p());
+        assert!(after < before, "{before:?} -> {after:?}");
+    }
+
+    #[test]
+    fn falling_gradient_recovers_with_hai() {
+        let mut t = TimelyState::new(Rate::from_gbps(40));
+        // Crash the rate first.
+        for _ in 0..20 {
+            t.on_rtt(SimDuration::from_us(500), &p());
+        }
+        let low = t.rate;
+        assert!(low < Rate::from_gbps(2));
+        // Falling RTTs inside the band: additive, then hyper-active.
+        let mut rtt = 180.0;
+        for _ in 0..30 {
+            t.on_rtt(SimDuration::from_us_f64(rtt), &p());
+            rtt = (rtt - 2.0).max(30.0);
+        }
+        assert!(
+            t.rate.as_bps() > low.as_bps() + 10 * 200_000_000,
+            "HAI should recover fast: {low:?} -> {:?}",
+            t.rate
+        );
+    }
+
+    #[test]
+    fn bounds_hold_under_any_sequence() {
+        let params = p();
+        let line = Rate::from_gbps(40);
+        let mut t = TimelyState::new(line);
+        let rtts = [5u64, 500, 50, 60, 40, 1000, 3, 250, 70, 55];
+        for (i, &r) in rtts.iter().cycle().take(500).enumerate() {
+            let rate = t.on_rtt(SimDuration::from_us(r + (i as u64 % 7)), &params);
+            assert!(rate >= params.min_rate);
+            assert!(rate <= line);
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Network topology: hosts, switches, links, shortest-path routing with
+//! flow-hashed ECMP, and the paper's Clos builder.
+
+use serde::{Deserialize, Serialize};
+use sim_engine::{Rate, SimDuration};
+use std::collections::VecDeque;
+
+/// Index of a node (host or switch) in the topology.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Host or switch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An endpoint with a NIC (Initiator or Target).
+    Host,
+    /// A forwarding element with ECN/PFC.
+    Switch,
+}
+
+/// A directed link (one direction of a cable).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Serialization rate.
+    pub rate: Rate,
+    /// Propagation delay.
+    pub delay: SimDuration,
+}
+
+/// The static topology: node kinds, adjacency, routing.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    kinds: Vec<NodeKind>,
+    links: Vec<LinkSpec>,
+    /// Outgoing link indices per node.
+    out_links: Vec<Vec<usize>>,
+    /// `next_hop[src][dst]` = candidate outgoing link indices on shortest
+    /// paths (ECMP set). Built by [`Topology::build_routes`].
+    routes: Vec<Vec<Vec<usize>>>,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Add a node of the given kind; returns its id.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        self.kinds.push(kind);
+        self.out_links.push(Vec::new());
+        NodeId(self.kinds.len() - 1)
+    }
+
+    /// Add a host.
+    pub fn add_host(&mut self) -> NodeId {
+        self.add_node(NodeKind::Host)
+    }
+
+    /// Add a switch.
+    pub fn add_switch(&mut self) -> NodeId {
+        self.add_node(NodeKind::Switch)
+    }
+
+    /// Add a bidirectional link (two directed links) between `a` and `b`.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, rate: Rate, delay: SimDuration) {
+        for (f, t) in [(a, b), (b, a)] {
+            let idx = self.links.len();
+            self.links.push(LinkSpec {
+                from: f,
+                to: t,
+                rate,
+                delay,
+            });
+            self.out_links[f.0].push(idx);
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Node kind.
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.kinds[n.0]
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        (0..self.n_nodes())
+            .map(NodeId)
+            .filter(|&n| self.kind(n) == NodeKind::Host)
+            .collect()
+    }
+
+    /// Link by index.
+    pub fn link(&self, idx: usize) -> &LinkSpec {
+        &self.links[idx]
+    }
+
+    /// Number of directed links.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Outgoing link indices of a node.
+    pub fn out_links(&self, n: NodeId) -> &[usize] {
+        &self.out_links[n.0]
+    }
+
+    /// Compute ECMP shortest-path routes (BFS per destination).
+    /// Must be called after the topology is final and before
+    /// [`Topology::route`].
+    pub fn build_routes(&mut self) {
+        let n = self.n_nodes();
+        let mut routes = vec![vec![Vec::new(); n]; n];
+        for dst in 0..n {
+            // BFS from dst over reversed links to get distances.
+            let mut dist = vec![usize::MAX; n];
+            dist[dst] = 0;
+            let mut queue = VecDeque::from([dst]);
+            while let Some(u) = queue.pop_front() {
+                // Incoming links of u = links with to == u.
+                for (idx, l) in self.links.iter().enumerate() {
+                    let _ = idx;
+                    if l.to.0 == u && dist[l.from.0] == usize::MAX {
+                        dist[l.from.0] = dist[u] + 1;
+                        queue.push_back(l.from.0);
+                    }
+                }
+            }
+            // Next hops: links that decrease distance, except that routes
+            // never traverse an intermediate host (hosts don't forward).
+            for src in 0..n {
+                if src == dst || dist[src] == usize::MAX {
+                    continue;
+                }
+                for &li in &self.out_links[src] {
+                    let l = &self.links[li];
+                    let via = l.to.0;
+                    let via_ok =
+                        via == dst || self.kinds[via] == NodeKind::Switch;
+                    if via_ok && dist[via] != usize::MAX && dist[via] + 1 == dist[src] {
+                        routes[src][dst].push(li);
+                    }
+                }
+            }
+        }
+        self.routes = routes;
+    }
+
+    /// The outgoing link a packet of `flow` takes at `at` toward `dst`
+    /// (flow-hashed ECMP over the shortest-path set).
+    ///
+    /// # Panics
+    /// Panics if no route exists or routes were not built.
+    pub fn route(&self, at: NodeId, dst: NodeId, flow: u64) -> usize {
+        let set = &self.routes[at.0][dst.0];
+        assert!(
+            !set.is_empty(),
+            "no route from {:?} to {:?} (routes built: {})",
+            at,
+            dst,
+            !self.routes.is_empty()
+        );
+        set[(flow as usize) % set.len()]
+    }
+}
+
+/// Configuration of the paper's Clos testbed (Sec. IV-A): `pods` pods,
+/// each with `leaf_per_pod` leaf switches, `tor_per_pod` ToR switches and
+/// `hosts_per_pod` hosts; 40 Gbps links with 1 µs delay by default.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClosConfig {
+    /// Number of pods.
+    pub pods: usize,
+    /// Leaf (aggregation) switches per pod.
+    pub leaf_per_pod: usize,
+    /// Top-of-rack switches per pod.
+    pub tor_per_pod: usize,
+    /// Hosts per pod (distributed round-robin across its ToRs).
+    pub hosts_per_pod: usize,
+    /// Link rate.
+    pub link_rate: Rate,
+    /// Link propagation delay.
+    pub link_delay: SimDuration,
+    /// Spine switches interconnecting pods (0 for single-pod runs).
+    pub spines: usize,
+}
+
+impl Default for ClosConfig {
+    fn default() -> Self {
+        ClosConfig {
+            pods: 4,
+            leaf_per_pod: 2,
+            tor_per_pod: 4,
+            hosts_per_pod: 64,
+            link_rate: Rate::from_gbps(40),
+            link_delay: SimDuration::from_us(1),
+            spines: 2,
+        }
+    }
+}
+
+/// A built Clos topology plus the host list.
+pub struct Clos {
+    /// The topology with routes built.
+    pub topology: Topology,
+    /// All hosts, pod-major then ToR round-robin order.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Build a Clos network: hosts — ToR — leaf (— spine — across pods).
+pub fn build_clos(cfg: &ClosConfig) -> Clos {
+    assert!(cfg.pods >= 1 && cfg.tor_per_pod >= 1 && cfg.leaf_per_pod >= 1);
+    let mut t = Topology::new();
+    let spines: Vec<NodeId> = (0..cfg.spines).map(|_| t.add_switch()).collect();
+    let mut hosts = Vec::new();
+    for _pod in 0..cfg.pods {
+        let leaves: Vec<NodeId> = (0..cfg.leaf_per_pod).map(|_| t.add_switch()).collect();
+        let tors: Vec<NodeId> = (0..cfg.tor_per_pod).map(|_| t.add_switch()).collect();
+        for &tor in &tors {
+            for &leaf in &leaves {
+                t.add_link(tor, leaf, cfg.link_rate, cfg.link_delay);
+            }
+        }
+        for &leaf in &leaves {
+            for &spine in &spines {
+                t.add_link(leaf, spine, cfg.link_rate, cfg.link_delay);
+            }
+        }
+        for h in 0..cfg.hosts_per_pod {
+            let host = t.add_host();
+            let tor = tors[h % cfg.tor_per_pod];
+            t.add_link(host, tor, cfg.link_rate, cfg.link_delay);
+            hosts.push(host);
+        }
+    }
+    t.build_routes();
+    Clos { topology: t, hosts }
+}
+
+/// A minimal dumbbell: `n` hosts on one switch (the incast scenarios of
+/// Sec. IV-D/F use this shape — Initiators and Targets share a ToR).
+pub fn build_star(n_hosts: usize, rate: Rate, delay: SimDuration) -> Clos {
+    let mut t = Topology::new();
+    let sw = t.add_switch();
+    let hosts: Vec<NodeId> = (0..n_hosts)
+        .map(|_| {
+            let h = t.add_host();
+            t.add_link(h, sw, rate, delay);
+            h
+        })
+        .collect();
+    t.build_routes();
+    Clos { topology: t, hosts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_routes() {
+        let clos = build_star(3, Rate::from_gbps(40), SimDuration::from_us(1));
+        let t = &clos.topology;
+        assert_eq!(t.hosts().len(), 3);
+        let (a, b) = (clos.hosts[0], clos.hosts[1]);
+        // a -> switch -> b: first hop is a's uplink.
+        let li = t.route(a, b, 0);
+        assert_eq!(t.link(li).from, a);
+        let sw = t.link(li).to;
+        assert_eq!(t.kind(sw), NodeKind::Switch);
+        let l2 = t.route(sw, b, 0);
+        assert_eq!(t.link(l2).to, b);
+    }
+
+    #[test]
+    fn clos_paper_scale() {
+        // Sec. IV-A: 4 pods x (2 leaf + 4 ToR) + 64 hosts/pod = 256 hosts.
+        let clos = build_clos(&ClosConfig::default());
+        assert_eq!(clos.hosts.len(), 256);
+        let t = &clos.topology;
+        // 2 spines + 4*(2+4) switches + 256 hosts.
+        assert_eq!(t.n_nodes(), 2 + 24 + 256);
+        // Any two hosts are mutually reachable.
+        let (a, b) = (clos.hosts[0], clos.hosts[255]);
+        let _ = t.route(a, b, 7);
+        let _ = t.route(b, a, 7);
+    }
+
+    #[test]
+    fn intra_pod_path_is_short() {
+        let clos = build_clos(&ClosConfig {
+            pods: 1,
+            spines: 0,
+            hosts_per_pod: 8,
+            ..ClosConfig::default()
+        });
+        let t = &clos.topology;
+        // Hosts 0 and 4 share ToR 0 (round-robin over 4 ToRs): path is
+        // host -> tor -> host = 2 hops.
+        let (a, b) = (clos.hosts[0], clos.hosts[4]);
+        let l1 = t.route(a, b, 0);
+        let tor = t.link(l1).to;
+        let l2 = t.route(tor, b, 0);
+        assert_eq!(t.link(l2).to, b);
+    }
+
+    #[test]
+    fn ecmp_spreads_flows() {
+        // Two leaves between ToRs: different flows can take different
+        // equal-cost links.
+        let clos = build_clos(&ClosConfig {
+            pods: 1,
+            spines: 0,
+            leaf_per_pod: 2,
+            tor_per_pod: 2,
+            hosts_per_pod: 2,
+            ..ClosConfig::default()
+        });
+        let t = &clos.topology;
+        // hosts: 0 -> tor0, 1 -> tor1: inter-ToR traffic crosses a leaf.
+        let (a, b) = (clos.hosts[0], clos.hosts[1]);
+        let l1 = t.route(a, b, 0);
+        let tor = t.link(l1).to;
+        let via0 = t.route(tor, b, 0);
+        let via1 = t.route(tor, b, 1);
+        assert_ne!(via0, via1, "ECMP should hash flows across leaves");
+    }
+
+    #[test]
+    fn routes_never_transit_hosts() {
+        let clos = build_star(4, Rate::from_gbps(40), SimDuration::from_us(1));
+        let t = &clos.topology;
+        // From the switch, the route to host 2 is the direct link, never
+        // via another host.
+        let sw = NodeId(0);
+        for f in 0..8 {
+            let li = t.route(sw, clos.hosts[2], f);
+            assert_eq!(t.link(li).to, clos.hosts[2]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn unreachable_panics() {
+        let mut t = Topology::new();
+        let a = t.add_host();
+        let b = t.add_host();
+        t.build_routes();
+        let _ = t.route(a, b, 0);
+    }
+}

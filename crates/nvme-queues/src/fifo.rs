@@ -1,0 +1,133 @@
+//! The default NVMe queuing mechanism (paper Fig. 4-a): a single FIFO
+//! submission queue, fetched in order while the device queue depth
+//! allows.
+
+use crate::QueueDiscipline;
+use std::collections::VecDeque;
+use workload::{IoType, Request};
+
+/// Plain FIFO submission queue with a shared queue-depth budget.
+#[derive(Debug)]
+pub struct FifoQueues {
+    queue: VecDeque<Request>,
+    qd: usize,
+    outstanding: usize,
+}
+
+impl FifoQueues {
+    /// Create with the device queue depth.
+    ///
+    /// # Panics
+    /// Panics if `qd == 0`.
+    pub fn new(qd: usize) -> Self {
+        assert!(qd > 0, "queue depth must be positive");
+        FifoQueues {
+            queue: VecDeque::new(),
+            qd,
+            outstanding: 0,
+        }
+    }
+}
+
+impl QueueDiscipline for FifoQueues {
+    fn enqueue(&mut self, cmd: Request) {
+        self.queue.push_back(cmd);
+    }
+
+    fn fetch_gated(&mut self, read_allowed: bool) -> Option<Request> {
+        if self.outstanding >= self.qd {
+            return None;
+        }
+        // Head-of-line blocking: a gated read at the head stalls the
+        // whole queue, writes included.
+        if !read_allowed && self.queue.front().is_some_and(|r| r.op.is_read()) {
+            return None;
+        }
+        let cmd = self.queue.pop_front()?;
+        self.outstanding += 1;
+        Some(cmd)
+    }
+
+    fn on_complete(&mut self, _op: IoType) {
+        debug_assert!(self.outstanding > 0, "completion without outstanding");
+        self.outstanding = self.outstanding.saturating_sub(1);
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn queued_of(&self, op: IoType) -> usize {
+        self.queue.iter().filter(|r| r.op == op).count()
+    }
+
+    fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_engine::SimTime;
+
+    fn req(id: u64, op: IoType) -> Request {
+        Request {
+            id,
+            op,
+            lba: id * 10,
+            size: 4096,
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = FifoQueues::new(4);
+        for i in 0..4 {
+            q.enqueue(req(i, IoType::Read));
+        }
+        let ids: Vec<u64> = std::iter::from_fn(|| q.fetch().map(|r| r.id)).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn qd_limits_outstanding() {
+        let mut q = FifoQueues::new(2);
+        for i in 0..5 {
+            q.enqueue(req(i, IoType::Write));
+        }
+        assert!(q.fetch().is_some());
+        assert!(q.fetch().is_some());
+        assert!(q.fetch().is_none(), "QD=2 exhausted");
+        assert_eq!(q.outstanding(), 2);
+        q.on_complete(IoType::Write);
+        assert!(q.fetch().is_some());
+        assert_eq!(q.queued(), 2);
+    }
+
+    #[test]
+    fn queued_of_counts_classes() {
+        let mut q = FifoQueues::new(8);
+        q.enqueue(req(0, IoType::Read));
+        q.enqueue(req(1, IoType::Write));
+        q.enqueue(req(2, IoType::Read));
+        assert_eq!(q.queued_of(IoType::Read), 2);
+        assert_eq!(q.queued_of(IoType::Write), 1);
+        assert!(!q.is_idle());
+    }
+
+    #[test]
+    fn weight_ratio_is_fixed() {
+        let mut q = FifoQueues::new(1);
+        assert_eq!(q.weight_ratio(), 1);
+        q.set_weight_ratio(9); // no-op
+        assert_eq!(q.weight_ratio(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth must be positive")]
+    fn zero_qd_rejected() {
+        let _ = FifoQueues::new(0);
+    }
+}

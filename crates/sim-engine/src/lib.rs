@@ -1,0 +1,42 @@
+//! Deterministic discrete-event simulation substrate shared by every
+//! simulator in this workspace.
+//!
+//! The crate provides four things:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer picosecond time base. At
+//!   40 Gbps one byte serializes in exactly 200 ps, so integer time keeps
+//!   every simulation bit-reproducible across platforms.
+//! * [`EventQueue`] — a time-ordered event queue with a monotone sequence
+//!   tie-breaker, so same-timestamp events are delivered in FIFO order.
+//! * [`stats`] — streaming and batch statistics (mean, variance, squared
+//!   coefficient of variation, skewness, autocorrelation, percentiles)
+//!   used by the workload feature extractor and by metric collection.
+//! * [`rate`] / [`series`] / [`token_bucket`] — data-rate arithmetic,
+//!   time-binned series for per-millisecond throughput curves, and a
+//!   token bucket used by NIC rate limiters.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_engine::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::from_us(2), "second");
+//! q.schedule(SimTime::from_us(1), "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::from_us(1), "first"));
+//! ```
+
+pub mod queue;
+pub mod rate;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+pub mod token_bucket;
+
+pub use queue::EventQueue;
+pub use rate::{ByteSize, Rate};
+pub use series::TimeBinSeries;
+pub use time::{SimDuration, SimTime};
+pub use token_bucket::TokenBucket;

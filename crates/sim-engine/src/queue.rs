@@ -1,0 +1,204 @@
+//! Time-ordered event queue with deterministic FIFO tie-breaking.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pending event: ordered by `(time, seq)` so that events scheduled at
+/// the same timestamp are delivered in the order they were scheduled.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The central data structure of every simulator in this workspace: a
+/// priority queue of `(SimTime, E)` pairs delivering events in
+/// nondecreasing time order, FIFO among equal timestamps.
+///
+/// Determinism matters: the simulators seed all their RNGs and rely on
+/// this queue never reordering same-time events, so a run is a pure
+/// function of its configuration and seed.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    /// Highest timestamp ever popped; used to catch causality violations.
+    last_popped: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Create an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `at` is earlier than the most recently
+    /// popped timestamp (scheduling into the past breaks causality).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.last_popped,
+            "scheduling into the past: {at:?} < {:?}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.last_popped = e.time;
+        Some((e.time, e.event))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(3), 'c');
+        q.schedule(SimTime::from_us(1), 'a');
+        q.schedule(SimTime::from_us(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_us(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_ns(5), ());
+        q.schedule(SimTime::from_ns(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(2)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)]
+    fn rejects_past_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(10), ());
+        q.pop();
+        q.schedule(SimTime::from_us(5), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_is_stable() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_us(1);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(t, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    proptest::proptest! {
+        /// Popped timestamps are nondecreasing and equal-time events keep
+        /// their insertion order, for arbitrary schedules.
+        #[test]
+        fn prop_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_ps(t), i);
+            }
+            let mut last = (SimTime::ZERO, 0usize);
+            let mut popped = 0;
+            while let Some((t, i)) = q.pop() {
+                popped += 1;
+                proptest::prop_assert!(t >= last.0);
+                if t == last.0 && popped > 1 {
+                    proptest::prop_assert!(i > last.1);
+                }
+                proptest::prop_assert_eq!(SimTime::from_ps(times[i]), t);
+                last = (t, i);
+            }
+            proptest::prop_assert_eq!(popped, times.len());
+            // keep SimDuration import used
+            let _ = SimDuration::ZERO;
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Data-rate and byte-size arithmetic.
+//!
+//! Rates are stored as **bits per second** in `u64`; byte sizes as `u64`
+//! bytes. Serialization time of `n` bytes at rate `r` is computed in
+//! integer picoseconds with 128-bit intermediates so no precision is lost
+//! even for multi-gigabyte transfers.
+
+use crate::time::{SimDuration, PS_PER_SEC};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A data rate in bits per second.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rate(pub u64);
+
+impl Rate {
+    /// Zero rate.
+    pub const ZERO: Rate = Rate(0);
+
+    /// Construct from gigabits per second.
+    pub const fn from_gbps(g: u64) -> Self {
+        Rate(g * 1_000_000_000)
+    }
+    /// Construct from megabits per second.
+    pub const fn from_mbps(m: u64) -> Self {
+        Rate(m * 1_000_000)
+    }
+    /// Construct from bits per second.
+    pub const fn from_bps(b: u64) -> Self {
+        Rate(b)
+    }
+    /// Construct from fractional gigabits per second.
+    pub fn from_gbps_f64(g: f64) -> Self {
+        Rate((g * 1e9).round().max(0.0) as u64)
+    }
+
+    /// Rate in bits per second.
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+    /// Rate as fractional Gbps.
+    pub fn as_gbps_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// Rate in bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0 as f64 / 8.0
+    }
+
+    /// Time to serialize `bytes` at this rate. Returns
+    /// [`SimDuration::MAX`] for a zero rate.
+    pub fn tx_time(self, bytes: u64) -> SimDuration {
+        if self.0 == 0 {
+            return SimDuration::MAX;
+        }
+        let bits = (bytes as u128) * 8;
+        let ps = bits * (PS_PER_SEC as u128) / (self.0 as u128);
+        SimDuration::from_ps(ps.min(u64::MAX as u128) as u64)
+    }
+
+    /// Bytes transferable in `d` at this rate (floor).
+    pub fn bytes_in(self, d: SimDuration) -> u64 {
+        let bits = (self.0 as u128) * (d.as_ps() as u128) / (PS_PER_SEC as u128);
+        (bits / 8).min(u64::MAX as u128) as u64
+    }
+
+    /// Scale by a factor in `[0, +inf)`, saturating.
+    pub fn scale(self, f: f64) -> Rate {
+        Rate((self.0 as f64 * f).round().clamp(0.0, u64::MAX as f64) as u64)
+    }
+
+    /// Element-wise minimum.
+    pub fn min(self, other: Rate) -> Rate {
+        Rate(self.0.min(other.0))
+    }
+    /// Element-wise maximum.
+    pub fn max(self, other: Rate) -> Rate {
+        Rate(self.0.max(other.0))
+    }
+}
+
+impl fmt::Debug for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}Gbps", self.as_gbps_f64())
+    }
+}
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}Gbps", self.as_gbps_f64())
+    }
+}
+
+/// A byte count with KiB/MiB/GiB constructors (binary units, as used by
+/// SSD page and cache sizes).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Construct from bytes.
+    pub const fn from_bytes(b: u64) -> Self {
+        ByteSize(b)
+    }
+    /// Construct from binary kilobytes.
+    pub const fn from_kib(k: u64) -> Self {
+        ByteSize(k * 1024)
+    }
+    /// Construct from binary megabytes.
+    pub const fn from_mib(m: u64) -> Self {
+        ByteSize(m * 1024 * 1024)
+    }
+    /// Construct from binary gigabytes.
+    pub const fn from_gib(g: u64) -> Self {
+        ByteSize(g * 1024 * 1024 * 1024)
+    }
+
+    /// Raw byte count.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+    /// Size in fractional KiB.
+    pub fn as_kib_f64(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+    /// Size in fractional MiB.
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl fmt::Debug for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 * 1024 {
+            write!(f, "{:.2}MiB", self.as_mib_f64())
+        } else if self.0 >= 1024 {
+            write!(f, "{:.2}KiB", self.as_kib_f64())
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+/// Compute an achieved rate from bytes moved over a duration.
+pub fn achieved_rate(bytes: u64, over: SimDuration) -> Rate {
+    if over == SimDuration::ZERO {
+        return Rate::ZERO;
+    }
+    let bps = (bytes as u128) * 8 * (PS_PER_SEC as u128) / (over.as_ps() as u128);
+    Rate(bps.min(u64::MAX as u128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_exact_at_40gbps() {
+        // 1 byte at 40 Gbps = 8 bits / 40e9 bps = 200 ps exactly.
+        let r = Rate::from_gbps(40);
+        assert_eq!(r.tx_time(1), SimDuration::from_ps(200));
+        assert_eq!(r.tx_time(1000), SimDuration::from_ps(200_000));
+    }
+
+    #[test]
+    fn zero_rate_is_infinite_time() {
+        assert_eq!(Rate::ZERO.tx_time(1), SimDuration::MAX);
+    }
+
+    #[test]
+    fn bytes_in_inverts_tx_time() {
+        let r = Rate::from_gbps(10);
+        let d = r.tx_time(12_345);
+        assert_eq!(r.bytes_in(d), 12_345);
+    }
+
+    #[test]
+    fn achieved_rate_round_trip() {
+        // 5 MB over 1 ms = 40 Gbps.
+        let r = achieved_rate(5_000_000, SimDuration::from_ms(1));
+        assert_eq!(r, Rate::from_gbps(40));
+        assert_eq!(achieved_rate(100, SimDuration::ZERO), Rate::ZERO);
+    }
+
+    #[test]
+    fn scale_and_clamp() {
+        let r = Rate::from_gbps(10);
+        assert_eq!(r.scale(0.5), Rate::from_gbps(5));
+        assert_eq!(r.scale(0.0), Rate::ZERO);
+        assert_eq!(r.scale(-1.0), Rate::ZERO);
+        assert_eq!(Rate::from_gbps(4).min(Rate::from_gbps(2)), Rate::from_gbps(2));
+        assert_eq!(Rate::from_gbps(4).max(Rate::from_gbps(2)), Rate::from_gbps(4));
+    }
+
+    #[test]
+    fn byte_size_units() {
+        assert_eq!(ByteSize::from_kib(16).as_bytes(), 16384);
+        assert_eq!(ByteSize::from_mib(256).as_bytes(), 256 * 1024 * 1024);
+        assert_eq!(format!("{:?}", ByteSize::from_kib(4)), "4.00KiB");
+        assert_eq!(format!("{:?}", ByteSize::from_mib(2)), "2.00MiB");
+        assert_eq!(format!("{:?}", ByteSize::from_bytes(17)), "17B");
+    }
+
+    #[test]
+    fn gbps_f64_round_trip() {
+        let r = Rate::from_gbps_f64(35.2);
+        assert!((r.as_gbps_f64() - 35.2).abs() < 1e-9);
+    }
+}

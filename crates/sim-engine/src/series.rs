@@ -1,0 +1,163 @@
+//! Time-binned series for runtime throughput/pause curves (Figs. 7–10).
+
+use crate::rate::Rate;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Accumulates `(time, amount)` samples into fixed-width time bins.
+///
+/// Used to produce the paper's per-millisecond read/write throughput and
+/// pause-count curves. Bins are created lazily as time advances; querying
+/// returns every bin from 0 to the last touched one (untouched bins are
+/// zero).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimeBinSeries {
+    bin_width: SimDuration,
+    bins: Vec<f64>,
+}
+
+impl TimeBinSeries {
+    /// New series with the given bin width.
+    ///
+    /// # Panics
+    /// Panics if `bin_width` is zero.
+    pub fn new(bin_width: SimDuration) -> Self {
+        assert!(bin_width > SimDuration::ZERO, "bin width must be positive");
+        TimeBinSeries {
+            bin_width,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin_width
+    }
+
+    /// Index of the bin containing `t`.
+    pub fn bin_of(&self, t: SimTime) -> usize {
+        (t.as_ps() / self.bin_width.as_ps()) as usize
+    }
+
+    /// Add `amount` to the bin containing `t`.
+    pub fn add(&mut self, t: SimTime, amount: f64) {
+        let idx = self.bin_of(t);
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+        self.bins[idx] += amount;
+    }
+
+    /// Raw per-bin totals.
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Number of materialized bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Sum over all bins.
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// Interpret per-bin totals as byte counts and convert each bin to an
+    /// achieved [`Rate`].
+    pub fn as_rates(&self) -> Vec<Rate> {
+        self.bins
+            .iter()
+            .map(|&b| crate::rate::achieved_rate(b.max(0.0) as u64, self.bin_width))
+            .collect()
+    }
+
+    /// Drop the first and last `frac` fraction of bins (the paper omits
+    /// the first and last 10 % of the timeline to skip warmup/wrapup).
+    /// Returns the trimmed slice.
+    pub fn trimmed(&self, frac: f64) -> &[f64] {
+        let n = self.bins.len();
+        let cut = ((n as f64) * frac).floor() as usize;
+        if 2 * cut >= n {
+            return &[];
+        }
+        &self.bins[cut..n - cut]
+    }
+
+    /// Mean of the trimmed region interpreted as bytes/bin, as a rate.
+    pub fn trimmed_mean_rate(&self, frac: f64) -> Rate {
+        let t = self.trimmed(frac);
+        if t.is_empty() {
+            return Rate::ZERO;
+        }
+        let mean_bytes = t.iter().sum::<f64>() / t.len() as f64;
+        crate::rate::achieved_rate(mean_bytes.max(0.0) as u64, self.bin_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_accumulate() {
+        let mut s = TimeBinSeries::new(SimDuration::from_ms(1));
+        s.add(SimTime::from_us(100), 10.0);
+        s.add(SimTime::from_us(900), 5.0);
+        s.add(SimTime::from_us(1500), 7.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.bins(), &[15.0, 7.0]);
+        assert_eq!(s.total(), 22.0);
+    }
+
+    #[test]
+    fn rates_conversion() {
+        let mut s = TimeBinSeries::new(SimDuration::from_ms(1));
+        // 5 MB in 1 ms bin = 40 Gbps.
+        s.add(SimTime::from_us(10), 5_000_000.0);
+        let rates = s.as_rates();
+        assert_eq!(rates[0], Rate::from_gbps(40));
+    }
+
+    #[test]
+    fn trimming() {
+        let mut s = TimeBinSeries::new(SimDuration::from_ms(1));
+        for i in 0..10 {
+            s.add(SimTime::from_ms(i), 1.0 + i as f64);
+        }
+        let t = s.trimmed(0.1);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t[0], 2.0);
+        assert_eq!(t[7], 9.0);
+        // Over-trimming yields empty.
+        assert!(s.trimmed(0.6).is_empty());
+        assert_eq!(s.trimmed_mean_rate(0.6), Rate::ZERO);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeBinSeries::new(SimDuration::from_ms(1));
+        assert!(s.is_empty());
+        assert_eq!(s.total(), 0.0);
+        assert!(s.as_rates().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn zero_width_rejected() {
+        let _ = TimeBinSeries::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn bin_of_boundaries() {
+        let s = TimeBinSeries::new(SimDuration::from_ms(1));
+        assert_eq!(s.bin_of(SimTime::ZERO), 0);
+        assert_eq!(s.bin_of(SimTime::from_us(999)), 0);
+        assert_eq!(s.bin_of(SimTime::from_ms(1)), 1);
+    }
+}

@@ -1,0 +1,419 @@
+//! Streaming and batch statistics used by the workload feature extractor
+//! (paper Sec. III-B: mean, SCV, skewness, autocorrelation of request
+//! size and inter-arrival time) and by experiment metric collection.
+
+/// Welford online accumulator for mean / variance / skewness.
+///
+/// Numerically stable one-pass algorithm; third central moment is tracked
+/// so skewness can be reported for trace fitting.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * nb / n;
+        let m2 = self.m2 + other.m2 + delta * delta * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta.powi(3) * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    /// Population variance (0 for fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    /// Squared coefficient of variation: `var / mean^2` (0 when
+    /// degenerate). The paper uses SCV as the key burstiness feature.
+    pub fn scv(&self) -> f64 {
+        let m = self.mean();
+        if self.n < 2 || m == 0.0 {
+            0.0
+        } else {
+            self.variance() / (m * m)
+        }
+    }
+    /// Sample skewness `m3 / m2^(3/2) * sqrt(n)` (0 when degenerate).
+    pub fn skewness(&self) -> f64 {
+        if self.n < 3 || self.m2 <= 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        n.sqrt() * self.m3 / self.m2.powf(1.5)
+    }
+    /// Smallest observation (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+    /// Largest observation (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+}
+
+/// Lag-`k` autocorrelation of a sample sequence (batch).
+///
+/// Returns 0 for sequences shorter than `k + 2` or with zero variance.
+pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
+    let n = xs.len();
+    if n < k + 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let denom: f64 = xs.iter().map(|&x| (x - mean) * (x - mean)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - k)
+        .map(|i| (xs[i] - mean) * (xs[i + k] - mean))
+        .sum();
+    num / denom
+}
+
+/// Percentile of a sample (linear interpolation), `p` in `[0, 100]`.
+/// Returns NaN for empty input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = rank - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Batch mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Batch squared coefficient of variation.
+pub fn scv(xs: &[f64]) -> f64 {
+    let mut s = OnlineStats::new();
+    for &x in xs {
+        s.push(x);
+    }
+    s.scv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scv_of_exponential_like() {
+        // SCV of a constant sequence is 0.
+        assert_eq!(scv(&[3.0; 10]), 0.0);
+        // SCV formula check: var/mean^2.
+        let xs = [1.0, 3.0];
+        // mean 2, pop var 1 => scv 0.25
+        assert!((scv(&xs) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.scv(), 0.0);
+        assert_eq!(s.skewness(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 20.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert!((a.skewness() - whole.skewness()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let b = OnlineStats::new();
+        let before = a.clone();
+        a.merge(&b);
+        assert_eq!(a.count(), before.count());
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn skewness_sign() {
+        // Right-skewed data has positive skewness.
+        let mut s = OnlineStats::new();
+        for &x in &[1.0, 1.0, 1.0, 1.0, 10.0] {
+            s.push(x);
+        }
+        assert!(s.skewness() > 0.0);
+        // Left-skewed negative.
+        let mut s2 = OnlineStats::new();
+        for &x in &[10.0, 10.0, 10.0, 10.0, 1.0] {
+            s2.push(x);
+        }
+        assert!(s2.skewness() < 0.0);
+    }
+
+    #[test]
+    fn autocorr_basics() {
+        // Alternating sequence has strong negative lag-1 autocorrelation.
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&xs, 1) < -0.9);
+        // Constant sequence: zero variance => 0.
+        assert_eq!(autocorrelation(&[5.0; 10], 1), 0.0);
+        // Too short => 0.
+        assert_eq!(autocorrelation(&[1.0, 2.0], 3), 0.0);
+        // A slowly varying ramp has positive lag-1 autocorrelation.
+        let ramp: Vec<f64> = (0..50).map(|i| (i as f64 / 10.0).sin()).collect();
+        assert!(autocorrelation(&ramp, 1) > 0.5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        // Out-of-range p clamps.
+        assert_eq!(percentile(&xs, 150.0), 4.0);
+        assert_eq!(percentile(&xs, -5.0), 1.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_merge_any_split(xs in proptest::collection::vec(-1e3f64..1e3, 2..200), split in 0usize..200) {
+            let split = split % xs.len();
+            let mut whole = OnlineStats::new();
+            for &x in &xs { whole.push(x); }
+            let mut a = OnlineStats::new();
+            let mut b = OnlineStats::new();
+            for &x in &xs[..split] { a.push(x); }
+            for &x in &xs[split..] { b.push(x); }
+            a.merge(&b);
+            proptest::prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+            proptest::prop_assert!((a.variance() - whole.variance()).abs() < 1e-4);
+        }
+
+        #[test]
+        fn prop_percentile_within_range(xs in proptest::collection::vec(-1e3f64..1e3, 1..100), p in 0f64..100.0) {
+            let v = percentile(&xs, p);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            proptest::prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}
+
+/// Latency accumulator: streaming moments plus retained samples for
+/// percentile reporting (runs here hold at most tens of thousands of
+/// requests, so retaining samples is cheap and exact).
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    online: OnlineStats,
+    samples: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample.
+    pub fn push(&mut self, v: f64) {
+        self.online.push(v);
+        self.samples.push(v);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.online.count()
+    }
+
+    /// Mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.online.mean()
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.online.std_dev()
+    }
+
+    /// Percentile `p` in [0, 100] (NaN when empty).
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile(&self.samples, p)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Largest sample (NaN when empty).
+    pub fn max(&self) -> f64 {
+        self.online.max()
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_moments_and_percentiles() {
+        let mut l = LatencyStats::new();
+        for i in 1..=100 {
+            l.push(i as f64);
+        }
+        assert_eq!(l.count(), 100);
+        assert!((l.mean() - 50.5).abs() < 1e-12);
+        assert!((l.p50() - 50.5).abs() < 1e-9);
+        assert!((l.p99() - 99.01).abs() < 0.02);
+        assert_eq!(l.max(), 100.0);
+    }
+
+    #[test]
+    fn latency_stats_empty() {
+        let l = LatencyStats::new();
+        assert_eq!(l.mean(), 0.0);
+        assert!(l.p50().is_nan());
+        assert!(l.max().is_nan());
+    }
+}

@@ -1,0 +1,174 @@
+//! Byte token bucket used by NIC rate limiters.
+//!
+//! DCQCN reaction points shape traffic to a current rate `Rc`; the NIC
+//! model asks this bucket "when may the next `n`-byte packet leave?".
+
+use crate::rate::Rate;
+use crate::time::{SimDuration, SimTime, PS_PER_SEC};
+
+/// A deterministic byte token bucket.
+///
+/// Tokens accrue continuously at the configured [`Rate`]; the bucket depth
+/// bounds burst size. All arithmetic is done in integer "bit-picoseconds"
+/// so refill is exact and independent of call granularity.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    rate: Rate,
+    /// Maximum accumulated tokens, in bits.
+    depth_bits: u64,
+    /// Available tokens, in bit * PS_PER_SEC units (scaled to avoid
+    /// fractional refill).
+    scaled_tokens: u128,
+    last_update: SimTime,
+}
+
+impl TokenBucket {
+    /// New bucket, initially full.
+    pub fn new(rate: Rate, depth_bytes: u64) -> Self {
+        let depth_bits = depth_bytes.saturating_mul(8).max(8);
+        TokenBucket {
+            rate,
+            depth_bits,
+            scaled_tokens: (depth_bits as u128) * (PS_PER_SEC as u128),
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// Current shaping rate.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// Change the shaping rate (tokens already accrued are kept).
+    pub fn set_rate(&mut self, now: SimTime, rate: Rate) {
+        self.refill(now);
+        self.rate = rate;
+    }
+
+    fn cap(&self) -> u128 {
+        (self.depth_bits as u128) * (PS_PER_SEC as u128)
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now <= self.last_update {
+            return;
+        }
+        let dt = (now - self.last_update).as_ps() as u128;
+        self.scaled_tokens =
+            (self.scaled_tokens + dt * self.rate.as_bps() as u128).min(self.cap());
+        self.last_update = now;
+    }
+
+    /// Try to consume `bytes` at `now`. On success returns `Ok(())`;
+    /// otherwise returns the earliest time at which the send would be
+    /// admissible (or `SimTime::MAX` if the rate is zero).
+    pub fn try_consume(&mut self, now: SimTime, bytes: u64) -> Result<(), SimTime> {
+        self.refill(now);
+        let need = (bytes as u128) * 8 * (PS_PER_SEC as u128);
+        if self.scaled_tokens >= need {
+            self.scaled_tokens -= need;
+            Ok(())
+        } else if self.rate.as_bps() == 0 {
+            Err(SimTime::MAX)
+        } else {
+            let deficit = need - self.scaled_tokens;
+            let wait_ps = deficit.div_ceil(self.rate.as_bps() as u128);
+            let wait = SimDuration::from_ps(wait_ps.min(u64::MAX as u128) as u64);
+            Err(now + wait)
+        }
+    }
+
+    /// Tokens currently available, in bytes (floor), after refilling to
+    /// `now`.
+    pub fn available_bytes(&mut self, now: SimTime) -> u64 {
+        self.refill(now);
+        (self.scaled_tokens / (PS_PER_SEC as u128) / 8).min(u64::MAX as u128) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_drains() {
+        let mut tb = TokenBucket::new(Rate::from_gbps(40), 1500);
+        assert!(tb.try_consume(SimTime::ZERO, 1500).is_ok());
+        // Bucket now empty; a second packet must wait exactly its
+        // serialization time: 1500B at 40Gbps = 300ns.
+        let err = tb.try_consume(SimTime::ZERO, 1500).unwrap_err();
+        assert_eq!(err, SimTime::from_ns(300));
+        // At that time the send succeeds.
+        assert!(tb.try_consume(err, 1500).is_ok());
+    }
+
+    #[test]
+    fn refill_caps_at_depth() {
+        let mut tb = TokenBucket::new(Rate::from_gbps(1), 1000);
+        assert!(tb.try_consume(SimTime::ZERO, 1000).is_ok());
+        // After a long idle period tokens cap at depth, not more.
+        assert_eq!(tb.available_bytes(SimTime::from_secs(10)), 1000);
+        assert!(tb.try_consume(SimTime::from_secs(10), 1000).is_ok());
+        assert!(tb.try_consume(SimTime::from_secs(10), 1).is_err());
+    }
+
+    #[test]
+    fn zero_rate_blocks_forever() {
+        let mut tb = TokenBucket::new(Rate::ZERO, 100);
+        assert!(tb.try_consume(SimTime::ZERO, 100).is_ok()); // initial burst
+        assert_eq!(
+            tb.try_consume(SimTime::ZERO, 1).unwrap_err(),
+            SimTime::MAX
+        );
+    }
+
+    #[test]
+    fn rate_change_preserves_tokens() {
+        let mut tb = TokenBucket::new(Rate::from_gbps(10), 1000);
+        assert!(tb.try_consume(SimTime::ZERO, 1000).is_ok());
+        tb.set_rate(SimTime::from_ns(100), Rate::from_gbps(20));
+        // 100ns at 10Gbps accrued = 125 bytes available.
+        assert_eq!(tb.available_bytes(SimTime::from_ns(100)), 125);
+    }
+
+    #[test]
+    fn long_run_rate_is_exact() {
+        // Send back-to-back 1000B packets for 1ms at 8 Gbps: exactly
+        // 1Mbit/ms / 8kbit = 1000 packets should fit (plus initial burst).
+        let rate = Rate::from_gbps(8);
+        let mut tb = TokenBucket::new(rate, 1000);
+        let mut t = SimTime::ZERO;
+        let mut sent = 0u64;
+        while t < SimTime::from_ms(1) {
+            match tb.try_consume(t, 1000) {
+                Ok(()) => sent += 1,
+                Err(next) => t = next,
+            }
+        }
+        // 8Gbps for 1 ms = 1,000,000 bytes = 1000 packets; +1 initial burst.
+        assert!((sent as i64 - 1001).abs() <= 1, "sent={sent}");
+    }
+
+    proptest::proptest! {
+        /// The bucket never admits more than depth + rate*elapsed bytes.
+        #[test]
+        fn prop_conservation(pkts in proptest::collection::vec(1u64..3000, 1..100)) {
+            let rate = Rate::from_gbps(10);
+            let depth = 3000u64;
+            let mut tb = TokenBucket::new(rate, depth);
+            let mut t = SimTime::ZERO;
+            let mut admitted = 0u64;
+            for &p in &pkts {
+                loop {
+                    match tb.try_consume(t, p) {
+                        Ok(()) => { admitted += p; break; }
+                        Err(next) => t = next,
+                    }
+                }
+            }
+            let budget = depth + rate.bytes_in(t - SimTime::ZERO) + 1;
+            proptest::prop_assert!(admitted <= budget,
+                "admitted {admitted} > budget {budget}");
+        }
+    }
+}

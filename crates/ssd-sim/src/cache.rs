@@ -1,0 +1,119 @@
+//! Write cache accounting: byte-bounded, absorbs writes at DRAM speed
+//! and destages to flash in the background.
+
+use sim_engine::ByteSize;
+
+/// Write-cache occupancy tracker.
+///
+/// The SSD model asks [`WriteCache::try_absorb`] when a write page
+//  arrives; if it fits, the page completes immediately and a background
+/// destage job is created. When the destage finishes, [`WriteCache::release`]
+/// frees the space. If the cache is full, the write takes the synchronous
+/// flash path instead.
+#[derive(Debug)]
+pub struct WriteCache {
+    capacity: u64,
+    used: u64,
+    absorbed: u64,
+    rejected: u64,
+}
+
+impl WriteCache {
+    /// New empty cache.
+    pub fn new(capacity: ByteSize) -> Self {
+        WriteCache {
+            capacity: capacity.as_bytes(),
+            used: 0,
+            absorbed: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Try to absorb `bytes`; true on success.
+    pub fn try_absorb(&mut self, bytes: u64) -> bool {
+        if self.used + bytes <= self.capacity {
+            self.used += bytes;
+            self.absorbed += 1;
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    /// Release `bytes` after a destage completes.
+    ///
+    /// # Panics
+    /// In debug builds, panics if releasing more than is held.
+    pub fn release(&mut self, bytes: u64) {
+        debug_assert!(bytes <= self.used, "releasing more than held");
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Bytes currently held.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+    /// Occupancy fraction in [0, 1].
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            1.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+    /// Number of absorbed page writes.
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+    /// Number of writes that had to bypass the cache.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_until_full() {
+        let mut c = WriteCache::new(ByteSize::from_bytes(100));
+        assert!(c.try_absorb(60));
+        assert!(c.try_absorb(40));
+        assert!(!c.try_absorb(1));
+        assert_eq!(c.used(), 100);
+        assert_eq!(c.absorbed(), 2);
+        assert_eq!(c.rejected(), 1);
+        assert_eq!(c.occupancy(), 1.0);
+    }
+
+    #[test]
+    fn release_frees_space() {
+        let mut c = WriteCache::new(ByteSize::from_bytes(100));
+        assert!(c.try_absorb(100));
+        c.release(30);
+        assert_eq!(c.used(), 70);
+        assert!(c.try_absorb(30));
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut c = WriteCache::new(ByteSize::ZERO);
+        assert!(!c.try_absorb(1));
+        assert_eq!(c.occupancy(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing more than held")]
+    #[cfg(debug_assertions)]
+    fn over_release_panics() {
+        let mut c = WriteCache::new(ByteSize::from_bytes(10));
+        c.try_absorb(5);
+        c.release(6);
+    }
+}

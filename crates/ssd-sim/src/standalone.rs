@@ -1,0 +1,123 @@
+//! A minimal closed-loop driver for the bare SSD model.
+//!
+//! Keeps a fixed number of commands outstanding (the device queue depth)
+//! and runs until every command completes. Used by unit tests and by the
+//! device-characterization example; the real storage-node loop (with the
+//! NVMe queueing disciplines in between) lives in the `storage-node`
+//! crate.
+
+use crate::config::SsdConfig;
+use crate::ssd::{Ssd, SsdCommand, SsdEvent, SsdStats};
+use sim_engine::{EventQueue, SimTime};
+use std::collections::VecDeque;
+
+/// Drive `commands` through a fresh SSD with up to `queue_depth`
+/// outstanding; returns device stats and the makespan.
+pub fn run_closed_loop(cfg: SsdConfig, commands: Vec<SsdCommand>) -> (SsdStats, sim_engine::SimDuration) {
+    let qd = cfg.queue_depth;
+    let mut ssd = Ssd::new(cfg);
+    let mut q: EventQueue<SsdEvent> = EventQueue::new();
+    let mut pending: VecDeque<SsdCommand> = commands.into();
+    let total = pending.len();
+    let mut completed = 0usize;
+    let mut now = SimTime::ZERO;
+    let mut last_completion = SimTime::ZERO;
+
+    let feed = |ssd: &mut Ssd,
+                    q: &mut EventQueue<SsdEvent>,
+                    pending: &mut VecDeque<SsdCommand>,
+                    completed: &mut usize,
+                    last: &mut SimTime,
+                    now: SimTime| {
+        while ssd.in_flight() < qd {
+            let Some(cmd) = pending.pop_front() else {
+                break;
+            };
+            let step = ssd.submit(cmd, now);
+            for c in step.completions {
+                *completed += 1;
+                *last = c.at;
+            }
+            for (t, e) in step.schedule {
+                q.schedule(t, e);
+            }
+        }
+    };
+
+    feed(
+        &mut ssd,
+        &mut q,
+        &mut pending,
+        &mut completed,
+        &mut last_completion,
+        now,
+    );
+    while completed < total {
+        let Some((t, ev)) = q.pop() else {
+            panic!("event queue drained with {completed}/{total} commands done");
+        };
+        now = t;
+        let step = ssd.handle(ev, now);
+        for c in step.completions {
+            completed += 1;
+            last_completion = c.at;
+        }
+        for (t2, e2) in step.schedule {
+            q.schedule(t2, e2);
+        }
+        feed(
+            &mut ssd,
+            &mut q,
+            &mut pending,
+            &mut completed,
+            &mut last_completion,
+            now,
+        );
+    }
+    (ssd.stats(), last_completion.since(SimTime::ZERO))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::IoType;
+
+    #[test]
+    fn completes_all_commands() {
+        let cmds: Vec<SsdCommand> = (0..100)
+            .map(|i| SsdCommand {
+                id: i,
+                op: if i % 2 == 0 { IoType::Read } else { IoType::Write },
+                lba: i * 32,
+                size: 16 * 1024,
+            })
+            .collect();
+        let (stats, makespan) = run_closed_loop(SsdConfig::ssd_a(), cmds);
+        assert_eq!(stats.reads_completed + stats.writes_completed, 100);
+        assert!(makespan > sim_engine::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn faster_device_finishes_sooner() {
+        let mk = || -> Vec<SsdCommand> {
+            (0..400)
+                .map(|i| SsdCommand {
+                    id: i,
+                    op: IoType::Read,
+                    lba: i * 16,
+                    size: 32 * 1024,
+                })
+                .collect()
+        };
+        let (_, slow) = run_closed_loop(SsdConfig::ssd_a(), mk());
+        let (_, fast) = run_closed_loop(SsdConfig::ssd_b(), mk());
+        assert!(fast < slow, "SSD-B ({fast:?}) should beat SSD-A ({slow:?})");
+    }
+
+    #[test]
+    fn empty_command_list() {
+        let (stats, makespan) = run_closed_loop(SsdConfig::ssd_a(), vec![]);
+        assert_eq!(stats.reads_completed, 0);
+        assert_eq!(makespan, sim_engine::SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,293 @@
+//! The storage stack itself: discipline + device, with a pump that moves
+//! commands from the submission queues into the SSD whenever the
+//! discipline's budget allows.
+
+use nvme_queues::{FifoQueues, QueueDiscipline, SsqQueues};
+use serde::{Deserialize, Serialize};
+use sim_engine::SimTime;
+use ssd_sim::{CommandCompletion, Ssd, SsdCommand, SsdConfig, SsdEvent, SsdStep};
+use workload::Request;
+
+/// Which submission-queue discipline a node runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DisciplineKind {
+    /// Default NVMe FIFO queuing (the DCQCN-only baseline).
+    Fifo,
+    /// The paper's separate submission queue with an initial
+    /// write:read weight ratio.
+    Ssq {
+        /// Initial weight ratio (w >= 1).
+        weight: u32,
+    },
+}
+
+/// Storage-node configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// SSD model configuration.
+    pub ssd: SsdConfig,
+    /// Queueing discipline.
+    pub discipline: DisciplineKind,
+    /// Block-layer-style request merging cap in bytes (None = off;
+    /// SSQ only — the paper's Sec. V block-layer direction).
+    pub merge_cap: Option<u64>,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            ssd: SsdConfig::ssd_a(),
+            discipline: DisciplineKind::Ssq { weight: 1 },
+            merge_cap: None,
+        }
+    }
+}
+
+/// A Target's storage stack: NVMe submission queues in front of an SSD.
+pub struct StorageNode {
+    disc: Box<dyn QueueDiscipline>,
+    ssd: Ssd,
+    /// Read gate closed by the owner (e.g. a full transmit queue):
+    /// while closed, read commands are not fetched into the device.
+    /// Under FIFO this head-of-line-blocks writes too; under SSQ the
+    /// write queue keeps flowing (paper Sec. II-B vs III-A).
+    read_gate_open: bool,
+    /// Requests absorbed by block-layer merging.
+    merged: u64,
+}
+
+impl StorageNode {
+    /// Build a node from a configuration.
+    pub fn new(cfg: &NodeConfig) -> Self {
+        let qd = cfg.ssd.queue_depth;
+        let disc: Box<dyn QueueDiscipline> = match cfg.discipline {
+            DisciplineKind::Fifo => Box::new(FifoQueues::new(qd)),
+            DisciplineKind::Ssq { weight } => Box::new(SsqQueues::new(qd, weight)),
+        };
+        let mut disc = disc;
+        disc.set_merge_cap(cfg.merge_cap);
+        StorageNode {
+            disc,
+            ssd: Ssd::new(cfg.ssd.clone()),
+            read_gate_open: true,
+            merged: 0,
+        }
+    }
+
+    /// Accept one request from above (application or NVMe-oF target
+    /// driver) and pump the device. When merging is configured and the
+    /// request was absorbed into an existing command, it will produce no
+    /// separate completion.
+    pub fn submit(&mut self, req: Request, now: SimTime) -> SsdStep {
+        let merged = self.disc.enqueue_or_merge(req);
+        self.merged += merged as u64;
+        self.pump(now)
+    }
+
+    /// Requests absorbed by merging so far.
+    pub fn merged(&self) -> u64 {
+        self.merged
+    }
+
+    /// Advance on a device event; returns completions and new events.
+    /// Queue-depth slots are returned to the discipline on *releases*
+    /// (flash work finished), not on host completions — cached writes
+    /// complete early but keep their slot until the destage lands.
+    pub fn on_ssd_event(&mut self, ev: SsdEvent, now: SimTime) -> SsdStep {
+        let mut step = self.ssd.handle(ev, now);
+        for r in &step.releases {
+            self.disc.on_complete(r.op);
+        }
+        step.merge_from(self.pump(now));
+        step
+    }
+
+    /// Move fetchable commands into the SSD, honoring the read gate.
+    pub fn pump(&mut self, now: SimTime) -> SsdStep {
+        let mut step = SsdStep::default();
+        while let Some(cmd) = self.disc.fetch_gated(self.read_gate_open) {
+            let s = self.ssd.submit(
+                SsdCommand {
+                    id: cmd.id,
+                    op: cmd.op,
+                    lba: cmd.lba,
+                    size: cmd.size,
+                },
+                now,
+            );
+            debug_assert!(s.completions.is_empty() && s.releases.is_empty());
+            step.merge_from(s);
+        }
+        step
+    }
+
+    /// Open or close the read gate (transmit-queue backpressure). The
+    /// caller must pump after reopening.
+    pub fn set_read_gate(&mut self, open: bool) {
+        self.read_gate_open = open;
+    }
+
+    /// Whether the read gate is open.
+    pub fn read_gate_open(&self) -> bool {
+        self.read_gate_open
+    }
+
+    /// Change the SSQ weight ratio (no-op under FIFO).
+    pub fn set_weight_ratio(&mut self, w: u32) {
+        self.disc.set_weight_ratio(w);
+    }
+
+    /// Current weight ratio (1 under FIFO).
+    pub fn weight_ratio(&self) -> u32 {
+        self.disc.weight_ratio()
+    }
+
+    /// Access the queueing discipline (read-only).
+    pub fn discipline(&self) -> &dyn QueueDiscipline {
+        self.disc.as_ref()
+    }
+
+    /// Access the SSD model (read-only).
+    pub fn ssd(&self) -> &Ssd {
+        &self.ssd
+    }
+
+    /// True when no work is queued, outstanding, or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.disc.is_idle() && self.ssd.in_flight() == 0
+    }
+}
+
+/// Extension trait: merge two [`SsdStep`]s (completions + schedules).
+pub trait StepMerge {
+    /// Append the completions and schedules of `other`.
+    fn merge_from(&mut self, other: SsdStep);
+}
+
+impl StepMerge for SsdStep {
+    fn merge_from(&mut self, other: SsdStep) {
+        self.completions.extend(other.completions);
+        self.releases.extend(other.releases);
+        self.schedule.extend(other.schedule);
+    }
+}
+
+/// Convenience: is this completion a read?
+pub fn is_read(c: &CommandCompletion) -> bool {
+    c.op.is_read()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_engine::EventQueue;
+    use workload::IoType;
+
+    fn req(id: u64, op: IoType, size: u64) -> Request {
+        Request {
+            id,
+            op,
+            lba: id * 100,
+            size,
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    fn drain(node: &mut StorageNode, q: &mut EventQueue<SsdEvent>) -> Vec<CommandCompletion> {
+        let mut out = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            let s = node.on_ssd_event(e, t);
+            out.extend(s.completions);
+            for (t2, e2) in s.schedule {
+                q.schedule(t2, e2);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn submit_and_complete() {
+        let mut node = StorageNode::new(&NodeConfig::default());
+        let mut q = EventQueue::new();
+        let s = node.submit(req(1, IoType::Read, 16 * 1024), SimTime::ZERO);
+        for (t, e) in s.schedule {
+            q.schedule(t, e);
+        }
+        let done = drain(&mut node, &mut q);
+        assert_eq!(done.len(), 1);
+        assert!(node.is_idle());
+    }
+
+    #[test]
+    fn read_gate_blocks_reads() {
+        let mut node = StorageNode::new(&NodeConfig::default());
+        node.set_read_gate(false);
+        let s = node.submit(req(1, IoType::Read, 4096), SimTime::ZERO);
+        assert!(s.schedule.is_empty(), "gated read must not start");
+        assert_eq!(node.ssd().in_flight(), 0);
+        assert_eq!(node.discipline().queued(), 1);
+        // Reopen and pump.
+        node.set_read_gate(true);
+        let s = node.pump(SimTime::ZERO);
+        assert!(!s.schedule.is_empty());
+        assert_eq!(node.ssd().in_flight(), 1);
+    }
+
+    #[test]
+    fn read_gate_head_of_line_semantics() {
+        // FIFO: a gated read at the head stalls writes behind it.
+        let mut fifo = StorageNode::new(&NodeConfig {
+            discipline: DisciplineKind::Fifo,
+            ..NodeConfig::default()
+        });
+        fifo.set_read_gate(false);
+        let _ = fifo.submit(req(1, IoType::Read, 4096), SimTime::ZERO);
+        let _ = fifo.submit(req(2, IoType::Write, 4096), SimTime::ZERO);
+        assert_eq!(fifo.ssd().in_flight(), 0, "FIFO head-of-line blocks");
+
+        // SSQ: the write proceeds while reads are gated.
+        let mut ssq = StorageNode::new(&NodeConfig {
+            discipline: DisciplineKind::Ssq { weight: 1 },
+            ..NodeConfig::default()
+        });
+        ssq.set_read_gate(false);
+        let _ = ssq.submit(req(1, IoType::Read, 4096), SimTime::ZERO);
+        let _ = ssq.submit(req(2, IoType::Write, 4096), SimTime::ZERO);
+        assert_eq!(ssq.ssd().in_flight(), 1, "SSQ serves writes past the gate");
+        assert_eq!(ssq.discipline().queued_of(IoType::Read), 1);
+    }
+
+    #[test]
+    fn weight_ratio_plumbs_through() {
+        let mut node = StorageNode::new(&NodeConfig {
+            discipline: DisciplineKind::Ssq { weight: 2 },
+            ..NodeConfig::default()
+        });
+        assert_eq!(node.weight_ratio(), 2);
+        node.set_weight_ratio(5);
+        assert_eq!(node.weight_ratio(), 5);
+        let fifo = StorageNode::new(&NodeConfig {
+            discipline: DisciplineKind::Fifo,
+            ..NodeConfig::default()
+        });
+        assert_eq!(fifo.weight_ratio(), 1);
+    }
+
+    #[test]
+    fn qd_respected_through_stack() {
+        let cfg = NodeConfig {
+            ssd: ssd_sim::SsdConfig {
+                queue_depth: 4,
+                ..ssd_sim::SsdConfig::ssd_a()
+            },
+            discipline: DisciplineKind::Fifo,
+            merge_cap: None,
+        };
+        let mut node = StorageNode::new(&cfg);
+        for i in 0..10 {
+            let _ = node.submit(req(i, IoType::Read, 16 * 1024), SimTime::ZERO);
+        }
+        assert_eq!(node.ssd().in_flight(), 4);
+        assert_eq!(node.discipline().queued(), 6);
+    }
+}

@@ -1,0 +1,156 @@
+//! Run reports: per-class throughput series, latency statistics and
+//! totals, with the paper's 10 % head/tail trimming applied to summary
+//! rates.
+
+use serde::{Deserialize, Serialize};
+use sim_engine::stats::LatencyStats;
+use sim_engine::{Rate, SimDuration, SimTime, TimeBinSeries};
+use ssd_sim::ssd::SsdStats;
+
+/// Trim fraction the paper applies to runtime results ("we omit the
+/// start (first 10%) and tail (last 10%)").
+pub const TRIM_FRAC: f64 = 0.10;
+
+/// Metrics from one storage-node (or system) run.
+#[derive(Debug)]
+pub struct NodeReport {
+    /// Completed read bytes per time bin.
+    pub read_series: TimeBinSeries,
+    /// Completed write bytes per time bin.
+    pub write_series: TimeBinSeries,
+    /// Read request latency, µs.
+    pub read_latency_us: LatencyStats,
+    /// Write request latency, µs.
+    pub write_latency_us: LatencyStats,
+    /// Completed read commands.
+    pub reads_completed: u64,
+    /// Completed write commands.
+    pub writes_completed: u64,
+    /// Total read bytes completed.
+    pub read_bytes: u64,
+    /// Total write bytes completed.
+    pub write_bytes: u64,
+    /// Time of the last completion.
+    pub makespan: SimDuration,
+    /// Device statistics snapshot.
+    pub ssd: SsdStats,
+    /// Weight-ratio changes applied during the run `(time, w)`.
+    pub weight_changes: Vec<(SimTime, u32)>,
+}
+
+impl NodeReport {
+    /// Fresh report with the given bin width.
+    pub fn new(bin: SimDuration) -> Self {
+        NodeReport {
+            read_series: TimeBinSeries::new(bin),
+            write_series: TimeBinSeries::new(bin),
+            read_latency_us: LatencyStats::new(),
+            write_latency_us: LatencyStats::new(),
+            reads_completed: 0,
+            writes_completed: 0,
+            read_bytes: 0,
+            write_bytes: 0,
+            makespan: SimDuration::ZERO,
+            ssd: SsdStats::default(),
+            weight_changes: Vec::new(),
+        }
+    }
+
+    /// Trimmed-mean read throughput.
+    pub fn read_tput(&self) -> Rate {
+        self.read_series.trimmed_mean_rate(TRIM_FRAC)
+    }
+
+    /// Trimmed-mean write throughput.
+    pub fn write_tput(&self) -> Rate {
+        self.write_series.trimmed_mean_rate(TRIM_FRAC)
+    }
+
+    /// Trimmed-mean aggregated throughput (the paper's headline metric:
+    /// read received at Initiators + write obtained at Targets).
+    pub fn aggregated_tput(&self) -> Rate {
+        Rate::from_bps(self.read_tput().as_bps() + self.write_tput().as_bps())
+    }
+
+    /// Untrimmed average read throughput over the makespan.
+    pub fn read_tput_overall(&self) -> Rate {
+        sim_engine::rate::achieved_rate(self.read_bytes, self.makespan.max(SimDuration::from_ps(1)))
+    }
+
+    /// Untrimmed average write throughput over the makespan.
+    pub fn write_tput_overall(&self) -> Rate {
+        sim_engine::rate::achieved_rate(self.write_bytes, self.makespan.max(SimDuration::from_ps(1)))
+    }
+}
+
+/// A compact, serializable summary of a [`NodeReport`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReportSummary {
+    /// Trimmed-mean read throughput, Gbps.
+    pub read_gbps: f64,
+    /// Trimmed-mean write throughput, Gbps.
+    pub write_gbps: f64,
+    /// Aggregated throughput, Gbps.
+    pub aggregated_gbps: f64,
+    /// Mean read latency, µs.
+    pub read_lat_mean_us: f64,
+    /// Mean write latency, µs.
+    pub write_lat_mean_us: f64,
+    /// Completed commands.
+    pub completed: u64,
+    /// Makespan, ms.
+    pub makespan_ms: f64,
+}
+
+impl From<&NodeReport> for ReportSummary {
+    fn from(r: &NodeReport) -> Self {
+        ReportSummary {
+            read_gbps: r.read_tput().as_gbps_f64(),
+            write_gbps: r.write_tput().as_gbps_f64(),
+            aggregated_gbps: r.aggregated_tput().as_gbps_f64(),
+            read_lat_mean_us: r.read_latency_us.mean(),
+            write_lat_mean_us: r.write_latency_us.mean(),
+            completed: r.reads_completed + r.writes_completed,
+            makespan_ms: r.makespan.as_ms_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_adds_classes() {
+        let mut r = NodeReport::new(SimDuration::from_ms(1));
+        // 10 bins of 1.25 MB reads (10 Gbps) and 0.625 MB writes (5 Gbps).
+        for i in 0..10 {
+            r.read_series.add(SimTime::from_ms(i), 1_250_000.0);
+            r.write_series.add(SimTime::from_ms(i), 625_000.0);
+        }
+        assert!((r.read_tput().as_gbps_f64() - 10.0).abs() < 0.01);
+        assert!((r.write_tput().as_gbps_f64() - 5.0).abs() < 0.01);
+        assert!((r.aggregated_tput().as_gbps_f64() - 15.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn summary_conversion() {
+        let mut r = NodeReport::new(SimDuration::from_ms(1));
+        r.reads_completed = 3;
+        r.writes_completed = 4;
+        r.makespan = SimDuration::from_ms(25);
+        r.read_latency_us.push(100.0);
+        let s = ReportSummary::from(&r);
+        assert_eq!(s.completed, 7);
+        assert!((s.makespan_ms - 25.0).abs() < 1e-12);
+        assert_eq!(s.read_lat_mean_us, 100.0);
+    }
+
+    #[test]
+    fn empty_report_rates_are_zero() {
+        let r = NodeReport::new(SimDuration::from_ms(1));
+        assert_eq!(r.read_tput(), Rate::ZERO);
+        assert_eq!(r.aggregated_tput(), Rate::ZERO);
+        assert_eq!(r.read_tput_overall(), Rate::ZERO);
+    }
+}

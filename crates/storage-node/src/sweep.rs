@@ -1,0 +1,112 @@
+//! Weight-ratio sweeps (Fig. 5) and TPM training-sample generation.
+
+use crate::node::{DisciplineKind, NodeConfig};
+use crate::runner::run_trace_windowed;
+use serde::{Deserialize, Serialize};
+use ssd_sim::SsdConfig;
+use workload::{extract_features, Trace, WorkloadFeatures};
+
+/// One point of a weight sweep: the measured read/write throughput of a
+/// workload under a given SSQ weight ratio.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Write:read weight ratio.
+    pub weight: u32,
+    /// Trimmed-mean read throughput, Gbps.
+    pub read_gbps: f64,
+    /// Trimmed-mean write throughput, Gbps.
+    pub write_gbps: f64,
+    /// Workload features of the trace that produced this point.
+    pub features: WorkloadFeatures,
+}
+
+/// Run `trace` on `ssd` for every weight in `weights`; one sweep row of
+/// Fig. 5, and the raw material for TPM training samples.
+pub fn weight_sweep(ssd: &SsdConfig, trace: &Trace, weights: &[u32]) -> Vec<SweepPoint> {
+    let features = extract_features(trace.requests());
+    weights
+        .iter()
+        .map(|&w| {
+            let cfg = NodeConfig {
+                ssd: ssd.clone(),
+                discipline: DisciplineKind::Ssq { weight: w },
+                merge_cap: None,
+            };
+            let r = run_trace_windowed(&cfg, trace);
+            SweepPoint {
+                weight: w,
+                read_gbps: r.read_tput().as_gbps_f64(),
+                write_gbps: r.write_tput().as_gbps_f64(),
+                features,
+            }
+        })
+        .collect()
+}
+
+impl SweepPoint {
+    /// TPM feature vector: workload features followed by the weight
+    /// ratio (the `(Ch, w)` input of Eq. 1).
+    pub fn x(&self) -> Vec<f64> {
+        let mut v = self.features.to_vec();
+        v.push(self.weight as f64);
+        v
+    }
+
+    /// TPM target vector `[TPUT_R, TPUT_W]` in Gbps.
+    pub fn y(&self) -> Vec<f64> {
+        vec![self.read_gbps, self.write_gbps]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::micro::{generate_micro, MicroConfig};
+
+    #[test]
+    fn sweep_has_expected_shape() {
+        let trace = generate_micro(
+            &MicroConfig {
+                read_count: 1_200,
+                write_count: 1_200,
+                read_iat_mean_us: 8.0,
+                write_iat_mean_us: 8.0,
+                read_size_mean: 36_000.0,
+                write_size_mean: 36_000.0,
+                ..MicroConfig::default()
+            },
+            7,
+        );
+        let pts = weight_sweep(&SsdConfig::ssd_a(), &trace, &[1, 2, 4, 8]);
+        assert_eq!(pts.len(), 4);
+        // Read throughput monotonically non-increasing (within noise),
+        // write non-decreasing, across the sweep's ends.
+        assert!(pts[3].read_gbps < pts[0].read_gbps);
+        assert!(pts[3].write_gbps > pts[0].write_gbps);
+        // x/y vectors shaped for the TPM.
+        assert_eq!(pts[0].x().len(), workload::features::N_FEATURES + 1);
+        assert_eq!(pts[0].y().len(), 2);
+        assert_eq!(pts[0].x().last().copied(), Some(1.0));
+    }
+
+    #[test]
+    fn light_workload_insensitive_to_weight() {
+        // Fig. 5 bottom-left corner: long inter-arrival, small requests —
+        // the weight knob has no authority.
+        let trace = generate_micro(
+            &MicroConfig {
+                read_count: 400,
+                write_count: 400,
+                read_iat_mean_us: 120.0,
+                write_iat_mean_us: 120.0,
+                read_size_mean: 8_000.0,
+                write_size_mean: 8_000.0,
+                ..MicroConfig::default()
+            },
+            8,
+        );
+        let pts = weight_sweep(&SsdConfig::ssd_a(), &trace, &[1, 8]);
+        let rel = (pts[0].read_gbps - pts[1].read_gbps).abs() / pts[0].read_gbps.max(1e-9);
+        assert!(rel < 0.1, "light load should fade out WRR, delta={rel}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Fig. 5's qualitative shape holds on every Table II device (the paper:
+//! "Similar accuracy is also obtained for the other two types of SSDs").
+
+use ssd_sim::SsdConfig;
+use storage_node::weight_sweep;
+use workload::micro::{generate_micro, MicroConfig};
+
+fn saturating(seed: u64) -> workload::Trace {
+    generate_micro(
+        &MicroConfig {
+            read_iat_mean_us: 8.0,
+            write_iat_mean_us: 8.0,
+            read_size_mean: 40_000.0,
+            write_size_mean: 40_000.0,
+            read_count: 2_500,
+            write_count: 2_500,
+            ..MicroConfig::default()
+        },
+        seed,
+    )
+}
+
+fn check_shape(label: &str, ssd: SsdConfig) {
+    let pts = weight_sweep(&ssd, &saturating(11), &[1, 2, 4, 8]);
+    let r: Vec<f64> = pts.iter().map(|p| p.read_gbps).collect();
+    let w: Vec<f64> = pts.iter().map(|p| p.write_gbps).collect();
+    // Equal-ish at w=1.
+    assert!(
+        (r[0] - w[0]).abs() / r[0].max(w[0]) < 0.35,
+        "{label}: w=1 should be near-fair: R={:.2} W={:.2}",
+        r[0],
+        w[0]
+    );
+    // Read monotonically non-increasing across the sweep ends; write
+    // non-decreasing.
+    assert!(r[3] < r[0] * 0.7, "{label}: read should fall: {r:?}");
+    assert!(w[3] > w[0] * 1.1, "{label}: write should rise: {w:?}");
+    // Throughputs positive and below device channel bound.
+    let bound = ssd.channel_bound_bw() * 8.0 / 1e9;
+    for p in &pts {
+        assert!(p.read_gbps > 0.0 && p.write_gbps > 0.0, "{label}");
+        assert!(
+            p.read_gbps + p.write_gbps <= bound * 1.05,
+            "{label}: exceeds channel bound {bound:.1}"
+        );
+    }
+}
+
+#[test]
+fn fig5_shape_ssd_a() {
+    check_shape("SSD-A", SsdConfig::ssd_a());
+}
+
+#[test]
+fn fig5_shape_ssd_b() {
+    check_shape("SSD-B", SsdConfig::ssd_b());
+}
+
+#[test]
+fn fig5_shape_ssd_c() {
+    check_shape("SSD-C", SsdConfig::ssd_c());
+}
+
+/// SSD-B (2 µs reads, QD 512) delivers clearly more read throughput at
+/// w = 1 than SSD-A (75 µs reads, QD 128) on the same workload.
+#[test]
+fn device_ordering_at_w1() {
+    let a = weight_sweep(&SsdConfig::ssd_a(), &saturating(4), &[1]);
+    let b = weight_sweep(&SsdConfig::ssd_b(), &saturating(4), &[1]);
+    assert!(
+        b[0].read_gbps > a[0].read_gbps,
+        "SSD-B {:.2} should beat SSD-A {:.2}",
+        b[0].read_gbps,
+        a[0].read_gbps
+    );
+}

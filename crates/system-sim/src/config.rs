@@ -1,0 +1,267 @@
+//! System configuration and workload assignment.
+
+use net_sim::{ClosConfig, DcqcnParams, PfcParams};
+use serde::{Deserialize, Serialize};
+use sim_engine::{Rate, SimDuration, SimTime};
+use src_core::SrcConfig;
+use ssd_sim::SsdConfig;
+use workload::{Request, Trace};
+
+/// Which fabric shape to build.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// All hosts on one ToR switch (the incast scenarios).
+    Star {
+        /// Link rate.
+        rate: Rate,
+        /// Link propagation delay.
+        delay: SimDuration,
+    },
+    /// The paper's multi-pod Clos (Sec. IV-A).
+    Clos(ClosConfig),
+}
+
+impl Default for TopologyKind {
+    fn default() -> Self {
+        TopologyKind::Star {
+            rate: Rate::from_gbps(40),
+            delay: SimDuration::from_us(1),
+        }
+    }
+}
+
+/// Which network congestion-control scheme runs on the fabric.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CcChoice {
+    /// DCQCN (the paper's choice).
+    Dcqcn,
+    /// TIMELY (RTT-gradient; demonstrates SRC is CC-agnostic).
+    Timely,
+}
+
+/// Baseline or SRC-assisted congestion control.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// DCQCN only; Targets run the default FIFO NVMe queues.
+    DcqcnOnly,
+    /// DCQCN plus SRC: Targets run SSQ and the SRC controller adjusts
+    /// the weights on congestion notifications.
+    DcqcnSrc,
+}
+
+/// Background traffic crossing the measured Initiator's downlink.
+///
+/// The paper's testbed is a 256-host Clos whose fabric is shared by many
+/// tenants; congestion on the measured flows comes from that sharing. We
+/// make the congestion source explicit and controllable: `n_sources`
+/// extra hosts each blast `bytes_per_burst` at Initiator 0 every
+/// `burst_interval` during `[start, stop)`. The background flows are
+/// ordinary DCQCN flows — they get throttled too, sustaining exactly the
+/// kind of persistent, partially-controlled congestion the paper's
+/// Figs. 7–8 show (heavy at the start, relieved later).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BackgroundTraffic {
+    /// Number of background sender hosts.
+    pub n_sources: usize,
+    /// Fixed (non-adaptive) sending rate per source. Background flows do
+    /// not participate in DCQCN — they model competing tenants whose
+    /// traffic the measured flows cannot negotiate with.
+    pub rate_per_source: Rate,
+    /// Bytes sent per burst per source.
+    pub bytes_per_burst: u64,
+    /// Interval between bursts.
+    pub burst_interval: SimDuration,
+    /// First burst time.
+    pub start: SimTime,
+    /// No bursts at or after this time.
+    pub stop: SimTime,
+}
+
+/// How Initiators choose the Target for each request.
+///
+/// `Static` follows the assignment list (data lives on exactly one
+/// Target). `LeastLoaded` is the extension the paper's Sec. IV-F
+/// proposes for the large-in-cast regime (citing replica-placement work
+/// [29]): data is replicated across Targets and each request goes to the
+/// currently least-loaded one, re-concentrating per-Target queues so the
+/// weighted round-robin keeps its authority.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetSelection {
+    /// Use the per-request assignment as given.
+    Static,
+    /// Route each request to the Target with the fewest outstanding
+    /// commands (requires replicated data).
+    LeastLoaded,
+    /// Consolidate: fill the first Target up to `cap` outstanding
+    /// commands before spilling to the next. Deepens per-Target queues
+    /// so the weighted round-robin keeps its authority at large in-cast
+    /// ratios — the distribution direction the paper's Sec. IV-F
+    /// remedy needs.
+    Pack {
+        /// Outstanding-command threshold before spilling over.
+        cap: usize,
+    },
+}
+
+/// Full system configuration.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Fabric shape.
+    pub topology: TopologyKind,
+    /// Number of Initiator hosts.
+    pub n_initiators: usize,
+    /// Number of Target hosts.
+    pub n_targets: usize,
+    /// SSD model on every Target.
+    pub ssd: SsdConfig,
+    /// Baseline vs SRC.
+    pub mode: Mode,
+    /// DCQCN parameters (also carries the switch ECN thresholds).
+    pub dcqcn: DcqcnParams,
+    /// PFC thresholds.
+    pub pfc: PfcParams,
+    /// RoCE MTU.
+    pub mtu: u64,
+    /// Target TXQ watermarks `(high, low)` gating the SSD fetch.
+    pub txq_watermarks: (u64, u64),
+    /// SRC controller configuration (used in `DcqcnSrc` mode).
+    pub src: SrcConfig,
+    /// Optional background congestion (see [`BackgroundTraffic`]).
+    pub background: Option<BackgroundTraffic>,
+    /// Target-selection policy (see [`TargetSelection`]).
+    pub target_selection: TargetSelection,
+    /// Network congestion-control scheme.
+    pub cc: CcChoice,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            topology: TopologyKind::default(),
+            n_initiators: 1,
+            n_targets: 2,
+            ssd: SsdConfig::ssd_a(),
+            mode: Mode::DcqcnOnly,
+            dcqcn: DcqcnParams::default(),
+            pfc: PfcParams::default(),
+            mtu: net_sim::DEFAULT_MTU,
+            txq_watermarks: (256 * 1024, 128 * 1024),
+            src: SrcConfig::default(),
+            background: None,
+            target_selection: TargetSelection::Static,
+            cc: CcChoice::Dcqcn,
+        }
+    }
+}
+
+/// One request bound to an (initiator, target) pair.
+#[derive(Clone, Copy, Debug)]
+pub struct Assignment {
+    /// Initiator index (0-based).
+    pub initiator: usize,
+    /// Target index (0-based).
+    pub target: usize,
+    /// The request (globally unique id).
+    pub request: Request,
+}
+
+/// Spread a trace over initiators and targets: requests go round-robin
+/// to initiators and, independently, round-robin to targets, preserving
+/// arrival order and reassigning globally unique ids.
+pub fn spread_trace(trace: &Trace, n_initiators: usize, n_targets: usize) -> Vec<Assignment> {
+    assert!(n_initiators > 0 && n_targets > 0);
+    trace
+        .requests()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut request = *r;
+            request.id = i as u64;
+            Assignment {
+                initiator: i % n_initiators,
+                target: (i / n_initiators) % n_targets,
+                request,
+            }
+        })
+        .collect()
+}
+
+/// Build one trace per target (each target gets its own workload, as in
+/// Sec. IV-D: "each Target processes 5,000 read and 5,000 write
+/// requests") and interleave them into a single assignment list with
+/// globally unique ids; all requests issue from initiators round-robin.
+pub fn per_target_traces(traces: &[Trace], n_initiators: usize) -> Vec<Assignment> {
+    assert!(n_initiators > 0 && !traces.is_empty());
+    let mut all: Vec<Assignment> = Vec::new();
+    for (t_idx, trace) in traces.iter().enumerate() {
+        for r in trace.requests() {
+            all.push(Assignment {
+                initiator: 0, // fixed up below once globally sorted
+                target: t_idx,
+                request: *r,
+            });
+        }
+    }
+    all.sort_by_key(|a| (a.request.arrival, a.target, a.request.id));
+    for (i, a) in all.iter_mut().enumerate() {
+        a.request.id = i as u64;
+        a.initiator = i % n_initiators;
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::micro::{generate_micro, MicroConfig};
+
+    #[test]
+    fn spread_covers_all_pairs() {
+        let t = generate_micro(
+            &MicroConfig {
+                read_count: 50,
+                write_count: 50,
+                ..MicroConfig::default()
+            },
+            1,
+        );
+        let a = spread_trace(&t, 2, 3);
+        assert_eq!(a.len(), 100);
+        // Unique ids.
+        let mut ids: Vec<u64> = a.iter().map(|x| x.request.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 100);
+        // Every initiator and target used.
+        for i in 0..2 {
+            assert!(a.iter().any(|x| x.initiator == i));
+        }
+        for t in 0..3 {
+            assert!(a.iter().any(|x| x.target == t));
+        }
+        // Arrival order preserved.
+        assert!(a.windows(2).all(|w| w[0].request.arrival <= w[1].request.arrival));
+    }
+
+    #[test]
+    fn per_target_merging() {
+        let mk = |seed| {
+            generate_micro(
+                &MicroConfig {
+                    read_count: 20,
+                    write_count: 20,
+                    ..MicroConfig::default()
+                },
+                seed,
+            )
+        };
+        let a = per_target_traces(&[mk(1), mk(2)], 1);
+        assert_eq!(a.len(), 80);
+        assert!(a.iter().all(|x| x.initiator == 0));
+        assert_eq!(a.iter().filter(|x| x.target == 0).count(), 40);
+        assert_eq!(a.iter().filter(|x| x.target == 1).count(), 40);
+        let mut ids: Vec<u64> = a.iter().map(|x| x.request.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 80);
+        assert!(a.windows(2).all(|w| w[0].request.arrival <= w[1].request.arrival));
+    }
+}

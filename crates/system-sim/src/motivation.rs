@@ -1,0 +1,109 @@
+//! The Fig. 2 motivation example as an analytical toy model: an SSD that
+//! can process 3 writes + 6 reads per time unit, an RDMA NIC that can
+//! ship 6 requests' data per unit, and the three regimes (no congestion,
+//! DCQCN halving the sending rate, SRC shifting priority to writes).
+
+use serde::{Deserialize, Serialize};
+
+/// Toy-model parameters (Fig. 2's numbers by default).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MotivationParams {
+    /// Reads the SSD can process per time unit at equal priority.
+    pub ssd_reads: f64,
+    /// Writes the SSD can process per time unit at equal priority.
+    pub ssd_writes: f64,
+    /// Requests' data the NIC can transmit per time unit.
+    pub nic_capacity: f64,
+    /// DCQCN's cut factor under congestion (0.5 = half).
+    pub congestion_cut: f64,
+}
+
+impl Default for MotivationParams {
+    fn default() -> Self {
+        MotivationParams {
+            ssd_reads: 6.0,
+            ssd_writes: 3.0,
+            nic_capacity: 6.0,
+            congestion_cut: 0.5,
+        }
+    }
+}
+
+/// Throughput of the toy system in one regime.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MotivationOutcome {
+    /// Read requests completed per time unit (data actually shipped).
+    pub reads: f64,
+    /// Write requests completed per time unit.
+    pub writes: f64,
+}
+
+impl MotivationOutcome {
+    /// Overall throughput.
+    pub fn total(&self) -> f64 {
+        self.reads + self.writes
+    }
+}
+
+/// Fig. 2-a: no congestion — the SSD's full mix flows through the NIC.
+pub fn no_congestion(p: &MotivationParams) -> MotivationOutcome {
+    MotivationOutcome {
+        reads: p.ssd_reads.min(p.nic_capacity),
+        writes: p.ssd_writes,
+    }
+}
+
+/// Fig. 2-b: DCQCN cuts the NIC sending rate; the SSD keeps processing
+/// reads whose data is stuck in the TXQ, so shipped reads drop while
+/// writes stay at their (unboosted) SSD rate.
+pub fn dcqcn_only(p: &MotivationParams) -> MotivationOutcome {
+    MotivationOutcome {
+        reads: (p.nic_capacity * p.congestion_cut).min(p.ssd_reads),
+        writes: p.ssd_writes,
+    }
+}
+
+/// Fig. 2-c: SRC reduces read processing to the allowed sending rate and
+/// reallocates the freed SSD bandwidth to writes. In the toy model, one
+/// read slot converts to one write slot (the paper's example doubles
+/// writes from 3 to 6 while reads halve from 6 to 3).
+pub fn with_src(p: &MotivationParams) -> MotivationOutcome {
+    let reads = (p.nic_capacity * p.congestion_cut).min(p.ssd_reads);
+    let freed = p.ssd_reads - reads;
+    MotivationOutcome {
+        reads,
+        writes: p.ssd_writes + freed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_fig2_numbers() {
+        let p = MotivationParams::default();
+        let a = no_congestion(&p);
+        assert_eq!(a, MotivationOutcome { reads: 6.0, writes: 3.0 });
+        assert_eq!(a.total(), 9.0);
+
+        let b = dcqcn_only(&p);
+        assert_eq!(b, MotivationOutcome { reads: 3.0, writes: 3.0 });
+        assert_eq!(b.total(), 6.0);
+
+        let c = with_src(&p);
+        assert_eq!(c, MotivationOutcome { reads: 3.0, writes: 6.0 });
+        assert_eq!(c.total(), 9.0, "SRC preserves the aggregate");
+    }
+
+    #[test]
+    fn src_never_worse_than_dcqcn_only() {
+        for cut in [0.2, 0.5, 0.8] {
+            let p = MotivationParams {
+                congestion_cut: cut,
+                ..Default::default()
+            };
+            assert!(with_src(&p).total() >= dcqcn_only(&p).total());
+        }
+    }
+}

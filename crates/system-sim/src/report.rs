@@ -1,0 +1,142 @@
+//! System-run reports: the paper's runtime metrics.
+
+use serde::{Deserialize, Serialize};
+use sim_engine::stats::LatencyStats;
+use sim_engine::{Rate, SimDuration, SimTime, TimeBinSeries};
+use src_core::controller::Decision;
+
+/// Trim fraction applied to summary rates (paper Sec. IV-B).
+pub const TRIM_FRAC: f64 = 0.10;
+
+/// Metrics from one full-system run.
+#[derive(Debug)]
+pub struct SystemReport {
+    /// Read bytes received at Initiators per ms (Fig. 7 blue bars).
+    pub read_series: TimeBinSeries,
+    /// Write bytes completed at Targets per ms (Fig. 7 orange bars).
+    pub write_series: TimeBinSeries,
+    /// PFC pause frames received by Targets per ms (Fig. 8).
+    pub pause_series: TimeBinSeries,
+    /// End-to-end read latency at Initiators, µs.
+    pub read_latency_us: LatencyStats,
+    /// End-to-end write latency (issue → Target completion), µs.
+    pub write_latency_us: LatencyStats,
+    /// Completed read requests.
+    pub reads_completed: u64,
+    /// Completed write requests.
+    pub writes_completed: u64,
+    /// Total read bytes delivered at Initiators.
+    pub read_bytes: u64,
+    /// Total write bytes completed at Targets.
+    pub write_bytes: u64,
+    /// Total pause frames received by Targets.
+    pub pauses_total: u64,
+    /// Per-target SRC weight decisions (empty in DCQCN-only mode).
+    pub decisions: Vec<Vec<Decision>>,
+    /// Time of the last completion.
+    pub makespan: SimDuration,
+    /// Times at which each Target's fetch gate closed (TXQ full).
+    pub gate_closures: Vec<(SimTime, usize)>,
+    /// ECN-marked packets in the fabric.
+    pub ecn_marked: u64,
+    /// CNPs generated.
+    pub cnps: u64,
+    /// Lowest DCQCN rate observed on any Target inbound flow, Gbps.
+    pub min_inbound_rate_gbps: f64,
+}
+
+impl SystemReport {
+    /// Fresh report with 1 ms bins.
+    pub fn new(n_targets: usize) -> Self {
+        let bin = SimDuration::from_ms(1);
+        SystemReport {
+            read_series: TimeBinSeries::new(bin),
+            write_series: TimeBinSeries::new(bin),
+            pause_series: TimeBinSeries::new(bin),
+            read_latency_us: LatencyStats::new(),
+            write_latency_us: LatencyStats::new(),
+            reads_completed: 0,
+            writes_completed: 0,
+            read_bytes: 0,
+            write_bytes: 0,
+            pauses_total: 0,
+            decisions: vec![Vec::new(); n_targets],
+            makespan: SimDuration::ZERO,
+            gate_closures: Vec::new(),
+            ecn_marked: 0,
+            cnps: 0,
+            min_inbound_rate_gbps: f64::INFINITY,
+        }
+    }
+
+    /// Trimmed-mean read throughput (received at Initiators).
+    pub fn read_tput(&self) -> Rate {
+        self.read_series.trimmed_mean_rate(TRIM_FRAC)
+    }
+
+    /// Trimmed-mean write throughput (obtained at Targets).
+    pub fn write_tput(&self) -> Rate {
+        self.write_series.trimmed_mean_rate(TRIM_FRAC)
+    }
+
+    /// The paper's aggregated throughput: read at Initiators + write at
+    /// Targets.
+    pub fn aggregated_tput(&self) -> Rate {
+        Rate::from_bps(self.read_tput().as_bps() + self.write_tput().as_bps())
+    }
+}
+
+/// Serializable summary row for the experiment binaries.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SystemSummary {
+    /// Trimmed-mean read throughput, Gbps.
+    pub read_gbps: f64,
+    /// Trimmed-mean write throughput, Gbps.
+    pub write_gbps: f64,
+    /// Aggregated throughput, Gbps.
+    pub aggregated_gbps: f64,
+    /// Total pause frames at Targets.
+    pub pauses: u64,
+    /// Completed requests.
+    pub completed: u64,
+    /// Makespan, ms.
+    pub makespan_ms: f64,
+}
+
+impl From<&SystemReport> for SystemSummary {
+    fn from(r: &SystemReport) -> Self {
+        SystemSummary {
+            read_gbps: r.read_tput().as_gbps_f64(),
+            write_gbps: r.write_tput().as_gbps_f64(),
+            aggregated_gbps: r.aggregated_tput().as_gbps_f64(),
+            pauses: r.pauses_total,
+            completed: r.reads_completed + r.writes_completed,
+            makespan_ms: r.makespan.as_ms_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let mut r = SystemReport::new(2);
+        for i in 0..10 {
+            r.read_series.add(SimTime::from_ms(i), 500_000.0);
+            r.write_series.add(SimTime::from_ms(i), 250_000.0);
+        }
+        let agg = r.aggregated_tput().as_gbps_f64();
+        assert!((agg - 6.0).abs() < 0.05, "agg={agg}");
+        let s = SystemSummary::from(&r);
+        assert!((s.aggregated_gbps - agg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = SystemReport::new(1);
+        assert_eq!(r.read_tput(), Rate::ZERO);
+        assert_eq!(r.decisions.len(), 1);
+    }
+}

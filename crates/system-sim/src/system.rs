@@ -1,0 +1,470 @@
+//! The end-to-end event loop: Initiators → network → Targets → SSDs and
+//! back, with TXQ backpressure and (optionally) SRC in the loop.
+
+use crate::config::{Assignment, CcChoice, Mode, SystemConfig, TargetSelection, TopologyKind};
+use crate::report::SystemReport;
+use fabric::{decode_tag, InitiatorProto, MsgKind, TargetProto, TxqPolicy, WireSend};
+use net_sim::network::{NetEvent, NetStep, Network};
+use net_sim::topology::{build_clos, build_star, NodeId};
+use net_sim::FlowId;
+use sim_engine::{EventQueue, SimTime};
+use src_core::{SrcController, ThroughputPredictionModel};
+use ssd_sim::SsdEvent;
+use std::collections::HashMap;
+use std::sync::Arc;
+use storage_node::{DisciplineKind, NodeConfig, StorageNode};
+use workload::IoType;
+
+enum Ev {
+    Issue(usize),
+    Net(NetEvent),
+    Ssd { target: usize, ev: SsdEvent },
+    /// Background burst from background source `src` (re-arms itself
+    /// until the configured stop time).
+    Background { src: usize },
+}
+
+/// Where a flow sits in the fabric.
+#[derive(Clone, Copy, Debug)]
+enum FlowRole {
+    /// Initiator → Target (commands + write data).
+    Outbound,
+    /// Target → Initiator (read data + acks) — the paper's inbound flow.
+    Inbound { target: usize },
+    /// Background congestion flow (deliveries ignored).
+    Background,
+}
+
+struct TargetState {
+    host: NodeId,
+    node: StorageNode,
+    proto: TargetProto,
+    txq: TxqPolicy,
+    src: Option<SrcController>,
+    /// Inbound flow back to each initiator.
+    in_flows: Vec<FlowId>,
+}
+
+/// Run one full-system simulation over the given request assignments.
+/// `tpm` must be provided in [`Mode::DcqcnSrc`].
+///
+/// # Panics
+/// Panics on inconsistent configuration (SRC mode without a TPM, more
+/// hosts requested than the topology provides).
+pub fn run_system(
+    cfg: &SystemConfig,
+    assignments: &[Assignment],
+    tpm: Option<Arc<ThroughputPredictionModel>>,
+) -> SystemReport {
+    let n_bg = cfg.background.as_ref().map_or(0, |b| b.n_sources);
+    let n_hosts = cfg.n_initiators + cfg.n_targets + n_bg;
+    let clos = match &cfg.topology {
+        TopologyKind::Star { rate, delay } => build_star(n_hosts, *rate, *delay),
+        TopologyKind::Clos(c) => build_clos(c),
+    };
+    assert!(
+        clos.hosts.len() >= n_hosts,
+        "topology provides {} hosts, need {n_hosts}",
+        clos.hosts.len()
+    );
+    let init_hosts: Vec<NodeId> = clos.hosts[..cfg.n_initiators].to_vec();
+    let tgt_hosts: Vec<NodeId> =
+        clos.hosts[cfg.n_initiators..cfg.n_initiators + cfg.n_targets].to_vec();
+    let bg_hosts: Vec<NodeId> =
+        clos.hosts[cfg.n_initiators + cfg.n_targets..n_hosts].to_vec();
+
+    let mut net = Network::new(clos.topology, cfg.dcqcn.clone(), cfg.pfc.clone(), cfg.mtu);
+    if cfg.cc == CcChoice::Timely {
+        net.use_timely(net_sim::TimelyParams::default());
+    }
+
+    // Flows: a bidirectional pair per (initiator, target).
+    let mut out_flows = vec![vec![FlowId(usize::MAX); cfg.n_targets]; cfg.n_initiators];
+    let mut flow_roles: HashMap<FlowId, FlowRole> = HashMap::new();
+    let mut targets: Vec<TargetState> = Vec::with_capacity(cfg.n_targets);
+    for (t_idx, &th) in tgt_hosts.iter().enumerate() {
+        let discipline = match cfg.mode {
+            Mode::DcqcnOnly => DisciplineKind::Fifo,
+            Mode::DcqcnSrc => DisciplineKind::Ssq { weight: 1 },
+        };
+        let src = match cfg.mode {
+            Mode::DcqcnOnly => None,
+            Mode::DcqcnSrc => {
+                let tpm = tpm.clone().expect("DcqcnSrc mode requires a trained TPM");
+                Some(SrcController::new(tpm, cfg.src.clone()))
+            }
+        };
+        let mut in_flows = Vec::with_capacity(cfg.n_initiators);
+        for (i_idx, &ih) in init_hosts.iter().enumerate() {
+            let fo = net.add_flow(ih, th);
+            out_flows[i_idx][t_idx] = fo;
+            flow_roles.insert(fo, FlowRole::Outbound);
+            let fi = net.add_flow(th, ih);
+            in_flows.push(fi);
+            flow_roles.insert(fi, FlowRole::Inbound { target: t_idx });
+        }
+        targets.push(TargetState {
+            host: th,
+            node: StorageNode::new(&NodeConfig {
+                ssd: cfg.ssd.clone(),
+                discipline,
+                merge_cap: None,
+            }),
+            proto: TargetProto::new(),
+            txq: TxqPolicy::new(cfg.txq_watermarks.0, cfg.txq_watermarks.1),
+            src,
+            in_flows,
+        });
+    }
+    let mut initiators: Vec<InitiatorProto> =
+        (0..cfg.n_initiators).map(|_| InitiatorProto::new()).collect();
+
+    // Background congestion flows toward Initiator 0.
+    let mut bg_flows: Vec<FlowId> = Vec::with_capacity(n_bg);
+    if let Some(bg) = &cfg.background {
+        assert!(
+            !init_hosts.is_empty(),
+            "background traffic requires at least one initiator"
+        );
+        for &bh in &bg_hosts {
+            let f = net.add_fixed_rate_flow(bh, init_hosts[0], bg.rate_per_source);
+            flow_roles.insert(f, FlowRole::Background);
+            bg_flows.push(f);
+        }
+    }
+
+    let mut report = SystemReport::new(cfg.n_targets);
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    for (i, a) in assignments.iter().enumerate() {
+        q.schedule(a.request.arrival, Ev::Issue(i));
+    }
+    if let Some(bg) = &cfg.background {
+        for s in 0..bg.n_sources {
+            q.schedule(bg.start, Ev::Background { src: s });
+        }
+    }
+
+    // Actual Target per request (LeastLoaded selection can override the
+    // static assignment at issue time).
+    let mut actual_target: Vec<usize> = assignments.iter().map(|a| a.target).collect();
+
+    // Initiator-side completion count drives termination.
+    let total = assignments.len();
+    let mut finished = 0usize;
+    let mut dbg_last_ms = 0u64;
+    let tgt_host_index: HashMap<NodeId, usize> =
+        tgt_hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+
+    // Helper: execute a wire send and fold the NetStep into the queue.
+    let exec_send = |net: &mut Network, ws: WireSend, now: SimTime| -> NetStep {
+        net.send(ws.flow, ws.bytes, ws.tag, now)
+    };
+
+    while let Some((now, ev)) = q.pop() {
+        if finished >= total {
+            break;
+        }
+        // Collect network steps triggered during this event.
+        let mut net_steps: Vec<NetStep> = Vec::new();
+        let mut ssd_scheds: Vec<(usize, ssd_sim::SsdStep)> = Vec::new();
+
+        match ev {
+            Ev::Issue(i) => {
+                let a = assignments[i];
+                let target = match cfg.target_selection {
+                    TargetSelection::Static => a.target,
+                    TargetSelection::LeastLoaded => {
+                        // Fewest commands pending at the Target driver +
+                        // queued in its NVMe driver (what an initiator
+                        // can learn from completion feedback).
+                        (0..targets.len())
+                            .min_by_key(|&t| {
+                                targets[t].proto.in_flight()
+                                    + targets[t].node.discipline().queued()
+                            })
+                            .expect("at least one target")
+                    }
+                    TargetSelection::Pack { cap } => (0..targets.len())
+                        .find(|&t| targets[t].proto.in_flight() < cap)
+                        .unwrap_or_else(|| {
+                            (0..targets.len())
+                                .min_by_key(|&t| targets[t].proto.in_flight())
+                                .expect("at least one target")
+                        }),
+                };
+                actual_target[a.request.id as usize] = target;
+                let ws = initiators[a.initiator].issue(
+                    &a.request,
+                    out_flows[a.initiator][target],
+                    now,
+                );
+                net_steps.push(exec_send(&mut net, ws, now));
+            }
+            Ev::Net(nev) => {
+                net_steps.push(net.handle(nev, now));
+            }
+            Ev::Ssd { target, ev } => {
+                let step = targets[target].node.on_ssd_event(ev, now);
+                ssd_scheds.push((target, step));
+            }
+            Ev::Background { src } => {
+                let bg = cfg.background.as_ref().expect("background event without config");
+                if now < bg.stop {
+                    // Closed-loop source: keep the flow's NIC queue
+                    // topped up (so the link stays contended at whatever
+                    // rate DCQCN allows) without unbounded backlog.
+                    if net.flow_backlog_bytes(bg_flows[src]) < 4 * bg.bytes_per_burst {
+                        net_steps.push(net.send(
+                            bg_flows[src],
+                            bg.bytes_per_burst,
+                            u64::MAX - src as u64, // tag unused for background
+                            now,
+                        ));
+                    }
+                    let next = now + bg.burst_interval;
+                    if next < bg.stop {
+                        q.schedule(next, Ev::Background { src });
+                    }
+                }
+            }
+        }
+
+        // Process network outputs (may cascade into storage submissions,
+        // which in turn produce more sends).
+        let mut pending = net_steps;
+        while let Some(step) = pending.pop() {
+            for (t, e) in step.schedule {
+                q.schedule(t, Ev::Net(e));
+            }
+            for &host in &step.pauses_received {
+                if tgt_host_index.contains_key(&host) {
+                    report.pauses_total += 1;
+                    report.pause_series.add(now, 1.0);
+                }
+            }
+            // SRC: congestion notifications from inbound-flow rate
+            // changes, aggregated per target.
+            let mut notified: Vec<usize> = Vec::new();
+            for (flow, rate) in &step.rate_changes {
+                if let Some(FlowRole::Inbound { target }) = flow_roles.get(flow) {
+                    report.min_inbound_rate_gbps =
+                        report.min_inbound_rate_gbps.min(rate.as_gbps_f64());
+                    if !notified.contains(target) {
+                        notified.push(*target);
+                    }
+                }
+            }
+            for t_idx in notified {
+                let demanded_bps: u64 = targets[t_idx]
+                    .in_flows
+                    .iter()
+                    .map(|&f| net.flow_rate(f).as_bps())
+                    .sum();
+                let t = &mut targets[t_idx];
+                if let Some(src) = t.src.as_mut() {
+                    if let Some(w) =
+                        src.on_congestion_notification(sim_engine::Rate::from_bps(demanded_bps), now)
+                    {
+                        t.node.set_weight_ratio(w);
+                        let step = t.node.pump(now);
+                        ssd_scheds.push((t_idx, step));
+                    }
+                }
+            }
+            for d in step.deliveries {
+                if matches!(flow_roles.get(&d.flow), Some(FlowRole::Background)) {
+                    continue;
+                }
+                if !d.last {
+                    continue;
+                }
+                let (kind, req_id) = decode_tag(d.tag);
+                let a = assignments[req_id as usize];
+                let tgt_idx = actual_target[req_id as usize];
+                match kind {
+                    MsgKind::ReadCmd | MsgKind::WriteCmd => {
+                        let t = &mut targets[tgt_idx];
+                        if let Some(src) = t.src.as_mut() {
+                            src.observe(&a.request, now);
+                        }
+                        let sub = t.proto.on_command(
+                            kind,
+                            &a.request,
+                            t.in_flows[a.initiator],
+                            now,
+                        );
+                        let step = t.node.submit(sub.request, now);
+                        ssd_scheds.push((tgt_idx, step));
+                    }
+                    MsgKind::ReadData => {
+                        let c = initiators[a.initiator].on_inbound(kind, req_id, now);
+                        report.reads_completed += 1;
+                        report.read_bytes += c.size;
+                        report.read_series.add(now, c.size as f64);
+                        report.read_latency_us.push(now.since(c.issued).as_us_f64());
+                        finished += 1;
+                    }
+                    MsgKind::WriteAck => {
+                        let _ = initiators[a.initiator].on_inbound(kind, req_id, now);
+                        finished += 1;
+                    }
+                }
+            }
+        }
+
+        // Fold storage-side schedules and new completions that appeared
+        // while pumping.
+        let mut ssd_pending = ssd_scheds;
+        while let Some((t_idx, step)) = ssd_pending.pop() {
+            for c in &step.completions {
+                if c.op == IoType::Write {
+                    report.writes_completed += 1;
+                    report.write_bytes += c.size;
+                    report.write_series.add(now, c.size as f64);
+                    let issued = assignments[c.id as usize].request.arrival;
+                    report.write_latency_us.push(now.since(issued).as_us_f64());
+                }
+                let ws = targets[t_idx].proto.on_storage_completion(c.id, now);
+                let net_step = exec_send(&mut net, ws, now);
+                for (t, e) in net_step.schedule {
+                    q.schedule(t, Ev::Net(e));
+                }
+                // (Sends here can't complete requests or change rates
+                // synchronously; deliveries come back as events.)
+                debug_assert!(net_step.deliveries.is_empty());
+            }
+            for (t, e) in step.schedule {
+                q.schedule(t, Ev::Ssd { target: t_idx, ev: e });
+            }
+        }
+
+        // TXQ backpressure: observe every target's NIC backlog and open/
+        // close the SSD fetch gate accordingly.
+        for (t_idx, t) in targets.iter_mut().enumerate() {
+            let backlog = net.host_backlog_bytes(t.host);
+            if let Some(open) = t.txq.observe(backlog) {
+                t.node.set_read_gate(open);
+                if open {
+                    let step = t.node.pump(now);
+                    for c in &step.completions {
+                        if c.op == IoType::Write {
+                            report.writes_completed += 1;
+                            report.write_bytes += c.size;
+                            report.write_series.add(now, c.size as f64);
+                            let issued = assignments[c.id as usize].request.arrival;
+                            report
+                                .write_latency_us
+                                .push(now.since(issued).as_us_f64());
+                        }
+                        let ws = t.proto.on_storage_completion(c.id, now);
+                        let net_step = net.send(ws.flow, ws.bytes, ws.tag, now);
+                        for (tt, e) in net_step.schedule {
+                            q.schedule(tt, Ev::Net(e));
+                        }
+                    }
+                    for (tt, e) in step.schedule {
+                        q.schedule(tt, Ev::Ssd { target: t_idx, ev: e });
+                    }
+                } else {
+                    report.gate_closures.push((now, t_idx));
+                }
+            }
+        }
+
+        report.makespan = report.makespan.max(now.since(SimTime::ZERO));
+        // Optional diagnostics: SRCSIM_DEBUG=1 prints a per-ms snapshot.
+        if std::env::var_os("SRCSIM_DEBUG").is_some() {
+            let ms = now.as_ms_f64() as u64;
+            if ms > dbg_last_ms {
+                dbg_last_ms = ms;
+                for (i, t) in targets.iter().enumerate() {
+                    eprintln!(
+                        "[{ms}ms] tgt{i} w={} gate_open={} qR={} qW={} out={} txq={}KB cache={:.2} ssd_inflight={} proto_inflight={}",
+                        t.node.weight_ratio(),
+                        t.node.read_gate_open(),
+                        t.node.discipline().queued_of(workload::IoType::Read),
+                        t.node.discipline().queued_of(workload::IoType::Write),
+                        t.node.discipline().outstanding(),
+                        net.host_backlog_bytes(t.host) / 1024,
+                        t.node.ssd().cache_occupancy(),
+                        t.node.ssd().in_flight(),
+                        t.proto.in_flight(),
+                    );
+                }
+            }
+        }
+        if finished >= total {
+            break;
+        }
+    }
+
+    assert!(
+        finished >= total,
+        "system run starved: {finished}/{total} requests finished"
+    );
+    for (t_idx, t) in targets.iter().enumerate() {
+        if let Some(src) = t.src.as_ref() {
+            report.decisions[t_idx] = src.decisions().to_vec();
+        }
+    }
+    report.ecn_marked = net.ecn_marked();
+    report.cnps = net.cnps_sent();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::spread_trace;
+    use workload::micro::{generate_micro, MicroConfig};
+
+    fn small_assignments(n: usize, seed: u64) -> Vec<Assignment> {
+        let t = generate_micro(
+            &MicroConfig {
+                read_count: n / 2,
+                write_count: n / 2,
+                read_iat_mean_us: 20.0,
+                write_iat_mean_us: 20.0,
+                read_size_mean: 24_000.0,
+                write_size_mean: 24_000.0,
+                ..MicroConfig::default()
+            },
+            seed,
+        );
+        spread_trace(&t, 1, 2)
+    }
+
+    #[test]
+    fn baseline_run_completes() {
+        let cfg = SystemConfig::default();
+        let a = small_assignments(400, 1);
+        let r = run_system(&cfg, &a, None);
+        assert_eq!(r.reads_completed, 200);
+        // Writes counted at Targets.
+        assert_eq!(r.writes_completed, 200);
+        assert!(r.read_latency_us.mean() > 0.0);
+        assert!(r.makespan > sim_engine::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = SystemConfig::default();
+        let a = small_assignments(200, 2);
+        let r1 = run_system(&cfg, &a, None);
+        let r2 = run_system(&cfg, &a, None);
+        assert_eq!(r1.read_series.bins(), r2.read_series.bins());
+        assert_eq!(r1.pauses_total, r2.pauses_total);
+        assert_eq!(r1.makespan, r2.makespan);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a trained TPM")]
+    fn src_mode_needs_tpm() {
+        let cfg = SystemConfig {
+            mode: Mode::DcqcnSrc,
+            ..SystemConfig::default()
+        };
+        let a = small_assignments(10, 3);
+        let _ = run_system(&cfg, &a, None);
+    }
+}

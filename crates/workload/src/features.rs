@@ -1,0 +1,189 @@
+//! Workload feature extraction — the `Ch` input of the paper's
+//! throughput prediction model (Eq. 1, Sec. III-B).
+//!
+//! The paper lists: (1) the ratio of read to write requests, (2) the SCV
+//! of request size and inter-arrival time for reads and writes, and
+//! (3) the per-class arrival flow speed (data size arrived per time
+//! unit). We also include the per-class means, which the SCVs are defined
+//! against; the feature-importance experiment (Table I discussion)
+//! reports flow speed as the dominant feature.
+
+use crate::request::{IoType, Request};
+use crate::trace::class_stats_of;
+use serde::{Deserialize, Serialize};
+
+/// Extracted workload characteristics over a request window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadFeatures {
+    /// Fraction of requests that are reads, in `[0, 1]`.
+    pub read_ratio: f64,
+    /// Mean read inter-arrival time, µs.
+    pub read_iat_mean_us: f64,
+    /// SCV of read inter-arrival time.
+    pub read_iat_scv: f64,
+    /// Mean write inter-arrival time, µs.
+    pub write_iat_mean_us: f64,
+    /// SCV of write inter-arrival time.
+    pub write_iat_scv: f64,
+    /// Mean read size, bytes.
+    pub read_size_mean: f64,
+    /// SCV of read size.
+    pub read_size_scv: f64,
+    /// Mean write size, bytes.
+    pub write_size_mean: f64,
+    /// SCV of write size.
+    pub write_size_scv: f64,
+    /// Read arrival flow speed, bytes per microsecond.
+    pub read_flow_bpus: f64,
+    /// Write arrival flow speed, bytes per microsecond.
+    pub write_flow_bpus: f64,
+}
+
+/// Number of scalar features in [`WorkloadFeatures::to_vec`].
+pub const N_FEATURES: usize = 11;
+
+/// Human-readable feature names, aligned with [`WorkloadFeatures::to_vec`].
+pub const FEATURE_NAMES: [&str; N_FEATURES] = [
+    "read_ratio",
+    "read_iat_mean_us",
+    "read_iat_scv",
+    "write_iat_mean_us",
+    "write_iat_scv",
+    "read_size_mean",
+    "read_size_scv",
+    "write_size_mean",
+    "write_size_scv",
+    "read_flow_bpus",
+    "write_flow_bpus",
+];
+
+impl WorkloadFeatures {
+    /// Flatten into a feature vector (order matches [`FEATURE_NAMES`]).
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.read_ratio,
+            self.read_iat_mean_us,
+            self.read_iat_scv,
+            self.write_iat_mean_us,
+            self.write_iat_scv,
+            self.read_size_mean,
+            self.read_size_scv,
+            self.write_size_mean,
+            self.write_size_scv,
+            self.read_flow_bpus,
+            self.write_flow_bpus,
+        ]
+    }
+}
+
+/// Extract features from a window of requests (the workload monitor
+/// calls this on every prediction window).
+pub fn extract_features(window: &[Request]) -> WorkloadFeatures {
+    let r = class_stats_of(window, IoType::Read);
+    let w = class_stats_of(window, IoType::Write);
+    let total = (r.count + w.count) as f64;
+    let read_ratio = if total == 0.0 { 0.0 } else { r.count as f64 / total };
+    // Flow speed = mean size / mean IAT; when a class has a single request
+    // (no IAT sample) the flow speed is reported as 0 — the window is too
+    // short to say anything about its rate.
+    let flow = |size_mean: f64, iat_mean: f64| {
+        if iat_mean > 0.0 {
+            size_mean / iat_mean
+        } else {
+            0.0
+        }
+    };
+    WorkloadFeatures {
+        read_ratio,
+        read_iat_mean_us: r.iat_mean_us,
+        read_iat_scv: r.iat_scv,
+        write_iat_mean_us: w.iat_mean_us,
+        write_iat_scv: w.iat_scv,
+        read_size_mean: r.size_mean,
+        read_size_scv: r.size_scv,
+        write_size_mean: w.size_mean,
+        write_size_scv: w.size_scv,
+        read_flow_bpus: flow(r.size_mean, r.iat_mean_us),
+        write_flow_bpus: flow(w.size_mean, w.iat_mean_us),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro::{generate_micro, MicroConfig};
+    use sim_engine::SimTime;
+
+    #[test]
+    fn names_match_vector_length() {
+        let f = WorkloadFeatures::default();
+        assert_eq!(f.to_vec().len(), N_FEATURES);
+        assert_eq!(FEATURE_NAMES.len(), N_FEATURES);
+    }
+
+    #[test]
+    fn empty_window_is_all_zero() {
+        let f = extract_features(&[]);
+        assert_eq!(f, WorkloadFeatures::default());
+    }
+
+    #[test]
+    fn read_ratio_counts() {
+        let reqs: Vec<Request> = (0..10)
+            .map(|i| Request {
+                id: i,
+                op: if i < 7 { IoType::Read } else { IoType::Write },
+                lba: 0,
+                size: 4096,
+                arrival: SimTime::from_us(i),
+            })
+            .collect();
+        let f = extract_features(&reqs);
+        assert!((f.read_ratio - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_speed_matches_load() {
+        // 40 KB reads every 10 µs => 4000 bytes/µs.
+        let reqs: Vec<Request> = (0..200)
+            .map(|i| Request {
+                id: i,
+                op: IoType::Read,
+                lba: 0,
+                size: 40_000,
+                arrival: SimTime::from_us(10 * i),
+            })
+            .collect();
+        let f = extract_features(&reqs);
+        assert!((f.read_flow_bpus - 4000.0).abs() < 1e-9);
+        assert_eq!(f.write_flow_bpus, 0.0);
+        assert_eq!(f.read_ratio, 1.0);
+    }
+
+    #[test]
+    fn features_from_generated_trace_are_sane() {
+        let t = generate_micro(&MicroConfig::default(), 21);
+        let f = extract_features(t.requests());
+        assert!(f.read_ratio > 0.4 && f.read_ratio < 0.6);
+        assert!(f.read_iat_mean_us > 0.0);
+        assert!(f.read_size_mean > 0.0);
+        for v in f.to_vec() {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn single_request_class_has_zero_flow() {
+        let reqs = vec![Request {
+            id: 0,
+            op: IoType::Write,
+            lba: 0,
+            size: 8192,
+            arrival: SimTime::from_us(5),
+        }];
+        let f = extract_features(&reqs);
+        assert_eq!(f.write_flow_bpus, 0.0);
+        assert_eq!(f.write_iat_mean_us, 0.0);
+        assert_eq!(f.write_size_mean, 8192.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! I/O workload modeling for the SRC reproduction.
+//!
+//! The paper evaluates SRC on two trace families (Sec. IV-A):
+//!
+//! * **micro traces** — inter-arrival times and request sizes drawn from
+//!   exponential distributions ([`micro`]);
+//! * **synthetic traces** — generated from the summary statistics of real
+//!   SNIA traces (Fujitsu VDI, Tencent CBS) through a two-phase
+//!   Markov-modulated Poisson process, following the KPC-Toolbox
+//!   methodology ([`mmpp`], [`synthetic`]).
+//!
+//! The [`features`] module implements the paper's workload feature
+//! extractor: read/write ratio, mean and squared coefficient of variation
+//! of request size and inter-arrival time per I/O type, and per-type
+//! arrival flow speed. These form the `Ch` input of the throughput
+//! prediction model (Eq. 1).
+//!
+//! # Example
+//!
+//! ```
+//! use workload::micro::{MicroConfig, generate_micro};
+//! use workload::features::extract_features;
+//!
+//! let cfg = MicroConfig::default();
+//! let trace = generate_micro(&cfg, 42);
+//! assert!(!trace.is_empty());
+//! let feats = extract_features(trace.requests());
+//! assert!(feats.read_ratio > 0.0 && feats.read_ratio < 1.0);
+//! ```
+
+pub mod features;
+pub mod micro;
+pub mod mmpp;
+pub mod request;
+pub mod spatial;
+pub mod synthetic;
+pub mod trace;
+pub mod trace_io;
+
+pub use features::{extract_features, WorkloadFeatures};
+pub use request::{IoType, Request};
+pub use trace::Trace;

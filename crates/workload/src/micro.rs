@@ -1,0 +1,234 @@
+//! Micro traces: exponential inter-arrival times and exponential request
+//! sizes, as in the paper's Sec. IV-A ("the inter-arrival time and
+//! request sizes are drawn from exponential distributions").
+
+use crate::request::{IoType, Request, SECTOR_BYTES};
+use crate::trace::Trace;
+use rand::Rng;
+use rand_distr::{Distribution, Exp};
+pub use crate::spatial::LbaModel;
+use serde::{Deserialize, Serialize};
+use sim_engine::rng::stream_rng;
+use sim_engine::{SimDuration, SimTime};
+
+/// Configuration of a micro workload. Read and write streams are
+/// generated independently and merged, like the paper's trace generator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MicroConfig {
+    /// Mean inter-arrival time of the read stream, microseconds.
+    pub read_iat_mean_us: f64,
+    /// Mean inter-arrival time of the write stream, microseconds.
+    pub write_iat_mean_us: f64,
+    /// Mean read request size in bytes (rounded up to whole sectors).
+    pub read_size_mean: f64,
+    /// Mean write request size in bytes.
+    pub write_size_mean: f64,
+    /// Number of read requests to generate.
+    pub read_count: usize,
+    /// Number of write requests to generate.
+    pub write_count: usize,
+    /// Logical address space, in sectors.
+    pub lba_space_sectors: u64,
+    /// Spatial access pattern over the address space.
+    pub lba_model: LbaModel,
+}
+
+impl Default for MicroConfig {
+    /// A moderate workload in the spirit of Fig. 5's middle cells:
+    /// 15 µs mean inter-arrival, 20 KB mean size, equal read/write mix.
+    fn default() -> Self {
+        MicroConfig {
+            read_iat_mean_us: 15.0,
+            write_iat_mean_us: 15.0,
+            read_size_mean: 20_000.0,
+            write_size_mean: 20_000.0,
+            read_count: 2_000,
+            write_count: 2_000,
+            lba_space_sectors: 1 << 22, // 16 GiB of 4 KiB sectors
+            lba_model: LbaModel::Uniform,
+        }
+    }
+}
+
+impl MicroConfig {
+    /// The paper's Fig. 10 "light" workload: 22 KB average size,
+    /// 60 requests/ms average arrival rate (per class).
+    pub fn light() -> Self {
+        MicroConfig {
+            read_iat_mean_us: 1000.0 / 60.0,
+            write_iat_mean_us: 1000.0 / 60.0,
+            read_size_mean: 22_000.0,
+            write_size_mean: 22_000.0,
+            ..Default::default()
+        }
+    }
+
+    /// Fig. 10 "moderate": 32 KB, 80 /ms.
+    pub fn moderate() -> Self {
+        MicroConfig {
+            read_iat_mean_us: 1000.0 / 80.0,
+            write_iat_mean_us: 1000.0 / 80.0,
+            read_size_mean: 32_000.0,
+            write_size_mean: 32_000.0,
+            ..Default::default()
+        }
+    }
+
+    /// Fig. 10 "heavy": 44 KB, 100 /ms.
+    pub fn heavy() -> Self {
+        MicroConfig {
+            read_iat_mean_us: 1000.0 / 100.0,
+            write_iat_mean_us: 1000.0 / 100.0,
+            read_size_mean: 44_000.0,
+            write_size_mean: 44_000.0,
+            ..Default::default()
+        }
+    }
+
+    /// Offered read traffic load in bits per second (paper footnote 1:
+    /// average size / average inter-arrival time).
+    pub fn read_load_bps(&self) -> f64 {
+        self.read_size_mean * 8.0 / (self.read_iat_mean_us * 1e-6)
+    }
+}
+
+/// Round a sampled byte size to a positive whole number of sectors.
+pub(crate) fn round_size(bytes: f64) -> u64 {
+    let sectors = (bytes / SECTOR_BYTES as f64).round().max(1.0) as u64;
+    sectors * SECTOR_BYTES
+}
+
+/// Generate one exponential stream of requests.
+fn gen_stream(
+    op: IoType,
+    iat_mean_us: f64,
+    size_mean: f64,
+    count: usize,
+    lba_space: u64,
+    lba_model: &LbaModel,
+    rng: &mut impl Rng,
+) -> Vec<Request> {
+    assert!(iat_mean_us > 0.0 && size_mean > 0.0);
+    let iat = Exp::new(1.0 / iat_mean_us).expect("valid IAT rate");
+    let size = Exp::new(1.0 / size_mean).expect("valid size rate");
+    let mut sampler = lba_model.sampler(lba_space);
+    let mut t = SimTime::ZERO;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        t += SimDuration::from_us_f64(iat.sample(rng));
+        let sz = round_size(size.sample(rng));
+        let sectors = sz / SECTOR_BYTES;
+        let lba = sampler.sample(sectors, rng);
+        out.push(Request {
+            id: i as u64,
+            op,
+            lba,
+            size: sz,
+            arrival: t,
+        });
+    }
+    out
+}
+
+/// Generate a micro trace from `cfg` with a deterministic `seed`.
+pub fn generate_micro(cfg: &MicroConfig, seed: u64) -> Trace {
+    let mut r_rng = stream_rng(seed, "micro-read");
+    let mut w_rng = stream_rng(seed, "micro-write");
+    let reads = gen_stream(
+        IoType::Read,
+        cfg.read_iat_mean_us,
+        cfg.read_size_mean,
+        cfg.read_count,
+        cfg.lba_space_sectors,
+        &cfg.lba_model,
+        &mut r_rng,
+    );
+    let writes = gen_stream(
+        IoType::Write,
+        cfg.write_iat_mean_us,
+        cfg.write_size_mean,
+        cfg.write_count,
+        cfg.lba_space_sectors,
+        &cfg.lba_model,
+        &mut w_rng,
+    );
+    Trace::from_requests(reads).merge(Trace::from_requests(writes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = MicroConfig::default();
+        let a = generate_micro(&cfg, 9);
+        let b = generate_micro(&cfg, 9);
+        assert_eq!(a.requests(), b.requests());
+        let c = generate_micro(&cfg, 10);
+        assert_ne!(a.requests(), c.requests());
+    }
+
+    #[test]
+    fn moments_close_to_config() {
+        let cfg = MicroConfig {
+            read_count: 20_000,
+            write_count: 20_000,
+            ..MicroConfig::default()
+        };
+        let t = generate_micro(&cfg, 1);
+        let s = t.class_stats(IoType::Read);
+        assert!(
+            (s.iat_mean_us - cfg.read_iat_mean_us).abs() / cfg.read_iat_mean_us < 0.05,
+            "iat mean {} vs {}",
+            s.iat_mean_us,
+            cfg.read_iat_mean_us
+        );
+        // Exponential IAT => SCV near 1.
+        assert!((s.iat_scv - 1.0).abs() < 0.15, "iat scv {}", s.iat_scv);
+        assert!(
+            (s.size_mean - cfg.read_size_mean).abs() / cfg.read_size_mean < 0.07,
+            "size mean {}",
+            s.size_mean
+        );
+    }
+
+    #[test]
+    fn sizes_are_sector_multiples_and_positive() {
+        let t = generate_micro(&MicroConfig::default(), 3);
+        for r in t.requests() {
+            assert!(r.size >= SECTOR_BYTES);
+            assert_eq!(r.size % SECTOR_BYTES, 0);
+            assert!(r.lba + r.sectors() <= MicroConfig::default().lba_space_sectors);
+        }
+    }
+
+    #[test]
+    fn intensity_presets_ordered() {
+        assert!(MicroConfig::light().read_load_bps() < MicroConfig::moderate().read_load_bps());
+        assert!(MicroConfig::moderate().read_load_bps() < MicroConfig::heavy().read_load_bps());
+        // Heavy: 44 KB every 10 us = 35.2 Gbps, as quoted in Sec. IV-D.
+        let heavy = MicroConfig::heavy().read_load_bps();
+        assert!((heavy - 35.2e9).abs() / 35.2e9 < 1e-9, "{heavy}");
+    }
+
+    #[test]
+    fn round_size_minimum_one_sector() {
+        assert_eq!(round_size(1.0), SECTOR_BYTES);
+        assert_eq!(round_size(6000.0), SECTOR_BYTES);
+        assert_eq!(round_size(6200.0), 2 * SECTOR_BYTES);
+    }
+
+    #[test]
+    fn counts_respected() {
+        let cfg = MicroConfig {
+            read_count: 7,
+            write_count: 3,
+            ..MicroConfig::default()
+        };
+        let t = generate_micro(&cfg, 0);
+        assert_eq!(t.class_stats(IoType::Read).count, 7);
+        assert_eq!(t.class_stats(IoType::Write).count, 3);
+        assert_eq!(t.len(), 10);
+    }
+}

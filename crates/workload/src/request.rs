@@ -1,0 +1,109 @@
+//! The basic unit of work: an I/O request.
+
+use serde::{Deserialize, Serialize};
+use sim_engine::SimTime;
+
+/// Read or write. The whole point of SRC is that network congestion
+/// control affects these two asymmetrically on storage nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum IoType {
+    /// Data flows Target → Initiator (inbound flow in the paper's terms).
+    Read,
+    /// Data flows Initiator → Target (outbound flow).
+    Write,
+}
+
+impl IoType {
+    /// The other I/O type.
+    pub fn other(self) -> IoType {
+        match self {
+            IoType::Read => IoType::Write,
+            IoType::Write => IoType::Read,
+        }
+    }
+
+    /// True for reads.
+    pub fn is_read(self) -> bool {
+        matches!(self, IoType::Read)
+    }
+}
+
+/// One I/O request as submitted by an application on an Initiator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique, monotonically increasing identifier within a trace.
+    pub id: u64,
+    /// Read or write.
+    pub op: IoType,
+    /// Logical block address, in 4 KiB sectors.
+    pub lba: u64,
+    /// Transfer size in bytes (a positive multiple of the sector size in
+    /// generated traces).
+    pub size: u64,
+    /// Arrival timestamp at the Initiator.
+    pub arrival: SimTime,
+}
+
+/// Sector size used for LBA accounting (4 KiB, the de-facto standard).
+pub const SECTOR_BYTES: u64 = 4096;
+
+impl Request {
+    /// Number of 4 KiB sectors this request spans.
+    pub fn sectors(&self) -> u64 {
+        self.size.div_ceil(SECTOR_BYTES)
+    }
+
+    /// Exclusive end LBA.
+    pub fn lba_end(&self) -> u64 {
+        self.lba + self.sectors()
+    }
+
+    /// Do two requests touch any common sector? Used by the SSQ
+    /// consistency checker (paper Sec. III-A).
+    pub fn overlaps(&self, other: &Request) -> bool {
+        self.lba < other.lba_end() && other.lba < self.lba_end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(lba: u64, size: u64) -> Request {
+        Request {
+            id: 0,
+            op: IoType::Read,
+            lba,
+            size,
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn sector_math() {
+        assert_eq!(req(0, 4096).sectors(), 1);
+        assert_eq!(req(0, 4097).sectors(), 2);
+        assert_eq!(req(10, 8192).lba_end(), 12);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = req(0, 8192); // sectors 0..2
+        let b = req(1, 4096); // sector 1..2
+        let c = req(2, 4096); // sector 2..3
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(!c.overlaps(&a));
+        // Self-overlap.
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn io_type_helpers() {
+        assert_eq!(IoType::Read.other(), IoType::Write);
+        assert_eq!(IoType::Write.other(), IoType::Read);
+        assert!(IoType::Read.is_read());
+        assert!(!IoType::Write.is_read());
+    }
+}

@@ -1,0 +1,186 @@
+//! Spatial (LBA) access models: uniform, Zipf-skewed hot regions, and
+//! sequential streams.
+//!
+//! Real traces like the Fujitsu VDI workload are spatially skewed (the
+//! paper calls out "skewed data" as a motivation for disaggregation):
+//! most accesses hit a small hot set. Skew matters to the SSD model
+//! because it drives the cached-mapping-table hit rate and the write
+//! cache's overwrite behavior.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How request addresses are drawn over the logical space.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum LbaModel {
+    /// Uniform over the whole space (the default).
+    Uniform,
+    /// The space is split into `regions` equal regions whose access
+    /// probability follows a Zipf law with exponent `s`; addresses are
+    /// uniform within the chosen region. Higher `s` = hotter hot set.
+    Zipf {
+        /// Number of equal-size regions.
+        regions: u32,
+        /// Zipf exponent (> 0; 1.0 is classic Zipf).
+        s: f64,
+    },
+    /// Sequential: each request continues where the previous one ended,
+    /// wrapping at the end of the space (per-stream sequential scan).
+    Sequential,
+}
+
+impl LbaModel {
+    /// Build a stateful sampler over a space of `space_sectors` sectors.
+    ///
+    /// # Panics
+    /// Panics on a zero-sized space or invalid Zipf parameters.
+    pub fn sampler(&self, space_sectors: u64) -> LbaSampler {
+        assert!(space_sectors > 0, "empty LBA space");
+        match self {
+            LbaModel::Uniform => LbaSampler::Uniform { space: space_sectors },
+            LbaModel::Zipf { regions, s } => {
+                assert!(*regions >= 1, "need at least one region");
+                assert!(*s > 0.0, "Zipf exponent must be positive");
+                // Precompute the region CDF.
+                let weights: Vec<f64> =
+                    (1..=*regions).map(|k| 1.0 / (k as f64).powf(*s)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut cdf = Vec::with_capacity(weights.len());
+                let mut acc = 0.0;
+                for w in weights {
+                    acc += w / total;
+                    cdf.push(acc);
+                }
+                LbaSampler::Zipf {
+                    space: space_sectors,
+                    cdf,
+                }
+            }
+            LbaModel::Sequential => LbaSampler::Sequential {
+                space: space_sectors,
+                next: 0,
+            },
+        }
+    }
+}
+
+/// Stateful LBA sampler produced by [`LbaModel::sampler`].
+#[derive(Clone, Debug)]
+pub enum LbaSampler {
+    /// Uniform sampler.
+    Uniform {
+        /// Space size in sectors.
+        space: u64,
+    },
+    /// Region-Zipf sampler.
+    Zipf {
+        /// Space size in sectors.
+        space: u64,
+        /// Region-selection CDF.
+        cdf: Vec<f64>,
+    },
+    /// Sequential cursor.
+    Sequential {
+        /// Space size in sectors.
+        space: u64,
+        /// Next sector to hand out.
+        next: u64,
+    },
+}
+
+impl LbaSampler {
+    /// Draw a starting LBA for a request of `sectors` sectors; the
+    /// returned range always fits inside the space.
+    pub fn sample(&mut self, sectors: u64, rng: &mut impl Rng) -> u64 {
+        match self {
+            LbaSampler::Uniform { space } => {
+                let hi = space.saturating_sub(sectors).max(1);
+                rng.gen_range(0..hi)
+            }
+            LbaSampler::Zipf { space, cdf } => {
+                let u: f64 = rng.gen();
+                let region = cdf.partition_point(|&c| c < u).min(cdf.len() - 1) as u64;
+                let region_size = (*space / cdf.len() as u64).max(1);
+                let base = region * region_size;
+                let hi = region_size.saturating_sub(sectors).max(1);
+                (base + rng.gen_range(0..hi)).min(space.saturating_sub(sectors.max(1)))
+            }
+            LbaSampler::Sequential { space, next } => {
+                if *next + sectors > *space {
+                    *next = 0;
+                }
+                let lba = *next;
+                *next += sectors.max(1);
+                lba
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_engine::rng::stream_rng;
+
+    #[test]
+    fn uniform_spreads() {
+        let mut s = LbaModel::Uniform.sampler(1000);
+        let mut rng = stream_rng(1, "u");
+        let mut lo = 0usize;
+        for _ in 0..2000 {
+            if s.sample(4, &mut rng) < 500 {
+                lo += 1;
+            }
+        }
+        // Roughly half below the midpoint.
+        assert!((800..1200).contains(&lo), "lo={lo}");
+    }
+
+    #[test]
+    fn zipf_concentrates_on_first_region() {
+        let mut s = LbaModel::Zipf { regions: 10, s: 1.2 }.sampler(10_000);
+        let mut rng = stream_rng(2, "z");
+        let mut first = 0usize;
+        let n = 5000;
+        for _ in 0..n {
+            if s.sample(4, &mut rng) < 1000 {
+                first += 1;
+            }
+        }
+        let frac = first as f64 / n as f64;
+        // Region 1 carries 1/H(10,1.2) ≈ 0.36 of the mass vs 0.10 uniform.
+        assert!(frac > 0.25, "first-region fraction {frac}");
+    }
+
+    #[test]
+    fn sequential_is_contiguous_and_wraps() {
+        let mut s = LbaModel::Sequential.sampler(10);
+        let mut rng = stream_rng(3, "s");
+        assert_eq!(s.sample(4, &mut rng), 0);
+        assert_eq!(s.sample(4, &mut rng), 4);
+        // 8 + 4 > 10: wraps.
+        assert_eq!(s.sample(4, &mut rng), 0);
+    }
+
+    #[test]
+    fn requests_always_fit() {
+        let mut rng = stream_rng(4, "f");
+        for model in [
+            LbaModel::Uniform,
+            LbaModel::Zipf { regions: 7, s: 0.8 },
+            LbaModel::Sequential,
+        ] {
+            let mut s = model.sampler(500);
+            for _ in 0..1000 {
+                let lba = s.sample(13, &mut rng);
+                assert!(lba + 13 <= 500, "{model:?}: {lba}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty LBA space")]
+    fn zero_space_rejected() {
+        let _ = LbaModel::Uniform.sampler(0);
+    }
+}

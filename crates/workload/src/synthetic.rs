@@ -1,0 +1,282 @@
+//! Synthetic traces: MMPP-generated workloads fitted to the summary
+//! statistics of real storage traces (paper Sec. IV-A).
+//!
+//! The paper extracts mean/SCV/skewness/autocorrelation of inter-arrival
+//! time and request size from SNIA traces (Fujitsu VDI, Tencent CBS) and
+//! feeds them to the KPC-Toolbox to build an MMPP generator. We keep the
+//! published summary statistics as presets and generate with the
+//! moment-matched models from [`crate::mmpp`].
+
+use crate::mmpp::{IatModel, SizeModel};
+use crate::request::{IoType, Request, SECTOR_BYTES};
+use crate::spatial::LbaModel;
+use crate::trace::Trace;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sim_engine::rng::stream_rng;
+use sim_engine::{SimDuration, SimTime};
+
+/// Statistical profile of one I/O stream (one class of one trace).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StreamProfile {
+    /// Mean inter-arrival time, µs.
+    pub iat_mean_us: f64,
+    /// SCV of inter-arrival time.
+    pub iat_scv: f64,
+    /// Mean request size, bytes.
+    pub size_mean: f64,
+    /// SCV of request size.
+    pub size_scv: f64,
+}
+
+/// Configuration of a synthetic workload: independent read and write
+/// streams, merged in arrival order.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Read-stream profile.
+    pub read: StreamProfile,
+    /// Write-stream profile.
+    pub write: StreamProfile,
+    /// Number of read requests.
+    pub read_count: usize,
+    /// Number of write requests.
+    pub write_count: usize,
+    /// Logical address space in sectors.
+    pub lba_space_sectors: u64,
+    /// Spatial access pattern (VDI-like traces are Zipf-skewed).
+    pub lba_model: LbaModel,
+}
+
+impl SyntheticConfig {
+    /// The Fujitsu-VDI-like workload used in Sec. IV-D: average read size
+    /// 44 KB, write size 23 KB, ~10 µs inter-arrival for both classes,
+    /// read traffic ≈ 35.2 Gbps, bursty arrivals. The paper reports read
+    /// intensity about twice the write intensity; we encode that by
+    /// giving reads twice the request count per unit time window.
+    pub fn vdi(read_count: usize, write_count: usize) -> Self {
+        SyntheticConfig {
+            read: StreamProfile {
+                iat_mean_us: 10.0,
+                iat_scv: 4.0,
+                size_mean: 44_000.0,
+                size_scv: 1.8,
+            },
+            write: StreamProfile {
+                iat_mean_us: 10.0,
+                iat_scv: 3.0,
+                size_mean: 23_000.0,
+                size_scv: 1.4,
+            },
+            read_count,
+            write_count,
+            lba_space_sectors: 1 << 22,
+            lba_model: LbaModel::Zipf { regions: 16, s: 1.1 },
+        }
+    }
+
+    /// A Tencent-CBS-like profile: smaller, write-heavier, highly bursty.
+    pub fn cbs(read_count: usize, write_count: usize) -> Self {
+        SyntheticConfig {
+            read: StreamProfile {
+                iat_mean_us: 18.0,
+                iat_scv: 6.0,
+                size_mean: 16_000.0,
+                size_scv: 2.5,
+            },
+            write: StreamProfile {
+                iat_mean_us: 9.0,
+                iat_scv: 5.0,
+                size_mean: 12_000.0,
+                size_scv: 2.0,
+            },
+            read_count,
+            write_count,
+            lba_space_sectors: 1 << 22,
+            lba_model: LbaModel::Zipf { regions: 32, s: 1.2 },
+        }
+    }
+}
+
+/// The four spatial/temporal variation classes of Table III.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScvQuadrant {
+    /// low size SCV + low inter-arrival SCV
+    LowSizeLowIat,
+    /// low size SCV + high inter-arrival SCV
+    LowSizeHighIat,
+    /// high size SCV + low inter-arrival SCV
+    HighSizeLowIat,
+    /// high size SCV + high inter-arrival SCV
+    HighSizeHighIat,
+}
+
+impl ScvQuadrant {
+    /// All four quadrants in Table III's row order.
+    pub const ALL: [ScvQuadrant; 4] = [
+        ScvQuadrant::LowSizeLowIat,
+        ScvQuadrant::LowSizeHighIat,
+        ScvQuadrant::HighSizeLowIat,
+        ScvQuadrant::HighSizeHighIat,
+    ];
+
+    /// Table III row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScvQuadrant::LowSizeLowIat => "low size SCV + low inter-arrival SCV",
+            ScvQuadrant::LowSizeHighIat => "low size SCV + high inter-arrival SCV",
+            ScvQuadrant::HighSizeLowIat => "high size SCV + low inter-arrival SCV",
+            ScvQuadrant::HighSizeHighIat => "high size SCV + high inter-arrival SCV",
+        }
+    }
+
+    /// Classify a profile by its SCVs using threshold 1.0 (variation
+    /// above exponential = "high").
+    pub fn classify(size_scv: f64, iat_scv: f64) -> ScvQuadrant {
+        match (size_scv > 1.0, iat_scv > 1.0) {
+            (false, false) => ScvQuadrant::LowSizeLowIat,
+            (false, true) => ScvQuadrant::LowSizeHighIat,
+            (true, false) => ScvQuadrant::HighSizeLowIat,
+            (true, true) => ScvQuadrant::HighSizeHighIat,
+        }
+    }
+
+    /// A representative synthetic profile inside this quadrant, scaled by
+    /// an intensity knob (mean IAT µs and mean size bytes).
+    pub fn profile(self, iat_mean_us: f64, size_mean: f64) -> StreamProfile {
+        let (size_scv, iat_scv) = match self {
+            ScvQuadrant::LowSizeLowIat => (0.4, 0.5),
+            ScvQuadrant::LowSizeHighIat => (0.4, 4.0),
+            ScvQuadrant::HighSizeLowIat => (2.5, 0.5),
+            ScvQuadrant::HighSizeHighIat => (2.5, 4.0),
+        };
+        StreamProfile {
+            iat_mean_us,
+            iat_scv,
+            size_mean,
+            size_scv,
+        }
+    }
+}
+
+fn gen_stream(
+    op: IoType,
+    profile: &StreamProfile,
+    count: usize,
+    lba_space: u64,
+    lba_model: &LbaModel,
+    rng: &mut impl Rng,
+) -> Vec<Request> {
+    let iat_model = IatModel::fit(profile.iat_mean_us, profile.iat_scv);
+    let size_model = SizeModel::new(profile.size_mean, profile.size_scv);
+    let mut iat = iat_model.sampler(rng);
+    let mut lba_sampler = lba_model.sampler(lba_space);
+    let mut t = SimTime::ZERO;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        t += SimDuration::from_us_f64(iat.next_us(rng));
+        let size = size_model.sample(rng);
+        let sectors = size / SECTOR_BYTES;
+        let lba = lba_sampler.sample(sectors, rng);
+        out.push(Request {
+            id: i as u64,
+            op,
+            lba,
+            size,
+            arrival: t,
+        });
+    }
+    out
+}
+
+/// Generate a synthetic trace from `cfg` with deterministic `seed`.
+pub fn generate_synthetic(cfg: &SyntheticConfig, seed: u64) -> Trace {
+    let mut r_rng = stream_rng(seed, "synth-read");
+    let mut w_rng = stream_rng(seed, "synth-write");
+    let reads = gen_stream(
+        IoType::Read,
+        &cfg.read,
+        cfg.read_count,
+        cfg.lba_space_sectors,
+        &cfg.lba_model,
+        &mut r_rng,
+    );
+    let writes = gen_stream(
+        IoType::Write,
+        &cfg.write,
+        cfg.write_count,
+        cfg.lba_space_sectors,
+        &cfg.lba_model,
+        &mut w_rng,
+    );
+    Trace::from_requests(reads).merge(Trace::from_requests(writes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vdi_matches_published_statistics() {
+        let cfg = SyntheticConfig::vdi(20_000, 10_000);
+        let t = generate_synthetic(&cfg, 5);
+        let r = t.class_stats(IoType::Read);
+        let w = t.class_stats(IoType::Write);
+        assert!((r.size_mean - 44_000.0).abs() / 44_000.0 < 0.05, "{}", r.size_mean);
+        assert!((w.size_mean - 23_000.0).abs() / 23_000.0 < 0.05, "{}", w.size_mean);
+        assert!((r.iat_mean_us - 10.0).abs() / 10.0 < 0.1, "{}", r.iat_mean_us);
+        // Read traffic load ≈ 35.2 Gbps (Sec. IV-D).
+        let load = t.offered_load_bps(IoType::Read);
+        assert!((load - 35.2e9).abs() / 35.2e9 < 0.12, "load={load}");
+        // Bursty arrivals: measured IAT SCV well above 1.
+        assert!(r.iat_scv > 2.0, "iat scv {}", r.iat_scv);
+    }
+
+    #[test]
+    fn quadrant_generation_lands_in_quadrant() {
+        for q in ScvQuadrant::ALL {
+            let p = q.profile(15.0, 24_000.0);
+            let cfg = SyntheticConfig {
+                read: p,
+                write: p,
+                read_count: 20_000,
+                write_count: 0,
+                lba_space_sectors: 1 << 22,
+                lba_model: LbaModel::Uniform,
+            };
+            let t = generate_synthetic(&cfg, 9);
+            let s = t.class_stats(IoType::Read);
+            assert_eq!(
+                ScvQuadrant::classify(s.size_scv, s.iat_scv),
+                q,
+                "measured size_scv={} iat_scv={} for {q:?}",
+                s.size_scv,
+                s.iat_scv
+            );
+        }
+    }
+
+    #[test]
+    fn classify_thresholds() {
+        assert_eq!(ScvQuadrant::classify(0.5, 0.5), ScvQuadrant::LowSizeLowIat);
+        assert_eq!(ScvQuadrant::classify(0.5, 2.0), ScvQuadrant::LowSizeHighIat);
+        assert_eq!(ScvQuadrant::classify(2.0, 0.5), ScvQuadrant::HighSizeLowIat);
+        assert_eq!(ScvQuadrant::classify(2.0, 2.0), ScvQuadrant::HighSizeHighIat);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = SyntheticConfig::cbs(500, 500);
+        let a = generate_synthetic(&cfg, 3);
+        let b = generate_synthetic(&cfg, 3);
+        assert_eq!(a.requests(), b.requests());
+    }
+
+    #[test]
+    fn labels_are_table_iii_rows() {
+        assert_eq!(
+            ScvQuadrant::LowSizeLowIat.label(),
+            "low size SCV + low inter-arrival SCV"
+        );
+        assert_eq!(ScvQuadrant::ALL.len(), 4);
+    }
+}

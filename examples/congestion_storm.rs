@@ -1,0 +1,81 @@
+//! End-to-end congestion storm: one Initiator reading and writing
+//! against two Targets over a DCQCN fabric while background tenants
+//! squeeze the Initiator's link — the paper's Fig. 7 scenario at
+//! example scale, run once with plain DCQCN and once with SRC.
+//!
+//! Run with: `cargo run --release --example congestion_storm`
+
+use srcsim::ssd_sim::SsdConfig;
+use srcsim::system_sim::experiments::{fig7_fig8, train_tpm, Scale, TrainKnob};
+use srcsim::system_sim::SystemReport;
+
+fn print_run(label: &str, r: &SystemReport) {
+    println!(
+        "{label:<12} read={:>5.2} Gbps  write={:>5.2} Gbps  aggregate={:>5.2} Gbps  \
+         pauses={:<4} gate-closures={:<4} makespan={:.1} ms",
+        r.read_tput().as_gbps_f64(),
+        r.write_tput().as_gbps_f64(),
+        r.aggregated_tput().as_gbps_f64(),
+        r.pauses_total,
+        r.gate_closures.len(),
+        r.makespan.as_ms_f64(),
+    );
+}
+
+fn sparkline(bins: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if bins.is_empty() {
+        return String::new();
+    }
+    let max = bins.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+    let step = (bins.len() as f64 / width as f64).max(1.0);
+    (0..width.min(bins.len()))
+        .map(|i| {
+            let v = bins[(i as f64 * step) as usize];
+            BARS[((v / max) * 7.0).round() as usize]
+        })
+        .collect()
+}
+
+fn main() {
+    println!("=== congestion storm: DCQCN-only vs DCQCN-SRC ===\n");
+    let scale = Scale {
+        requests_per_target: 1500,
+        train: TrainKnob::Quick,
+    };
+    let ssd = SsdConfig::ssd_a();
+    println!("training the throughput prediction model on SSD-A ...");
+    let tpm = train_tpm(&ssd, &scale, 42);
+    println!("running both modes ...\n");
+    let r = fig7_fig8(&ssd, &scale, tpm, 7);
+
+    print_run("DCQCN-only", &r.dcqcn_only);
+    print_run("DCQCN-SRC", &r.dcqcn_src);
+
+    println!("\nper-ms write throughput at the Targets (whole run):");
+    println!("  only {}", sparkline(r.dcqcn_only.write_series.bins(), 72));
+    println!("  src  {}", sparkline(r.dcqcn_src.write_series.bins(), 72));
+
+    println!("\nper-ms read throughput at the Initiator:");
+    println!("  only {}", sparkline(r.dcqcn_only.read_series.bins(), 72));
+    println!("  src  {}", sparkline(r.dcqcn_src.read_series.bins(), 72));
+
+    let only = r.dcqcn_only.aggregated_tput().as_gbps_f64();
+    let src = r.dcqcn_src.aggregated_tput().as_gbps_f64();
+    println!(
+        "\nSRC keeps the aggregate at {:.2} Gbps vs {:.2} Gbps under plain DCQCN \
+         ({:+.0} %).",
+        src,
+        only,
+        (src - only) / only * 100.0
+    );
+    let max_w = r
+        .dcqcn_src
+        .decisions
+        .iter()
+        .flatten()
+        .map(|d| d.weight)
+        .max()
+        .unwrap_or(1);
+    println!("SRC's dynamic adjustment pushed the write:read weight ratio up to {max_w}.");
+}

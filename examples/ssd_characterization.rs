@@ -1,0 +1,65 @@
+//! Device characterization: sweep the SSQ weight ratio across a grid of
+//! workloads on each of the paper's three SSDs (Table II) — the Fig. 5
+//! experiment as an interactive tool.
+//!
+//! Run with: `cargo run --release --example ssd_characterization [a|b|c]`
+
+use srcsim::ssd_sim::SsdConfig;
+use srcsim::storage_node::weight_sweep;
+use srcsim::workload::micro::{generate_micro, MicroConfig};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "a".into());
+    let (label, ssd) = match which.as_str() {
+        "b" => ("SSD-B", SsdConfig::ssd_b()),
+        "c" => ("SSD-C", SsdConfig::ssd_c()),
+        _ => ("SSD-A", SsdConfig::ssd_a()),
+    };
+    println!("=== Fig. 5 weight-ratio characterization on {label} ===");
+    println!(
+        "(queue depth {}, {} x {} chips, page {:?}, read {} / write {})\n",
+        ssd.queue_depth,
+        ssd.channels,
+        ssd.chips_per_channel,
+        ssd.page,
+        ssd.read_latency,
+        ssd.write_latency,
+    );
+
+    let weights = [1u32, 2, 3, 4, 6, 8];
+    println!(
+        "{:>8} {:>8} | {}",
+        "IAT(us)",
+        "size(KB)",
+        weights
+            .iter()
+            .map(|w| format!("   w={w}: R/W Gbps "))
+            .collect::<String>()
+    );
+    for &iat in &[10.0, 15.0, 20.0, 25.0] {
+        for &size in &[10_000.0, 20_000.0, 30_000.0, 40_000.0] {
+            let trace = generate_micro(
+                &MicroConfig {
+                    read_iat_mean_us: iat,
+                    write_iat_mean_us: iat,
+                    read_size_mean: size,
+                    write_size_mean: size,
+                    read_count: 2_000,
+                    write_count: 2_000,
+                    ..MicroConfig::default()
+                },
+                7,
+            );
+            let pts = weight_sweep(&ssd, &trace, &weights);
+            let cells: String = pts
+                .iter()
+                .map(|p| format!(" {:>5.2}/{:<5.2}  ", p.read_gbps, p.write_gbps))
+                .collect();
+            println!("{:>8.0} {:>8.0} | {}", iat, size / 1000.0, cells);
+        }
+    }
+    println!(
+        "\nHeavy cells (short IAT, large sizes): read falls / write rises with w."
+    );
+    println!("Light cells: the weighted round-robin fades out — the paper's Sec. III-B.");
+}

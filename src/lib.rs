@@ -1,0 +1,44 @@
+//! **srcsim** — a full-system reproduction of *SRC: Mitigate I/O
+//! Throughput Degradation in Network Congestion Control of Disaggregated
+//! Storage Systems* (Jia et al., IPDPS 2023), in pure Rust.
+//!
+//! The workspace builds every layer of the paper's simulated testbed:
+//!
+//! | layer | crate |
+//! |---|---|
+//! | discrete-event substrate | [`sim_engine`] |
+//! | I/O workload models (micro + MMPP synthetic) | [`workload`] |
+//! | regression models (Table I's five families) | [`ml`] |
+//! | MQSim-like SSD | [`ssd_sim`] |
+//! | NVMe queueing (FIFO + the paper's SSQ) | [`nvme_queues`] |
+//! | Target storage stack | [`storage_node`] |
+//! | RDMA/RoCE network with DCQCN, ECN, PFC | [`net_sim`] |
+//! | NVMe-oF protocol | [`fabric`] |
+//! | **SRC itself** (monitor, TPM, Algorithm 1) | [`src_core`] |
+//! | the whole disaggregated system + experiments | [`system_sim`] |
+//!
+//! # Quick start
+//!
+//! ```
+//! use srcsim::system_sim::motivation::{self, MotivationParams};
+//!
+//! // The paper's Fig. 2 numbers: DCQCN-only wastes a third of the
+//! // system's throughput; SRC restores it.
+//! let p = MotivationParams::default();
+//! assert_eq!(motivation::dcqcn_only(&p).total(), 6.0);
+//! assert_eq!(motivation::with_src(&p).total(), 9.0);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the per-figure reproduction harness.
+
+pub use fabric;
+pub use ml;
+pub use net_sim;
+pub use nvme_queues;
+pub use sim_engine;
+pub use src_core;
+pub use ssd_sim;
+pub use storage_node;
+pub use system_sim;
+pub use workload;

@@ -1,0 +1,179 @@
+//! The `srcsim` command-line tool: run the paper's scenarios, sweep
+//! devices, and replay your own block traces, without writing code.
+//!
+//! ```text
+//! srcsim motivation                     Fig. 2 arithmetic
+//! srcsim sweep [a|b|c] [iat_us] [KB]    weight sweep on a device
+//! srcsim replay <trace.csv> [w]         run a CSV trace through a Target
+//! srcsim fit <trace.csv>                fit MMPP profiles to a trace
+//! srcsim storm [quick|full]             DCQCN vs DCQCN-SRC congestion storm
+//! ```
+
+use srcsim::ssd_sim::SsdConfig;
+use srcsim::storage_node::{run_trace, weight_sweep, DisciplineKind, NodeConfig};
+use srcsim::system_sim::experiments::{fig7_fig8, train_tpm, Scale};
+use srcsim::system_sim::motivation::{self, MotivationParams};
+use srcsim::workload::micro::{generate_micro, MicroConfig};
+use srcsim::workload::trace_io;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  srcsim motivation\n  srcsim sweep [a|b|c] [iat_us] [size_kb]\n  \
+         srcsim replay <trace.csv> [weight]\n  srcsim fit <trace.csv>\n  \
+         srcsim storm [quick|full]"
+    );
+    ExitCode::from(2)
+}
+
+fn device(tag: Option<&str>) -> SsdConfig {
+    match tag {
+        Some("b") => SsdConfig::ssd_b(),
+        Some("c") => SsdConfig::ssd_c(),
+        _ => SsdConfig::ssd_a(),
+    }
+}
+
+fn cmd_motivation() -> ExitCode {
+    let p = MotivationParams::default();
+    for (label, o) in [
+        ("no congestion", motivation::no_congestion(&p)),
+        ("DCQCN only", motivation::dcqcn_only(&p)),
+        ("DCQCN + SRC", motivation::with_src(&p)),
+    ] {
+        println!("{label:<16} reads={:<4} writes={:<4} total={}", o.reads, o.writes, o.total());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let ssd = device(args.first().map(String::as_str));
+    let iat: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10.0);
+    let size_kb: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32.0);
+    let trace = generate_micro(
+        &MicroConfig {
+            read_iat_mean_us: iat,
+            write_iat_mean_us: iat,
+            read_size_mean: size_kb * 1000.0,
+            write_size_mean: size_kb * 1000.0,
+            read_count: 3_000,
+            write_count: 3_000,
+            ..MicroConfig::default()
+        },
+        42,
+    );
+    println!("weight sweep: IAT {iat} us, size {size_kb} KB per class");
+    println!("{:>4} {:>12} {:>12}", "w", "read Gbps", "write Gbps");
+    for p in weight_sweep(&ssd, &trace, &[1, 2, 3, 4, 6, 8]) {
+        println!("{:>4} {:>12.2} {:>12.2}", p.weight, p.read_gbps, p.write_gbps);
+    }
+    ExitCode::SUCCESS
+}
+
+fn load_trace(path: &str) -> Result<srcsim::workload::Trace, ExitCode> {
+    let file = std::fs::File::open(path).map_err(|e| {
+        eprintln!("cannot open {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    trace_io::read_csv(BufReader::new(file)).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let weight: u32 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1); // SSQ weights start at 1
+    let trace = match load_trace(path) {
+        Ok(t) => t,
+        Err(c) => return c,
+    };
+    println!("replaying {} requests at weight ratio {weight} on SSD-A ...", trace.len());
+    let r = run_trace(
+        &NodeConfig {
+            discipline: DisciplineKind::Ssq { weight },
+            ..NodeConfig::default()
+        },
+        &trace,
+    );
+    println!(
+        "reads  : {:>8}  {:>10} bytes  mean latency {:>9.1} us",
+        r.reads_completed, r.read_bytes, r.read_latency_us.mean()
+    );
+    println!(
+        "writes : {:>8}  {:>10} bytes  mean latency {:>9.1} us",
+        r.writes_completed, r.write_bytes, r.write_latency_us.mean()
+    );
+    println!(
+        "tput   : read {:.2} Gbps, write {:.2} Gbps (trimmed), makespan {:.1} ms",
+        r.read_tput().as_gbps_f64(),
+        r.write_tput().as_gbps_f64(),
+        r.makespan.as_ms_f64()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_fit(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let trace = match load_trace(path) {
+        Ok(t) => t,
+        Err(c) => return c,
+    };
+    let (r, w) = trace_io::fit_profiles(&trace);
+    let print = |label: &str, p: Option<srcsim::workload::synthetic::StreamProfile>| match p {
+        Some(p) => println!(
+            "{label}: iat mean {:.2} us (SCV {:.2}), size mean {:.0} B (SCV {:.2})",
+            p.iat_mean_us, p.iat_scv, p.size_mean, p.size_scv
+        ),
+        None => println!("{label}: not enough requests to fit"),
+    };
+    print("read ", r);
+    print("write", w);
+    println!("(feed these to workload::synthetic::SyntheticConfig to generate more)");
+    ExitCode::SUCCESS
+}
+
+fn cmd_storm(args: &[String]) -> ExitCode {
+    let scale = match args.first().map(String::as_str) {
+        Some("full") => Scale::full(),
+        _ => Scale::quick(),
+    };
+    let ssd = SsdConfig::ssd_a();
+    eprintln!("training TPM ...");
+    let tpm = train_tpm(&ssd, &scale, 42);
+    eprintln!("running both modes ...");
+    let r = fig7_fig8(&ssd, &scale, tpm, 7);
+    let p = |label: &str, rep: &srcsim::system_sim::SystemReport| {
+        println!(
+            "{label:<12} read={:>5.2} write={:>5.2} aggregate={:>5.2} Gbps  pauses={}",
+            rep.read_tput().as_gbps_f64(),
+            rep.write_tput().as_gbps_f64(),
+            rep.aggregated_tput().as_gbps_f64(),
+            rep.pauses_total
+        );
+    };
+    p("DCQCN-only", &r.dcqcn_only);
+    p("DCQCN-SRC", &r.dcqcn_src);
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("motivation") => cmd_motivation(),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("fit") => cmd_fit(&args[1..]),
+        Some("storm") => cmd_storm(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,168 @@
+//! Cross-crate full-system scenarios beyond the paper's experiments:
+//! Clos fabric runs, all three Table II devices, conservation checks.
+//!
+//! The heavier ones are ignored in debug builds (run
+//! `cargo test --release -- --include-ignored`).
+
+use srcsim::net_sim::ClosConfig;
+use srcsim::ssd_sim::SsdConfig;
+use srcsim::system_sim::config::{per_target_traces, spread_trace, Mode, SystemConfig, TopologyKind};
+use srcsim::system_sim::run_system;
+use srcsim::workload::micro::{generate_micro, MicroConfig};
+
+fn micro_assignments(n_per_class: usize, n_init: usize, n_tgt: usize, seed: u64) -> Vec<srcsim::system_sim::config::Assignment> {
+    let t = generate_micro(
+        &MicroConfig {
+            read_count: n_per_class,
+            write_count: n_per_class,
+            read_iat_mean_us: 15.0,
+            write_iat_mean_us: 15.0,
+            read_size_mean: 28_000.0,
+            write_size_mean: 28_000.0,
+            ..MicroConfig::default()
+        },
+        seed,
+    );
+    spread_trace(&t, n_init, n_tgt)
+}
+
+/// The full system runs over the paper's actual Clos fabric (multi-hop,
+/// ECMP, spine crossing) — not just the star used by the experiments.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy simulation; run in release")]
+fn full_system_on_clos_fabric() {
+    let cfg = SystemConfig {
+        topology: TopologyKind::Clos(ClosConfig {
+            pods: 2,
+            hosts_per_pod: 8,
+            spines: 2,
+            ..ClosConfig::default()
+        }),
+        n_initiators: 2,
+        n_targets: 4,
+        mode: Mode::DcqcnOnly,
+        ..SystemConfig::default()
+    };
+    let a = micro_assignments(400, 2, 4, 3);
+    let r = run_system(&cfg, &a, None);
+    assert_eq!(r.reads_completed, 400);
+    assert_eq!(r.writes_completed, 400);
+    assert_eq!(r.read_bytes, a.iter().filter(|x| x.request.op.is_read()).map(|x| x.request.size).sum::<u64>());
+    assert!(r.read_latency_us.mean() > 0.0);
+}
+
+/// Every Table II device completes the same workload end to end; the
+/// low-latency SSD-B finishes fastest.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy simulation; run in release")]
+fn all_table_ii_devices_run_end_to_end() {
+    let a = micro_assignments(500, 1, 2, 5);
+    let run = |ssd: SsdConfig| {
+        let cfg = SystemConfig {
+            ssd,
+            mode: Mode::DcqcnOnly,
+            ..SystemConfig::default()
+        };
+        run_system(&cfg, &a, None)
+    };
+    let ra = run(SsdConfig::ssd_a());
+    let rb = run(SsdConfig::ssd_b());
+    let rc = run(SsdConfig::ssd_c());
+    for r in [&ra, &rb, &rc] {
+        assert_eq!(r.reads_completed + r.writes_completed, 1000);
+    }
+    assert!(
+        rb.makespan < ra.makespan,
+        "SSD-B ({:?}) should beat SSD-A ({:?})",
+        rb.makespan,
+        ra.makespan
+    );
+    assert!(
+        rb.read_latency_us.mean() < ra.read_latency_us.mean(),
+        "SSD-B reads should be faster"
+    );
+}
+
+/// Write bytes counted at Targets equal the bytes the Initiators sent;
+/// read bytes delivered equal the bytes requested (system-level
+/// conservation, both modes).
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy simulation; run in release")]
+fn byte_conservation_both_modes() {
+    let a = micro_assignments(600, 1, 2, 9);
+    let expect_read: u64 = a
+        .iter()
+        .filter(|x| x.request.op.is_read())
+        .map(|x| x.request.size)
+        .sum();
+    let expect_write: u64 = a
+        .iter()
+        .filter(|x| !x.request.op.is_read())
+        .map(|x| x.request.size)
+        .sum();
+
+    let only = run_system(
+        &SystemConfig {
+            mode: Mode::DcqcnOnly,
+            ..SystemConfig::default()
+        },
+        &a,
+        None,
+    );
+    assert_eq!(only.read_bytes, expect_read);
+    assert_eq!(only.write_bytes, expect_write);
+
+    let tpm = srcsim::system_sim::experiments::train_tpm(
+        &SsdConfig::ssd_a(),
+        &srcsim::system_sim::experiments::Scale::quick(),
+        1,
+    );
+    let src = run_system(
+        &SystemConfig {
+            mode: Mode::DcqcnSrc,
+            ..SystemConfig::default()
+        },
+        &a,
+        Some(tpm),
+    );
+    assert_eq!(src.read_bytes, expect_read);
+    assert_eq!(src.write_bytes, expect_write);
+}
+
+/// Per-target traces keep target affinity: a request assigned to target
+/// 1 is served by target 1's SSD (observable through deterministic
+/// per-target workloads with distinct sizes).
+#[test]
+fn per_target_affinity() {
+    let t0 = generate_micro(
+        &MicroConfig {
+            read_count: 50,
+            write_count: 0,
+            read_size_mean: 16_000.0,
+            ..MicroConfig::default()
+        },
+        1,
+    );
+    let t1 = generate_micro(
+        &MicroConfig {
+            read_count: 0,
+            write_count: 50,
+            write_size_mean: 16_000.0,
+            ..MicroConfig::default()
+        },
+        2,
+    );
+    let a = per_target_traces(&[t0, t1], 1);
+    assert!(a.iter().filter(|x| x.target == 0).all(|x| x.request.op.is_read()));
+    assert!(a.iter().filter(|x| x.target == 1).all(|x| !x.request.op.is_read()));
+    let r = run_system(
+        &SystemConfig {
+            mode: Mode::DcqcnOnly,
+            ..SystemConfig::default()
+        },
+        &a,
+        None,
+    );
+    assert_eq!(r.reads_completed, 50);
+    assert_eq!(r.writes_completed, 50);
+}
