@@ -83,26 +83,27 @@ fn ablation_forest_size(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_forest_size");
     g.sample_size(10);
     for n_trees in [10usize, 50, 100] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(n_trees),
-            &n_trees,
-            |b, &n| {
-                b.iter(|| {
-                    let f = RandomForest::fit(
-                        &data,
-                        &RandomForestParams {
-                            n_trees: n,
-                            ..Default::default()
-                        },
-                        1,
-                    );
-                    black_box(f.predict_one(&[1.0; 12]))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(n_trees), &n_trees, |b, &n| {
+            b.iter(|| {
+                let f = RandomForest::fit(
+                    &data,
+                    &RandomForestParams {
+                        n_trees: n,
+                        ..Default::default()
+                    },
+                    1,
+                );
+                black_box(f.predict_one(&[1.0; 12]))
+            })
+        });
     }
     g.finish();
 }
 
-criterion_group!(benches, ablation_wrr_vs_fifo, ablation_cmt, ablation_forest_size);
+criterion_group!(
+    benches,
+    ablation_wrr_vs_fifo,
+    ablation_cmt,
+    ablation_forest_size
+);
 criterion_main!(benches);

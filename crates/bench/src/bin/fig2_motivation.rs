@@ -12,9 +12,17 @@ fn main() {
         ("(b) DCQCN", dcqcn_only(&p)),
         ("(c) DCQCN + SRC", with_src(&p)),
     ];
-    println!("{:<20} {:>6} {:>7} {:>7}", "regime", "reads", "writes", "total");
+    println!(
+        "{:<20} {:>6} {:>7} {:>7}",
+        "regime", "reads", "writes", "total"
+    );
     for (label, o) in rows {
-        println!("{label:<20} {:>6} {:>7} {:>7}", o.reads, o.writes, o.total());
+        println!(
+            "{label:<20} {:>6} {:>7} {:>7}",
+            o.reads,
+            o.writes,
+            o.total()
+        );
     }
     println!("\npaper: 9 -> 6 -> 9 I/Os per time unit; SRC preserves the aggregate.");
 }

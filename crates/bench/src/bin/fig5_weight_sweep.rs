@@ -15,7 +15,10 @@ fn main() {
         Some("c") => SsdConfig::ssd_c(),
         _ => SsdConfig::ssd_a(),
     };
-    println!("Fig. 5 — I/O throughput across weight ratios ({})", scale_label(&scale));
+    println!(
+        "Fig. 5 — I/O throughput across weight ratios ({})",
+        scale_label(&scale)
+    );
     rule();
     let cells = fig5(&ssd, &scale, 42);
     let weights: Vec<u32> = cells[0].points.iter().map(|p| p.weight).collect();

@@ -2,16 +2,29 @@
 //! and PFC pause counts under DCQCN-only vs DCQCN-SRC, on the VDI-like
 //! synthetic workload (1 Initiator × 2 Targets, SSD-A).
 //!
+//! Both runs stream telemetry; the traces land in
+//! `results/fig7_fig8_dcqcn_only.jsonl` and
+//! `results/fig7_fig8_dcqcn_src.jsonl` (deterministic: same seed →
+//! byte-identical files).
+//!
 //! Usage: `fig7_fig8_throughput [quick|full]`
 
+use sim_engine::{RingSink, TelemetryReport};
 use src_bench::{rule, scale_from_args, scale_label};
 use ssd_sim::SsdConfig;
-use system_sim::experiments::{fig7_fig8, train_tpm};
+use system_sim::experiments::{fig7_fig8_traced, train_tpm};
 use system_sim::SystemReport;
+
+const SEED: u64 = 7;
+const ONLY_PATH: &str = "results/fig7_fig8_dcqcn_only.jsonl";
+const SRC_PATH: &str = "results/fig7_fig8_dcqcn_src.jsonl";
 
 fn series_table(label: &str, r: &SystemReport, step_ms: usize) {
     println!("\n{label}: per-{step_ms}ms throughput (Gbps) and pauses");
-    println!("{:>7} {:>9} {:>9} {:>9} {:>8}", "t(ms)", "read", "write", "aggr", "pauses");
+    println!(
+        "{:>7} {:>9} {:>9} {:>9} {:>8}",
+        "t(ms)", "read", "write", "aggr", "pauses"
+    );
     let reads = r.read_series.bins();
     let writes = r.write_series.bins();
     let pauses = r.pause_series.bins();
@@ -34,6 +47,26 @@ fn series_table(label: &str, r: &SystemReport, step_ms: usize) {
     }
 }
 
+fn telemetry_summary(label: &str, rep: &TelemetryReport) {
+    let rates = rep.series("dcqcn", "rate_gbps");
+    let min_rate = rates
+        .iter()
+        .map(|&(_, _, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    let backlog = rep.series("txq", "backlog_bytes");
+    let max_backlog = backlog.iter().map(|&(_, _, v)| v).fold(0.0, f64::max);
+    println!(
+        "{label:<11} rate samples {:>6} (min {:>6.2} Gbps)  txq max {:>6.0} KB  \
+         ecn {:>6}  cnps {:>5}  gate closures {:>3}",
+        rates.len(),
+        if min_rate.is_finite() { min_rate } else { 0.0 },
+        max_backlog / 1024.0,
+        rep.counter(("net", 0, "ecn_marked")),
+        rep.counter(("net", 0, "cnps_sent")),
+        rep.counter(("txq", 0, "gate_closures")),
+    );
+}
+
 fn main() {
     let scale = scale_from_args();
     println!(
@@ -45,7 +78,11 @@ fn main() {
     eprintln!("training TPM on SSD-A ...");
     let tpm = train_tpm(&ssd, &scale, 42);
     eprintln!("running DCQCN-only and DCQCN-SRC ...");
-    let r = fig7_fig8(&ssd, &scale, tpm, 7);
+    let mut sink_only = RingSink::new(1 << 20);
+    let mut sink_src = RingSink::new(1 << 20);
+    let r = fig7_fig8_traced(&ssd, &scale, tpm, SEED, (&mut sink_only, &mut sink_src));
+    let rep_only = sink_only.into_report();
+    let rep_src = sink_src.into_report();
 
     let step = (r.dcqcn_only.read_series.len() / 20).max(1);
     series_table("DCQCN-only", &r.dcqcn_only, step);
@@ -54,9 +91,7 @@ fn main() {
     rule();
     let o = &r.dcqcn_only;
     let s = &r.dcqcn_src;
-    println!(
-        "summary        read      write      aggregate   pauses   makespan"
-    );
+    println!("summary        read      write      aggregate   pauses   makespan");
     println!(
         "DCQCN-only {:>7.2} {:>10.2} {:>11.2} Gbps {:>7} {:>8.1} ms",
         o.read_tput().as_gbps_f64(),
@@ -73,8 +108,37 @@ fn main() {
         s.pauses_total,
         s.makespan.as_ms_f64()
     );
-    let gain = (s.aggregated_tput().as_gbps_f64() / o.aggregated_tput().as_gbps_f64() - 1.0) * 100.0;
+    let gain =
+        (s.aggregated_tput().as_gbps_f64() / o.aggregated_tput().as_gbps_f64() - 1.0) * 100.0;
     println!("\naggregate improvement of SRC: {gain:+.0} %");
+
+    println!("\nfabric telemetry:");
+    telemetry_summary("DCQCN-only", &rep_only);
+    telemetry_summary("DCQCN-SRC", &rep_src);
+    // Print only the decisions that changed a target's weight; the full
+    // per-notification stream is in the trace file.
+    let weights = rep_src.series("src", "weight");
+    let mut last: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    let mut changes: Vec<String> = Vec::new();
+    for &(at, tgt, w) in &weights {
+        let w = w as u32;
+        if last.insert(tgt, w) != Some(w) {
+            changes.push(format!("t={:.1}ms tgt{tgt} w={w}", at.as_ms_f64()));
+        }
+    }
+    if !changes.is_empty() {
+        println!(
+            "SRC weight changes ({} decisions total): {}",
+            weights.len(),
+            changes.join(", ")
+        );
+    }
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(ONLY_PATH, rep_only.to_json_lines()).expect("write trace file");
+    std::fs::write(SRC_PATH, rep_src.to_json_lines()).expect("write trace file");
+    println!("\ntraces: {ONLY_PATH}, {SRC_PATH}");
+
     println!(
         "paper: DCQCN-only aggregate collapses (7.5 -> 2.5 Gbps) during \
          congestion;\nSRC holds it near the uncongested level and boosts writes."

@@ -1,16 +1,32 @@
 //! Reproduce Fig. 9: dynamic throughput adjustment under scripted
 //! pause/retrieval congestion events on SSD-B — SRC's convergence speed.
 //!
+//! Emits a deterministic JSON-lines trace (`results/fig9_trace.jsonl`)
+//! combining the scripted convergence run (SRC demand/weight, SSQ fetch
+//! decisions, SSD utilization) with a short congested fabric slice on
+//! the same device (DCQCN per-flow rate, TXQ backlog) — the scripted run
+//! itself has no network in the loop. Two runs with the same seed write
+//! byte-identical files.
+//!
 //! Usage: `fig9_dynamic [quick|full]`
 
+use sim_engine::RingSink;
 use src_bench::{rule, scale_from_args, scale_label};
-use system_sim::experiments::fig9;
+use system_sim::experiments::{fig9_fabric_slice, fig9_traced};
+
+const SEED: u64 = 42;
+const TRACE_PATH: &str = "results/fig9_trace.jsonl";
 
 fn main() {
     let scale = scale_from_args();
-    println!("Fig. 9 — dynamic throughput adjustment, SSD-B ({})", scale_label(&scale));
+    println!(
+        "Fig. 9 — dynamic throughput adjustment, SSD-B ({})",
+        scale_label(&scale)
+    );
     rule();
-    let r = fig9(&scale, 42);
+    let mut sink = RingSink::new(1 << 20);
+    let r = fig9_traced(&scale, SEED, &mut sink);
+    let mut rep = sink.into_report();
 
     println!("congestion events and SRC responses:");
     println!(
@@ -25,7 +41,13 @@ fn main() {
             .filter(|d| d.is_finite())
             .map(|d| format!("{d:.1}"))
             .unwrap_or_else(|| "-".into());
-        println!("{:>9.1} {:>15.2} {:>9} {:>16}", at.as_ms_f64(), demanded, w, conv);
+        println!(
+            "{:>9.1} {:>15.2} {:>9} {:>16}",
+            at.as_ms_f64(),
+            demanded,
+            w,
+            conv
+        );
     }
 
     let finite: Vec<f64> = r
@@ -37,6 +59,13 @@ fn main() {
     if !finite.is_empty() {
         let avg = finite.iter().sum::<f64>() / finite.len() as f64;
         println!("\naverage control delay: {avg:.1} ms (paper: ~7.3 ms)");
+    }
+
+    // Weight-ratio series as traced at the storage node (the applied
+    // schedule, not just the controller's decisions).
+    println!("\napplied SSQ weight changes (from the trace):");
+    for (at, _, w) in rep.series("ssq", "weight") {
+        println!("  t={:>7.1} ms  w={}", at.as_ms_f64(), w as u32);
     }
 
     println!("\nper-ms read/write throughput around the events:");
@@ -52,6 +81,49 @@ fn main() {
         println!("{:>7} {:>9.2} {:>9.2}", t, to_gbps(rv), to_gbps(wv));
         t += step;
     }
+
+    // Fabric slice: real DCQCN rates and TXQ occupancy on the same
+    // device under background congestion.
+    eprintln!("\nrunning congested fabric slice for DCQCN/TXQ series ...");
+    let mut fabric_sink = RingSink::new(1 << 20);
+    let slice = fig9_fabric_slice(&scale, SEED, &mut fabric_sink);
+    rep.merge(fabric_sink.into_report());
+
+    let rates = rep.series("dcqcn", "rate_gbps");
+    let min_rate = rates
+        .iter()
+        .map(|&(_, _, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    let backlog = rep.series("txq", "backlog_bytes");
+    let max_backlog = backlog.iter().map(|&(_, _, v)| v).fold(0.0, f64::max);
+    rule();
+    println!(
+        "fabric slice ({:.1} ms simulated):",
+        slice.makespan.as_ms_f64()
+    );
+    println!(
+        "  dcqcn rate samples: {:>6}   min rate: {:.2} Gbps",
+        rates.len(),
+        min_rate
+    );
+    println!(
+        "  txq backlog samples: {:>5}   max backlog: {:.0} KB",
+        backlog.len(),
+        max_backlog / 1024.0
+    );
+    println!(
+        "  ecn marked: {}   cnps: {}   pauses: {}   gate closures: {}",
+        rep.counter(("net", 0, "ecn_marked")),
+        rep.counter(("net", 0, "cnps_sent")),
+        rep.counter(("net", 0, "pauses_received")),
+        rep.counter(("txq", 0, "gate_closures")),
+    );
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    let lines = rep.to_json_lines();
+    std::fs::write(TRACE_PATH, &lines).expect("write trace file");
+    println!("\ntrace: {TRACE_PATH} ({} lines)", lines.lines().count());
+
     rule();
     println!(
         "paper: read throughput steps 10 -> ~6 -> ~2.5 -> ~6 -> 10 Gbps \

@@ -10,7 +10,10 @@ use system_sim::experiments::{table4, train_tpm};
 
 fn main() {
     let scale = scale_from_args();
-    println!("Table IV — in-cast ratio analysis ({})", scale_label(&scale));
+    println!(
+        "Table IV — in-cast ratio analysis ({})",
+        scale_label(&scale)
+    );
     rule();
     let ssd = SsdConfig::ssd_a();
     eprintln!("training TPM on SSD-A ...");

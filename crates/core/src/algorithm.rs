@@ -46,6 +46,12 @@ pub struct CongestionEvent {
 /// fair (w = 1) read throughput is below `r`; otherwise increases `w`
 /// until the predicted read throughput changes by less than `tau`
 /// (relative), tracking the argmin of `|TPUT_R - r|`.
+///
+/// Tie-break: the argmin comparison is strict (`dis < min_dis`), so when
+/// several ratios predict the same distance to `r` — e.g. a TPM that is
+/// flat in `w` — the *smallest* such ratio wins. That is the right bias:
+/// a larger write-starving weight is only justified when it buys a
+/// strictly closer read throughput.
 pub fn predict_weight_ratio(
     tpm: &ThroughputPredictionModel,
     r_gbps: f64,
@@ -70,7 +76,8 @@ pub fn predict_weight_ratio(
         w += 1;
         let (cur_tput, _) = tpm.predict(ch, w);
         let dis = (cur_tput - r_gbps).abs();
-        if min_dis > dis {
+        // Strict: ties keep the earlier (smaller) weight ratio.
+        if dis < min_dis {
             min_dis = dis;
             w_star = w;
         }
@@ -157,6 +164,38 @@ mod tests {
         let (tpm, ch) = synthetic_tpm();
         let w = predict_weight_ratio(&tpm, 0.0, &ch, 1e-6, 4);
         assert!(w <= 4);
+    }
+
+    #[test]
+    fn flat_tpm_ties_resolve_to_smallest_weight() {
+        // A TPM that is constant in w: every ratio predicts the same
+        // distance to the demand, so the strict argmin must keep w = 1
+        // no matter how small tau forces the search to run.
+        let ch = WorkloadFeatures {
+            read_ratio: 0.5,
+            read_iat_mean_us: 10.0,
+            write_iat_mean_us: 10.0,
+            read_size_mean: 30_000.0,
+            write_size_mean: 30_000.0,
+            read_flow_bpus: 3_000.0,
+            write_flow_bpus: 3_000.0,
+            ..Default::default()
+        };
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _rep in 0..8 {
+            for w in 1..=12u32 {
+                let mut row = ch.to_vec();
+                row.push(w as f64);
+                x.push(row);
+                y.push(vec![6.0, 3.0]);
+            }
+        }
+        let tpm = ThroughputPredictionModel::train(&Dataset::new(x, y), 40, 0);
+        // Demand below the flat 6 Gbps prediction so the search actually
+        // runs (above it the w=1 early-return fires).
+        let w = predict_weight_ratio(&tpm, 2.0, &ch, 1e-9, 12);
+        assert_eq!(w, 1, "flat predictions must tie-break to the smallest w");
     }
 
     #[test]

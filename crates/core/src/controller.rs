@@ -6,7 +6,7 @@ use crate::algorithm::{predict_weight_ratio, DEFAULT_MAX_WEIGHT, DEFAULT_TAU};
 use crate::monitor::WorkloadMonitor;
 use crate::tpm::ThroughputPredictionModel;
 use serde::{Deserialize, Serialize};
-use sim_engine::{Rate, SimDuration, SimTime};
+use sim_engine::{ProbeBuffer, Rate, SimDuration, SimTime, TraceRecord};
 use std::sync::Arc;
 use workload::Request;
 
@@ -56,6 +56,8 @@ pub struct SrcController {
     current_weight: u32,
     last_reaction: Option<SimTime>,
     decisions: Vec<Decision>,
+    probes: ProbeBuffer,
+    scope: u64,
 }
 
 impl SrcController {
@@ -69,7 +71,23 @@ impl SrcController {
             current_weight: 1,
             last_reaction: None,
             decisions: Vec::new(),
+            probes: ProbeBuffer::default(),
+            scope: 0,
         }
+    }
+
+    /// Enable or disable telemetry probes; `scope` tags the records
+    /// (Target index in multi-target runs). Disabling drops buffered
+    /// records.
+    pub fn set_telemetry(&mut self, on: bool, scope: u64) {
+        self.probes.set_enabled(on);
+        self.scope = scope;
+    }
+
+    /// Take the buffered trace records (demand seen and weight chosen on
+    /// each non-suppressed congestion notification).
+    pub fn drain_probes(&mut self) -> Vec<TraceRecord> {
+        self.probes.drain()
     }
 
     /// Feed the monitor with a request arriving at the Target.
@@ -100,6 +118,15 @@ impl SrcController {
             demanded,
             weight: w,
         });
+        self.probes.record(
+            now,
+            "src",
+            self.scope,
+            "demand_gbps",
+            demanded.as_gbps_f64(),
+        );
+        self.probes
+            .record(now, "src", self.scope, "weight", w as f64);
         if w != self.current_weight {
             self.current_weight = w;
             Some(w)
@@ -161,12 +188,19 @@ mod tests {
         for i in 0..100u64 {
             let req = Request {
                 id: now_ms * 1000 + i,
-                op: if i % 2 == 0 { IoType::Read } else { IoType::Write },
+                op: if i % 2 == 0 {
+                    IoType::Read
+                } else {
+                    IoType::Write
+                },
                 lba: i * 8,
                 size: 30_000,
                 arrival: SimTime::ZERO,
             };
-            src.observe(&req, SimTime::from_ms(now_ms) + SimDuration::from_us(i * 10));
+            src.observe(
+                &req,
+                SimTime::from_ms(now_ms) + SimDuration::from_us(i * 10),
+            );
         }
     }
 
@@ -197,6 +231,26 @@ mod tests {
             src.on_congestion_notification(Rate::from_gbps(5), t + SimDuration::from_us(50));
         assert_eq!(again, None);
         assert_eq!(src.decisions().len(), 1);
+    }
+
+    #[test]
+    fn telemetry_traces_decisions() {
+        let mut src = controller();
+        src.set_telemetry(true, 3);
+        feed(&mut src, 0);
+        let _ = src.on_congestion_notification(Rate::from_gbps_f64(3.3), SimTime::from_ms(1));
+        // Suppressed notification: no decision, no probe.
+        let _ = src.on_congestion_notification(
+            Rate::from_gbps(5),
+            SimTime::from_ms(1) + SimDuration::from_us(50),
+        );
+        let recs = src.drain_probes();
+        assert_eq!(recs.len(), 2, "demand + weight per decision");
+        assert_eq!(recs[0].metric, "demand_gbps");
+        assert!((recs[0].value - 3.3).abs() < 1e-9);
+        assert_eq!(recs[1].metric, "weight");
+        assert_eq!(recs[0].scope, 3);
+        assert!(src.drain_probes().is_empty(), "drain empties the buffer");
     }
 
     #[test]

@@ -39,7 +39,7 @@ impl WorkloadMonitor {
     /// lazily.
     pub fn observe(&mut self, req: &Request, now: SimTime) {
         debug_assert!(
-            self.seen.back().map_or(true, |r| r.arrival <= now),
+            self.seen.back().is_none_or(|r| r.arrival <= now),
             "observations must be time-ordered"
         );
         let mut r = *req;
@@ -50,11 +50,7 @@ impl WorkloadMonitor {
 
     fn evict(&mut self, now: SimTime) {
         let cutoff = now.saturating_sub(self.window);
-        while self
-            .seen
-            .front()
-            .is_some_and(|r| r.arrival < cutoff)
-        {
+        while self.seen.front().is_some_and(|r| r.arrival < cutoff) {
             self.seen.pop_front();
         }
     }
@@ -118,7 +114,11 @@ mod tests {
     fn mixed_workload_ratio() {
         let mut m = WorkloadMonitor::new(SimDuration::from_ms(50));
         for i in 0..10 {
-            let op = if i % 5 == 0 { IoType::Write } else { IoType::Read };
+            let op = if i % 5 == 0 {
+                IoType::Write
+            } else {
+                IoType::Read
+            };
             m.observe(&req(i, op, 16_384), SimTime::from_us(i * 100));
         }
         let f = m.features(SimTime::from_ms(1));

@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn construction_and_shape() {
-        let d = Dataset::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![vec![1.0], vec![2.0]]);
+        let d = Dataset::new(
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            vec![vec![1.0], vec![2.0]],
+        );
         assert_eq!(d.len(), 2);
         assert_eq!(d.n_features(), 2);
         assert_eq!(d.n_outputs(), 1);

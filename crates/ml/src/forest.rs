@@ -70,9 +70,7 @@ impl RandomForest {
         let trees: Vec<DecisionTree> = (0..params.n_trees)
             .into_par_iter()
             .map(|t| {
-                let mut rng = StdRng::seed_from_u64(
-                    sim_seed(seed, t as u64),
-                );
+                let mut rng = StdRng::seed_from_u64(sim_seed(seed, t as u64));
                 let idx: Vec<usize> = (0..draw).map(|_| rng.gen_range(0..n)).collect();
                 let sample = data.subset(&idx);
                 DecisionTree::fit_with(&sample, &tree_params, &mut rng)
@@ -217,16 +215,8 @@ mod tests {
     #[test]
     fn prediction_stays_within_target_hull() {
         let d = noisy_nonlinear(150);
-        let lo = d
-            .y
-            .iter()
-            .map(|r| r[0])
-            .fold(f64::INFINITY, f64::min);
-        let hi = d
-            .y
-            .iter()
-            .map(|r| r[0])
-            .fold(f64::NEG_INFINITY, f64::max);
+        let lo = d.y.iter().map(|r| r[0]).fold(f64::INFINITY, f64::min);
+        let hi = d.y.iter().map(|r| r[0]).fold(f64::NEG_INFINITY, f64::max);
         let f = RandomForest::fit(
             &d,
             &RandomForestParams {
@@ -239,7 +229,10 @@ mod tests {
         // leave the hull of training targets.
         for q in [[-100.0, -100.0], [1e6, 1e6], [0.0, 1e3]] {
             let p = f.predict_one(&q)[0];
-            assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "p={p} outside [{lo},{hi}]");
+            assert!(
+                p >= lo - 1e-9 && p <= hi + 1e-9,
+                "p={p} outside [{lo},{hi}]"
+            );
         }
     }
 

@@ -24,11 +24,7 @@ impl KnnRegressor {
         assert!(k > 0, "k must be positive");
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
         let (mean, std) = data.feature_moments();
-        let x: Vec<Vec<f64>> = data
-            .x
-            .iter()
-            .map(|r| standardize(r, &mean, &std))
-            .collect();
+        let x: Vec<Vec<f64>> = data.x.iter().map(|r| standardize(r, &mean, &std)).collect();
         KnnRegressor {
             k: k.min(data.len()),
             mean,

@@ -97,12 +97,12 @@ impl ModelKind {
             ModelKind::Linear => Box::new(LinearRegression::fit(data)),
             ModelKind::Polynomial => Box::new(PolynomialRegression::fit(data, 2)),
             ModelKind::Knn => Box::new(KnnRegressor::fit(data, 5)),
-            ModelKind::DecisionTree => {
-                Box::new(DecisionTree::fit(data, &TreeParams::default()))
-            }
-            ModelKind::RandomForest => {
-                Box::new(RandomForest::fit(data, &RandomForestParams::default(), seed))
-            }
+            ModelKind::DecisionTree => Box::new(DecisionTree::fit(data, &TreeParams::default())),
+            ModelKind::RandomForest => Box::new(RandomForest::fit(
+                data,
+                &RandomForestParams::default(),
+                seed,
+            )),
         }
     }
 }

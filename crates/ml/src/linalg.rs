@@ -5,6 +5,7 @@
 /// pivoting. `a` is row-major `n × n`, consumed; `b` has length `n`.
 ///
 /// Returns `None` when the matrix is numerically singular.
+#[allow(clippy::needless_range_loop)] // index form mirrors the math
 pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = a.len();
     assert!(a.iter().all(|r| r.len() == n), "matrix must be square");
@@ -50,6 +51,7 @@ pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
 
 /// Compute `X^T X + ridge*I` (as `p × p`) and `X^T Y` (as `p × m`) for a
 /// design matrix `X` (`n × p`, rows) and targets `Y` (`n × m`).
+#[allow(clippy::needless_range_loop)] // index form mirrors the math
 pub fn normal_equations(
     x: &[Vec<f64>],
     y: &[Vec<f64>],
@@ -132,7 +134,11 @@ mod tests {
         // Build A = M^T M + I (SPD) and a known x; verify solve recovers x.
         let n = 8;
         let m: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..n).map(|j| ((i * 31 + j * 17) % 13) as f64 / 13.0).collect())
+            .map(|i| {
+                (0..n)
+                    .map(|j| ((i * 31 + j * 17) % 13) as f64 / 13.0)
+                    .collect()
+            })
             .collect();
         let (a, _) = normal_equations(&m, &vec![vec![0.0]; n], 1.0);
         let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();

@@ -114,7 +114,10 @@ mod tests {
     fn fits_quadratic_exactly() {
         // y = x^2 - 2x + 1 on a grid.
         let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 5.0]).collect();
-        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0] * r[0] - 2.0 * r[0] + 1.0]).collect();
+        let y: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| vec![r[0] * r[0] - 2.0 * r[0] + 1.0])
+            .collect();
         let m = PolynomialRegression::fit(&Dataset::new(x.clone(), y.clone()), 2);
         let pred = m.predict(&x);
         assert!(r2_score_multi(&y, &pred) > 1.0 - 1e-8);
@@ -144,10 +147,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "degree must be at least 1")]
     fn degree_zero_rejected() {
-        let _ = PolynomialRegression::fit(
-            &Dataset::new(vec![vec![1.0]], vec![vec![1.0]]),
-            0,
-        );
+        let _ = PolynomialRegression::fit(&Dataset::new(vec![vec![1.0]], vec![vec![1.0]]), 0);
     }
 
     #[test]

@@ -273,7 +273,7 @@ impl DecisionTree {
                     continue; // cannot split between equal values
                 }
                 let child = left.sse(nl) + right.sse(nr);
-                if best.map_or(true, |(_, _, b)| child < b) {
+                if best.is_none_or(|(_, _, b)| child < b) {
                     best = Some((f, 0.5 * (xv + xnext), child));
                 }
             }
@@ -308,7 +308,11 @@ impl Regressor for DecisionTree {
                     left,
                     right,
                 } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -345,7 +349,9 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..60)
             .map(|i| vec![i as f64, ((i * 37) % 11) as f64])
             .collect();
-        let y: Vec<Vec<f64>> = (0..60).map(|i| vec![if i < 30 { 0.0 } else { 5.0 }]).collect();
+        let y: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![if i < 30 { 0.0 } else { 5.0 }])
+            .collect();
         let t = DecisionTree::fit(&Dataset::new(x, y), &TreeParams::default());
         let imp = t.feature_importance();
         assert!(imp[0] > 0.9, "importance {imp:?}");
@@ -408,7 +414,10 @@ mod tests {
 
     #[test]
     fn identical_feature_values_do_not_split() {
-        let d = Dataset::new(vec![vec![1.0]; 10], (0..10).map(|i| vec![i as f64]).collect());
+        let d = Dataset::new(
+            vec![vec![1.0]; 10],
+            (0..10).map(|i| vec![i as f64]).collect(),
+        );
         let t = DecisionTree::fit(&d, &TreeParams::default());
         assert_eq!(t.n_nodes(), 1, "cannot split identical features");
         assert!((t.predict_one(&[1.0])[0] - 4.5).abs() < 1e-12);

@@ -180,24 +180,34 @@ impl RpState {
     /// and byte-counter iteration counts, as in the DCQCN paper: fast
     /// recovery halves the gap to `Rt`; additive increase raises `Rt` by
     /// `Rai`; hyper increase (both counters past the stage bound) raises
-    /// it by `Rhai`.
-    pub fn increase(&mut self, p: &DcqcnParams) {
+    /// it by `Rhai`. Returns the stage that executed (for telemetry).
+    ///
+    /// `Rt` is monotone across increase steps: `Rc <= Rt` is an
+    /// invariant (`on_cnp` re-anchors `Rt` at the pre-cut `Rc`, both
+    /// stay above `min_rate`, and recovery only moves `Rc` toward `Rt`
+    /// while `Rt` only grows), so an earlier `Rt = max(Rt, Rc)`
+    /// pre-clamp in the hyper branch — absent from the additive branch
+    /// — could never fire and has been removed. The regression test
+    /// `hyper_increase_never_lowers_target` pins the monotonicity down.
+    pub fn increase(&mut self, p: &DcqcnParams) -> RpStage {
+        debug_assert!(self.rate <= self.target, "Rc <= Rt invariant broken");
         let f = p.fast_recovery_stages;
         let stage = self.timer_iters.max(self.byte_iters);
-        if stage > f && self.timer_iters > f && self.byte_iters > f {
-            // Hyper increase.
-            self.target = (self.target.max(self.rate))
-                .max(Rate::ZERO)
-                .min(self.line_rate);
+        let executed = if self.timer_iters > f && self.byte_iters > f {
+            // Hyper increase: both counters past the fast-recovery bound.
             self.target = Rate::from_bps(
                 (self.target.as_bps() + p.rhai.as_bps()).min(self.line_rate.as_bps()),
             );
+            RpStage::Hyper
         } else if stage > f {
             // Additive increase.
             self.target = Rate::from_bps(
                 (self.target.as_bps() + p.rai.as_bps()).min(self.line_rate.as_bps()),
             );
-        }
+            RpStage::Additive
+        } else {
+            RpStage::FastRecovery
+        };
         // Fast recovery toward the target in every stage. Snap once the
         // gap closes below 1 Mbps — integer halving would otherwise
         // asymptote one bps below the target and keep the recovery timer
@@ -209,6 +219,30 @@ impl RpState {
             next
         };
         self.rate = Rate::from_bps(next).min(self.line_rate).max(p.min_rate);
+        executed
+    }
+}
+
+/// Which branch one [`RpState::increase`] call took (telemetry: the RP
+/// stage transitions the trace records).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RpStage {
+    /// Gap-halving toward `Rt` only; `Rt` untouched.
+    FastRecovery,
+    /// `Rt += Rai`.
+    Additive,
+    /// `Rt += Rhai` (both counters past the fast-recovery bound).
+    Hyper,
+}
+
+impl RpStage {
+    /// Numeric encoding used in trace records (0, 1, 2).
+    pub fn as_code(self) -> f64 {
+        match self {
+            RpStage::FastRecovery => 0.0,
+            RpStage::Additive => 1.0,
+            RpStage::Hyper => 2.0,
+        }
     }
 }
 
@@ -299,6 +333,33 @@ mod tests {
     }
 
     #[test]
+    fn hyper_increase_never_lowers_target() {
+        let params = p();
+        let mut rp = RpState::new(Rate::from_gbps(40));
+        // Cut deep so recovery has room, then run both counters past
+        // the fast-recovery bound: Rt must be monotone through every
+        // stage, including hyper.
+        for _ in 0..8 {
+            rp.on_cnp(&params);
+        }
+        let mut prev = rp.target();
+        let mut saw_hyper = false;
+        for _ in 0..params.fast_recovery_stages + 10 {
+            rp.on_rate_timer();
+            let _ = rp.on_bytes_sent(params.byte_counter, &params);
+            let stage = rp.increase(&params);
+            saw_hyper |= stage == RpStage::Hyper;
+            assert!(
+                rp.target() >= prev,
+                "{stage:?} lowered Rt: {prev:?} -> {:?}",
+                rp.target()
+            );
+            prev = rp.target();
+        }
+        assert!(saw_hyper, "test never reached the hyper stage");
+    }
+
+    #[test]
     fn byte_counter_fires_on_threshold() {
         let params = p();
         let mut rp = RpState::new(Rate::from_gbps(40));
@@ -342,6 +403,7 @@ mod tests {
                 }
                 proptest::prop_assert!(rp.rate >= params.min_rate);
                 proptest::prop_assert!(rp.rate <= line);
+                proptest::prop_assert!(rp.rate <= rp.target());
                 proptest::prop_assert!(rp.alpha() >= 0.0 && rp.alpha() <= 1.0);
             }
         }

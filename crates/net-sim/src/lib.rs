@@ -48,7 +48,7 @@ pub mod network;
 pub mod timely;
 pub mod topology;
 
-pub use dcqcn::{DcqcnParams, NpState, RpState};
+pub use dcqcn::{DcqcnParams, NpState, RpStage, RpState};
 pub use network::{CcMode, Delivery, FlowId, NetEvent, NetStep, Network, PfcParams};
 pub use timely::{TimelyParams, TimelyState};
 pub use topology::{build_clos, build_star, Clos, ClosConfig, NodeId, NodeKind, Topology};

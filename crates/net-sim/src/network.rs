@@ -10,7 +10,7 @@
 use crate::dcqcn::{DcqcnParams, NpState, RpState};
 use crate::timely::{TimelyParams, TimelyState};
 use crate::topology::{NodeId, NodeKind, Topology};
-use sim_engine::{Rate, SimTime, TokenBucket};
+use sim_engine::{ProbeBuffer, Rate, SimTime, TokenBucket, TraceRecord};
 use std::collections::VecDeque;
 
 /// Identifier of a unidirectional RDMA flow (queue pair).
@@ -219,6 +219,9 @@ pub struct Network {
     cnps_sent: u64,
     /// Deterministic marking "randomness" (low-discrepancy sequence).
     mark_seq: u64,
+    /// Telemetry probes: DCQCN RP/NP transitions and `Rc`/`Rt`/alpha
+    /// samples, drained by the owning event loop.
+    probes: ProbeBuffer,
 }
 
 const CNP_SIZE: u64 = 64;
@@ -269,7 +272,34 @@ impl Network {
             ecn_marked: 0,
             cnps_sent: 0,
             mark_seq: 0,
+            probes: ProbeBuffer::default(),
         }
+    }
+
+    /// Turn telemetry probes on or off (off by default; disabling
+    /// clears anything pending).
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.probes.set_enabled(on);
+    }
+
+    /// Move pending probe records out, preserving record order. The
+    /// event-loop owner feeds these into its `TraceSink`.
+    pub fn drain_probes(&mut self) -> Vec<TraceRecord> {
+        self.probes.drain()
+    }
+
+    /// Sample one flow's RP state (`Rc`, `Rt`, alpha) into the probe
+    /// buffer. No-op while telemetry is off.
+    fn probe_rp_state(&mut self, flow: usize, now: SimTime) {
+        if !self.probes.is_enabled() {
+            return;
+        }
+        let rp = &self.flows[flow].rp;
+        let (r, t, a) = (rp.rate.as_gbps_f64(), rp.target().as_gbps_f64(), rp.alpha());
+        let fid = flow as u64;
+        self.probes.record(now, "dcqcn", fid, "rate_gbps", r);
+        self.probes.record(now, "dcqcn", fid, "target_gbps", t);
+        self.probes.record(now, "dcqcn", fid, "alpha", a);
     }
 
     /// Switch every sender to TIMELY rate control. Call before any
@@ -285,8 +315,16 @@ impl Network {
 
     /// Register a unidirectional flow; returns its id.
     pub fn add_flow(&mut self, src: NodeId, dst: NodeId) -> FlowId {
-        assert_eq!(self.topo.kind(src), NodeKind::Host, "flow src must be a host");
-        assert_eq!(self.topo.kind(dst), NodeKind::Host, "flow dst must be a host");
+        assert_eq!(
+            self.topo.kind(src),
+            NodeKind::Host,
+            "flow src must be a host"
+        );
+        assert_eq!(
+            self.topo.kind(dst),
+            NodeKind::Host,
+            "flow dst must be a host"
+        );
         assert_ne!(src, dst, "flow endpoints must differ");
         let uplink = self.nics[src.0].as_ref().expect("host NIC").uplink;
         let line = self.topo.link(uplink).rate;
@@ -378,12 +416,7 @@ impl Network {
     pub fn host_backlog_bytes(&self, host: NodeId) -> u64 {
         self.nics[host.0]
             .as_ref()
-            .map(|nic| {
-                nic.flows
-                    .iter()
-                    .map(|&f| self.flows[f].queued_bytes)
-                    .sum()
-            })
+            .map(|nic| nic.flows.iter().map(|&f| self.flows[f].queued_bytes).sum())
             .unwrap_or(0)
     }
 
@@ -421,11 +454,7 @@ impl Network {
             && self.ports.iter().all(|p| {
                 p.queue.is_empty() && p.ctrl_queue.is_empty() && p.in_flight.is_empty() && !p.busy
             })
-            && self
-                .nics
-                .iter()
-                .flatten()
-                .all(|n| n.ctrl.is_empty())
+            && self.nics.iter().flatten().all(|n| n.ctrl.is_empty())
     }
 
     // ------------------------------------------------------------------
@@ -455,7 +484,10 @@ impl Network {
             let fid = flows[(start + k) % flows.len()];
             let (has_pkt, size) = {
                 let f = &self.flows[fid];
-                (f.queue.front().is_some(), f.queue.front().map_or(0, |p| p.size))
+                (
+                    f.queue.front().is_some(),
+                    f.queue.front().map_or(0, |p| p.size),
+                )
             };
             if !has_pkt {
                 continue;
@@ -535,10 +567,14 @@ impl Network {
                 {
                     let f = &mut self.flows[sent.flow.0];
                     if f.rp.on_bytes_sent(sent.size, &self.params) {
-                        f.rp.increase(&self.params);
+                        let stage = f.rp.increase(&self.params);
                         let r = f.rp.rate;
                         f.bucket.set_rate(now, r);
                         step.rate_changes.push((sent.flow, r));
+                        let fid = sent.flow.0 as u64;
+                        self.probes
+                            .record(now, "dcqcn", fid, "rp_stage", stage.as_code());
+                        self.probe_rp_state(sent.flow.0, now);
                     }
                 }
                 self.kick_nic(from, now, step);
@@ -697,6 +733,8 @@ impl Network {
                             .on_marked_packet(now, &self.params);
                         if send_cnp {
                             self.cnps_sent += 1;
+                            self.probes
+                                .record(now, "dcqcn", pkt.flow.0 as u64, "np_cnp", 1.0);
                             let src_host = self.flows[pkt.flow.0].src;
                             let cnp = Packet {
                                 flow: pkt.flow,
@@ -767,6 +805,8 @@ impl Network {
                     (r, f.rp.generation)
                 };
                 step.rate_changes.push((pkt.flow, rate));
+                self.probes.record(now, "dcqcn", fidx as u64, "cnp_rx", 1.0);
+                self.probe_rp_state(fidx, now);
                 // (Re-)arm the DCQCN timers for this congestion episode.
                 let f = &mut self.flows[fidx];
                 f.timers_armed = true;
@@ -791,6 +831,10 @@ impl Network {
             return; // stale
         }
         f.rp.on_alpha_timer(&self.params);
+        let alpha = f.rp.alpha();
+        self.probes
+            .record(now, "dcqcn", flow as u64, "alpha", alpha);
+        let f = &mut self.flows[flow];
         if f.rp.alpha() > 1e-4 {
             step.schedule.push((
                 now + self.params.alpha_timer,
@@ -805,14 +849,20 @@ impl Network {
             if !f.timers_armed || f.rp.generation != gen {
                 return; // stale
             }
-            self.topo.link(self.nics[f.src.0].as_ref().unwrap().uplink).rate
+            self.topo
+                .link(self.nics[f.src.0].as_ref().unwrap().uplink)
+                .rate
         };
         let f = &mut self.flows[flow];
         f.rp.on_rate_timer();
-        f.rp.increase(&self.params);
+        let stage = f.rp.increase(&self.params);
         let r = f.rp.rate;
         f.bucket.set_rate(now, r);
         step.rate_changes.push((FlowId(flow), r));
+        self.probes
+            .record(now, "dcqcn", flow as u64, "rp_stage", stage.as_code());
+        self.probe_rp_state(flow, now);
+        let f = &mut self.flows[flow];
         if r < line {
             step.schedule.push((
                 now + self.params.rate_timer,

@@ -101,7 +101,11 @@ impl TimelyState {
         let gradient = self.rtt_diff_us / p.min_rtt.as_us_f64();
         if gradient <= 0.0 {
             self.neg_streak += 1;
-            let n = if self.neg_streak >= p.hai_threshold { 5 } else { 1 };
+            let n = if self.neg_streak >= p.hai_threshold {
+                5
+            } else {
+                1
+            };
             self.rate = Rate::from_bps(
                 (self.rate.as_bps() + n * p.delta.as_bps()).min(self.line_rate.as_bps()),
             );

@@ -143,8 +143,7 @@ impl Topology {
                 for &li in &self.out_links[src] {
                     let l = &self.links[li];
                     let via = l.to.0;
-                    let via_ok =
-                        via == dst || self.kinds[via] == NodeKind::Switch;
+                    let via_ok = via == dst || self.kinds[via] == NodeKind::Switch;
                     if via_ok && dist[via] != usize::MAX && dist[via] + 1 == dist[src] {
                         routes[src][dst].push(li);
                     }

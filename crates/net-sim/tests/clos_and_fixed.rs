@@ -98,7 +98,10 @@ fn fixed_rate_flow_is_shaped_and_cc_exempt() {
     let adaptive = net.add_flow(hosts[1], hosts[2]);
     let mut init = Vec::new();
     init.extend(net.send(fixed, 2 * 1024 * 1024, 0, SimTime::ZERO).schedule);
-    init.extend(net.send(adaptive, 2 * 1024 * 1024, 1, SimTime::ZERO).schedule);
+    init.extend(
+        net.send(adaptive, 2 * 1024 * 1024, 1, SimTime::ZERO)
+            .schedule,
+    );
     let mut q = EventQueue::new();
     for (t, e) in init {
         q.schedule(t, e);
@@ -147,7 +150,10 @@ fn fixed_rate_flows_never_generate_cnps() {
     let mut init = Vec::new();
     for i in 0..3 {
         let f = net.add_fixed_rate_flow(hosts[i], hosts[3], Rate::from_gbps(20));
-        init.extend(net.send(f, 4 * 1024 * 1024, i as u64, SimTime::ZERO).schedule);
+        init.extend(
+            net.send(f, 4 * 1024 * 1024, i as u64, SimTime::ZERO)
+                .schedule,
+        );
     }
     let (delivered, _) = drive(&mut net, init, 20_000_000);
     assert_eq!(delivered, 3 * 4 * 1024 * 1024);

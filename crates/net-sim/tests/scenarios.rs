@@ -108,7 +108,10 @@ fn incast_triggers_ecn_cnp_and_rate_cuts() {
     let flows: Vec<FlowId> = (0..8).map(|i| net.add_flow(hosts[i], dst)).collect();
     let mut init = Vec::new();
     for (i, &f) in flows.iter().enumerate() {
-        init.extend(net.send(f, 3 * 1024 * 1024, i as u64, SimTime::ZERO).schedule);
+        init.extend(
+            net.send(f, 3 * 1024 * 1024, i as u64, SimTime::ZERO)
+                .schedule,
+        );
     }
     let res = run(&mut net, init, 40_000_000);
     let delivered: u64 = res.deliveries.iter().map(|(_, d)| d.bytes).sum();
@@ -153,9 +156,12 @@ fn severe_incast_generates_pfc_pauses() {
     );
     let dst = hosts[16];
     let mut init = Vec::new();
-    for i in 0..16 {
-        let f = net.add_flow(hosts[i], dst);
-        init.extend(net.send(f, 2 * 1024 * 1024, i as u64, SimTime::ZERO).schedule);
+    for (i, &h) in hosts.iter().take(16).enumerate() {
+        let f = net.add_flow(h, dst);
+        init.extend(
+            net.send(f, 2 * 1024 * 1024, i as u64, SimTime::ZERO)
+                .schedule,
+        );
     }
     let res = run(&mut net, init, 60_000_000);
     assert!(!res.pauses.is_empty(), "PFC pauses should fire");

@@ -74,7 +74,10 @@ fn timely_incast_cuts_rates_and_delivers_everything() {
     let mut init = Vec::new();
     for i in 0..8 {
         let f = net.add_flow(hosts[i], hosts[8]);
-        init.extend(net.send(f, 2 * 1024 * 1024, i as u64, SimTime::ZERO).schedule);
+        init.extend(
+            net.send(f, 2 * 1024 * 1024, i as u64, SimTime::ZERO)
+                .schedule,
+        );
     }
     let r = run(&mut net, init, 40_000_000);
     assert_eq!(r.delivered, 8 * 2 * 1024 * 1024);

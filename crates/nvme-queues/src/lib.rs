@@ -43,6 +43,24 @@ pub use ssq::SsqQueues;
 
 use workload::{IoType, Request};
 
+/// One arbitration outcome (telemetry): which class the discipline
+/// fetched and whether the fetch charged a weighted-round-robin token.
+///
+/// Disciplines are pure queueing logic with no simulated clock, so the
+/// decision carries no timestamp; the owner of the event loop stamps
+/// drained decisions with its own `SimTime` when forwarding them to a
+/// trace sink.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchDecision {
+    /// I/O class of the fetched command.
+    pub op: IoType,
+    /// `true` when the fetch spent a token of its class; `false` on the
+    /// fade-out path (preferred queue empty, served free of charge).
+    pub charged: bool,
+    /// Write:read weight ratio in force when the decision was made.
+    pub weight: u32,
+}
+
 /// A submission-queue discipline: accepts commands from the NVMe-oF
 /// target driver, hands them to the device, and tracks the in-flight
 /// budget (device queue depth).
@@ -101,4 +119,14 @@ pub trait QueueDiscipline: Send {
 
     /// Configure the merge cap (no-op where unsupported).
     fn set_merge_cap(&mut self, _cap: Option<u64>) {}
+
+    /// Turn fetch-decision telemetry on or off (default: discipline
+    /// does not support telemetry; no-op).
+    fn set_telemetry(&mut self, _on: bool) {}
+
+    /// Drain accumulated [`FetchDecision`]s in decision order (default:
+    /// none). Cheap when telemetry is off.
+    fn drain_decisions(&mut self) -> Vec<FetchDecision> {
+        Vec::new()
+    }
 }

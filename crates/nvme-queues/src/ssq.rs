@@ -17,7 +17,7 @@
 //!   I/O never reorders; its fetch still charges a token of its own I/O
 //!   class, preserving the demanded weight ratio.
 
-use crate::QueueDiscipline;
+use crate::{FetchDecision, QueueDiscipline};
 use std::collections::{HashMap, VecDeque};
 use workload::{IoType, Request};
 
@@ -56,6 +56,9 @@ pub struct SsqQueues {
     merge_cap: Option<u64>,
     /// Requests absorbed by merging.
     merges: u64,
+    /// Telemetry: when on, every fetch appends a [`FetchDecision`].
+    telemetry: bool,
+    decisions: Vec<FetchDecision>,
 }
 
 impl SsqQueues {
@@ -83,6 +86,8 @@ impl SsqQueues {
             consistency: true,
             merge_cap: None,
             merges: 0,
+            telemetry: false,
+            decisions: Vec::new(),
         }
     }
 
@@ -113,19 +118,16 @@ impl SsqQueues {
                 IoType::Write => self.wsq.back().map(|t| t.id),
             };
             let depends_elsewhere = (cmd.lba..cmd.lba_end()).any(|sector| {
-                self.sector_owner
-                    .get(&sector)
-                    .is_some_and(|owner| Some(*owner) != tail_id && self.waiting.contains_key(owner))
+                self.sector_owner.get(&sector).is_some_and(|owner| {
+                    Some(*owner) != tail_id && self.waiting.contains_key(owner)
+                })
             });
             let queue = match cmd.op {
                 IoType::Read => &mut self.rsq,
                 IoType::Write => &mut self.wsq,
             };
             if let (Some(tail), false) = (queue.back_mut(), depends_elsewhere) {
-                if tail.op == cmd.op
-                    && tail.lba_end() == cmd.lba
-                    && tail.size + cmd.size <= cap
-                {
+                if tail.op == cmd.op && tail.lba_end() == cmd.lba && tail.size + cmd.size <= cap {
                     tail.size += cmd.size;
                     let tail_id = tail.id;
                     let (lo, hi) = (cmd.lba, cmd.lba_end());
@@ -215,8 +217,7 @@ impl SsqQueues {
                     || (self.wsq.is_empty() && self.outstanding_w == 0)
             }
             IoType::Write => {
-                self.outstanding_w < w_cap
-                    || (self.rsq.is_empty() && self.outstanding_r == 0)
+                self.outstanding_w < w_cap || (self.rsq.is_empty() && self.outstanding_r == 0)
             }
         }
     }
@@ -236,6 +237,13 @@ impl SsqQueues {
             }
         } else {
             self.free_fetches += 1;
+        }
+        if self.telemetry {
+            self.decisions.push(FetchDecision {
+                op: cmd.op,
+                charged: charge_token,
+                weight: self.weight_w,
+            });
         }
         match cmd.op {
             IoType::Read => {
@@ -278,7 +286,7 @@ impl QueueDiscipline for SsqQueues {
             for sector in cmd.lba..cmd.lba_end() {
                 if let Some(owner) = self.sector_owner.get(&sector) {
                     if let Some(&sq) = self.waiting.get(owner) {
-                        if latest.map_or(true, |(id, _)| *owner > id) {
+                        if latest.is_none_or(|(id, _)| *owner > id) {
                             latest = Some((*owner, sq));
                         }
                     }
@@ -361,7 +369,11 @@ impl QueueDiscipline for SsqQueues {
     fn queued_of(&self, op: IoType) -> usize {
         // Queues can hold foreign-class commands via consistency
         // rerouting, so count by command class, not by queue.
-        self.rsq.iter().chain(self.wsq.iter()).filter(|r| r.op == op).count()
+        self.rsq
+            .iter()
+            .chain(self.wsq.iter())
+            .filter(|r| r.op == op)
+            .count()
     }
 
     fn outstanding(&self) -> usize {
@@ -386,6 +398,17 @@ impl QueueDiscipline for SsqQueues {
 
     fn set_merge_cap(&mut self, cap: Option<u64>) {
         SsqQueues::set_merge_cap(self, cap)
+    }
+
+    fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
+        if !on {
+            self.decisions.clear();
+        }
+    }
+
+    fn drain_decisions(&mut self) -> Vec<FetchDecision> {
+        std::mem::take(&mut self.decisions)
     }
 }
 
@@ -518,7 +541,10 @@ mod tests {
             q.on_complete(c.op);
         }
         let pos = |id: u64| order.iter().position(|&x| x == id).unwrap();
-        assert!(pos(1) < pos(2), "write must precede dependent read: {order:?}");
+        assert!(
+            pos(1) < pos(2),
+            "write must precede dependent read: {order:?}"
+        );
     }
 
     #[test]
@@ -584,6 +610,27 @@ mod tests {
     #[should_panic(expected = "weight ratio must be at least 1")]
     fn zero_weight_rejected() {
         let _ = SsqQueues::new(8, 0);
+    }
+
+    #[test]
+    fn telemetry_records_fetch_decisions() {
+        let mut q = SsqQueues::new(64, 2);
+        for i in 0..20 {
+            q.enqueue(req(i, IoType::Read, i * 10));
+            q.enqueue(req(1000 + i, IoType::Write, 100_000 + i * 10));
+        }
+        // Off by default: fetches leave no decisions behind.
+        let _ = fetch_sequence(&mut q, 6);
+        assert!(q.drain_decisions().is_empty());
+        q.set_telemetry(true);
+        let seq = fetch_sequence(&mut q, 9);
+        let decisions = q.drain_decisions();
+        assert_eq!(decisions.len(), 9);
+        // Decision order matches fetch order, and all are token-charged
+        // under full two-class backlog.
+        assert_eq!(decisions.iter().map(|d| d.op).collect::<Vec<_>>(), seq);
+        assert!(decisions.iter().all(|d| d.charged && d.weight == 2));
+        assert!(q.drain_decisions().is_empty(), "drain empties the buffer");
     }
 
     proptest::proptest! {
@@ -737,7 +784,7 @@ mod merge_tests {
         q.set_merge_cap(Some(128 * 1024));
         assert!(!q.enqueue_or_merge(req(1, IoType::Write, 0, 4096))); // sector 0
         assert!(q.enqueue_or_merge(req(2, IoType::Write, 1, 4096))); // merged, sectors 0..2
-        // A read of sector 1 must follow the merged write (same queue).
+                                                                     // A read of sector 1 must follow the merged write (same queue).
         assert!(!q.enqueue_or_merge(req(3, IoType::Read, 1, 4096)));
         assert_eq!(q.wsq.len(), 2, "read rerouted behind the merged write");
         let first = q.fetch().unwrap();

@@ -32,11 +32,13 @@ pub mod rate;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod token_bucket;
 
 pub use queue::EventQueue;
 pub use rate::{ByteSize, Rate};
 pub use series::TimeBinSeries;
+pub use telemetry::{NullSink, ProbeBuffer, RingSink, TelemetryReport, TraceRecord, TraceSink};
 pub use time::{SimDuration, SimTime};
 pub use token_bucket::TokenBucket;

@@ -92,9 +92,7 @@ impl fmt::Display for Rate {
 
 /// A byte count with KiB/MiB/GiB constructors (binary units, as used by
 /// SSD page and cache sizes).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct ByteSize(pub u64);
 
 impl ByteSize {
@@ -191,8 +189,14 @@ mod tests {
         assert_eq!(r.scale(0.5), Rate::from_gbps(5));
         assert_eq!(r.scale(0.0), Rate::ZERO);
         assert_eq!(r.scale(-1.0), Rate::ZERO);
-        assert_eq!(Rate::from_gbps(4).min(Rate::from_gbps(2)), Rate::from_gbps(2));
-        assert_eq!(Rate::from_gbps(4).max(Rate::from_gbps(2)), Rate::from_gbps(4));
+        assert_eq!(
+            Rate::from_gbps(4).min(Rate::from_gbps(2)),
+            Rate::from_gbps(2)
+        );
+        assert_eq!(
+            Rate::from_gbps(4).max(Rate::from_gbps(2)),
+            Rate::from_gbps(4)
+        );
     }
 
     #[test]

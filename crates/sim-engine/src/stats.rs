@@ -288,7 +288,9 @@ mod tests {
     #[test]
     fn autocorr_basics() {
         // Alternating sequence has strong negative lag-1 autocorrelation.
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&xs, 1) < -0.9);
         // Constant sequence: zero variance => 0.
         assert_eq!(autocorrelation(&[5.0; 10], 1), 0.0);

@@ -1,0 +1,389 @@
+//! Deterministic telemetry: counters, gauges, and time-series probes
+//! keyed by `(component, scope, metric)`, all stamped with [`SimTime`]
+//! so two runs with the same seed produce byte-identical output.
+//!
+//! The design follows the workspace's caller-driven idiom: instrumented
+//! components own a cheap [`ProbeBuffer`] (plain `Vec`, `Send`, no
+//! interior mutability) and their *owners* drain it into a
+//! [`TraceSink`] at deterministic points of the event loop. A disabled
+//! buffer records nothing and costs one branch per probe, so the
+//! simulators behave identically with telemetry on or off.
+//!
+//! Export is JSON lines (one object per line, keys in fixed order; see
+//! DESIGN.md "Telemetry" for the schema): samples first in drain
+//! order, then counters and gauges in sorted key order.
+
+use crate::time::SimTime;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Identifies one metric stream: which subsystem, which instance of it
+/// (flow id, target index, chip index, ...), and which quantity.
+pub type MetricKey = (&'static str, u64, &'static str);
+
+/// One timestamped observation from an instrumented component.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Simulation time of the observation.
+    pub at: SimTime,
+    /// Subsystem name (`"dcqcn"`, `"txq"`, `"ssq"`, `"src"`, `"ssd"`).
+    pub component: &'static str,
+    /// Instance within the subsystem (flow id, target index, ...).
+    pub scope: u64,
+    /// Metric name (`"rate_gbps"`, `"occupancy_bytes"`, ...).
+    pub metric: &'static str,
+    /// Observed value.
+    pub value: f64,
+}
+
+impl TraceRecord {
+    /// Lower to the JSON-lines sample object (fixed key order).
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("kind".into(), Value::Str("sample".into())),
+            ("t_ps".into(), Value::UInt(self.at.as_ps())),
+            ("component".into(), Value::Str(self.component.into())),
+            ("scope".into(), Value::UInt(self.scope)),
+            ("metric".into(), Value::Str(self.metric.into())),
+            ("value".into(), Value::Float(self.value)),
+        ])
+    }
+}
+
+/// Where drained records go. Implementations must be deterministic:
+/// record order is the only order they may depend on.
+pub trait TraceSink {
+    /// Accept one record.
+    fn record(&mut self, rec: TraceRecord);
+
+    /// Bump a monotonic counter.
+    fn count(&mut self, key: MetricKey, delta: u64);
+
+    /// Set a gauge to its latest value.
+    fn gauge(&mut self, key: MetricKey, value: f64);
+}
+
+/// Sink that discards everything (telemetry off).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: TraceRecord) {}
+    fn count(&mut self, _key: MetricKey, _delta: u64) {}
+    fn gauge(&mut self, _key: MetricKey, _value: f64) {}
+}
+
+/// In-memory ring sink: keeps the most recent `capacity` samples (drops
+/// the oldest, counting drops) plus all counters and gauges.
+#[derive(Clone, Debug)]
+pub struct RingSink {
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    /// Samples evicted because the ring was full.
+    dropped: u64,
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+}
+
+impl RingSink {
+    /// Ring holding at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            records: VecDeque::new(),
+            dropped: 0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+        }
+    }
+
+    /// Samples evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Samples currently held.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Finish collection: move everything into a [`TelemetryReport`].
+    pub fn into_report(self) -> TelemetryReport {
+        TelemetryReport {
+            records: self.records.into_iter().collect(),
+            dropped: self.dropped,
+            counters: self.counters,
+            gauges: self.gauges,
+        }
+    }
+}
+
+impl Default for RingSink {
+    /// Default ring: 1 Mi samples — comfortably above what the quick
+    /// experiments emit, bounded for the full ones.
+    fn default() -> Self {
+        RingSink::new(1 << 20)
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, rec: TraceRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(rec);
+    }
+
+    fn count(&mut self, key: MetricKey, delta: u64) {
+        *self.counters.entry(key).or_insert(0) += delta;
+    }
+
+    fn gauge(&mut self, key: MetricKey, value: f64) {
+        self.gauges.insert(key, value);
+    }
+}
+
+/// The owned probe buffer instrumented components embed. `Send`, no
+/// interior mutability: the owner drains it into a sink at
+/// deterministic points (the `QueueDiscipline: Send` bound rules out
+/// shared-`Rc` sinks inside components).
+#[derive(Clone, Debug, Default)]
+pub struct ProbeBuffer {
+    enabled: bool,
+    records: Vec<TraceRecord>,
+}
+
+impl ProbeBuffer {
+    /// Enable or disable recording. Disabling clears pending records.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        if !on {
+            self.records.clear();
+        }
+    }
+
+    /// Is recording on?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one sample (no-op while disabled).
+    #[inline]
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        component: &'static str,
+        scope: u64,
+        metric: &'static str,
+        value: f64,
+    ) {
+        if self.enabled {
+            self.records.push(TraceRecord {
+                at,
+                component,
+                scope,
+                metric,
+                value,
+            });
+        }
+    }
+
+    /// Pending sample count.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// No pending samples?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Move all pending samples out, preserving order.
+    pub fn drain(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Move all pending samples into `sink`, preserving order.
+    pub fn drain_into(&mut self, sink: &mut dyn TraceSink) {
+        for rec in self.records.drain(..) {
+            sink.record(rec);
+        }
+    }
+}
+
+/// Collected telemetry for one run: the sample stream plus final
+/// counter and gauge values.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Samples in drain order.
+    pub records: Vec<TraceRecord>,
+    /// Samples the sink evicted (ring overflow).
+    pub dropped: u64,
+    /// Monotonic counters, sorted by key.
+    pub counters: BTreeMap<MetricKey, u64>,
+    /// Last-value gauges, sorted by key.
+    pub gauges: BTreeMap<MetricKey, f64>,
+}
+
+impl TelemetryReport {
+    /// All samples of one `(component, metric)` stream as
+    /// `(time, scope, value)` triples, in drain order.
+    pub fn series(&self, component: &str, metric: &str) -> Vec<(SimTime, u64, f64)> {
+        self.records
+            .iter()
+            .filter(|r| r.component == component && r.metric == metric)
+            .map(|r| (r.at, r.scope, r.value))
+            .collect()
+    }
+
+    /// Final value of one counter (0 when never bumped).
+    pub fn counter(&self, key: MetricKey) -> u64 {
+        self.counters.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Distinct component names present in the sample stream, sorted.
+    pub fn components(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self.records.iter().map(|r| r.component).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Append another report's content (samples after ours, counters
+    /// summed, gauges overwritten by `other`).
+    pub fn merge(&mut self, other: TelemetryReport) {
+        self.records.extend(other.records);
+        self.dropped += other.dropped;
+        for (k, v) in other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.gauges {
+            self.gauges.insert(k, v);
+        }
+    }
+
+    /// Serialize to JSON lines: every sample in drain order, then
+    /// counters, then gauges (both in sorted key order). Deterministic:
+    /// same run → byte-identical string.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for rec in &self.records {
+            out.push_str(&serde_json::to_string(&rec.to_value()).expect("static value"));
+            out.push('\n');
+        }
+        let scalar = |kind: &str, key: &MetricKey, value: Value| {
+            Value::Object(vec![
+                ("kind".into(), Value::Str(kind.into())),
+                ("component".into(), Value::Str(key.0.into())),
+                ("scope".into(), Value::UInt(key.1)),
+                ("metric".into(), Value::Str(key.2.into())),
+                ("value".into(), value),
+            ])
+        };
+        for (key, v) in &self.counters {
+            let line = scalar("counter", key, Value::UInt(*v));
+            out.push_str(&serde_json::to_string(&line).expect("static value"));
+            out.push('\n');
+        }
+        for (key, v) in &self.gauges {
+            let line = scalar("gauge", key, Value::Float(*v));
+            out.push_str(&serde_json::to_string(&line).expect("static value"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ps: u64, scope: u64, value: f64) -> TraceRecord {
+        TraceRecord {
+            at: SimTime(ps),
+            component: "dcqcn",
+            scope,
+            metric: "rate_gbps",
+            value,
+        }
+    }
+
+    #[test]
+    fn probe_buffer_respects_enable() {
+        let mut b = ProbeBuffer::default();
+        b.record(SimTime(1), "x", 0, "m", 1.0);
+        assert!(b.is_empty(), "disabled buffer must not record");
+        b.set_enabled(true);
+        b.record(SimTime(2), "x", 0, "m", 2.0);
+        assert_eq!(b.len(), 1);
+        b.set_enabled(false);
+        assert!(b.is_empty(), "disabling clears pending records");
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut s = RingSink::new(2);
+        for i in 0..5u64 {
+            s.record(rec(i, 0, i as f64));
+        }
+        assert_eq!(s.dropped(), 3);
+        let held: Vec<u64> = s.records().map(|r| r.at.as_ps()).collect();
+        assert_eq!(held, vec![3, 4]);
+    }
+
+    #[test]
+    fn report_series_and_counters() {
+        let mut s = RingSink::new(16);
+        s.record(rec(10, 1, 40.0));
+        s.record(rec(20, 2, 38.5));
+        s.record(rec(30, 1, 20.0));
+        s.count(("dcqcn", 1, "cnp_rx"), 2);
+        s.count(("dcqcn", 1, "cnp_rx"), 1);
+        s.gauge(("ssq", 0, "weight"), 3.0);
+        let rep = s.into_report();
+        let series = rep.series("dcqcn", "rate_gbps");
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[2], (SimTime(30), 1, 20.0));
+        assert_eq!(rep.counter(("dcqcn", 1, "cnp_rx")), 3);
+        assert_eq!(rep.counter(("dcqcn", 9, "cnp_rx")), 0);
+        assert_eq!(rep.components(), vec!["dcqcn"]);
+    }
+
+    #[test]
+    fn json_lines_deterministic_and_parseable() {
+        let build = || {
+            let mut s = RingSink::new(8);
+            s.record(rec(1_000_000, 0, 39.25));
+            s.count(("txq", 0, "gate_closures"), 4);
+            s.gauge(("ssq", 1, "weight"), 2.0);
+            s.into_report()
+        };
+        let a = build().to_json_lines();
+        let b = build().to_json_lines();
+        assert_eq!(a, b, "same input must serialize byte-identically");
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).expect("valid JSON");
+            assert!(v.get("kind").is_some());
+        }
+        assert!(lines[0].starts_with("{\"kind\":\"sample\",\"t_ps\":1000000,"));
+        assert!(lines[1].contains("\"kind\":\"counter\""));
+        assert!(lines[2].contains("\"kind\":\"gauge\""));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = TelemetryReport::default();
+        let mut b = TelemetryReport::default();
+        a.counters.insert(("ssd", 0, "reads"), 5);
+        b.counters.insert(("ssd", 0, "reads"), 7);
+        b.records.push(rec(1, 0, 1.0));
+        a.merge(b);
+        assert_eq!(a.counter(("ssd", 0, "reads")), 12);
+        assert_eq!(a.records.len(), 1);
+    }
+}

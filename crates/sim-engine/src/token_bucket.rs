@@ -54,8 +54,7 @@ impl TokenBucket {
             return;
         }
         let dt = (now - self.last_update).as_ps() as u128;
-        self.scaled_tokens =
-            (self.scaled_tokens + dt * self.rate.as_bps() as u128).min(self.cap());
+        self.scaled_tokens = (self.scaled_tokens + dt * self.rate.as_bps() as u128).min(self.cap());
         self.last_update = now;
     }
 
@@ -116,10 +115,7 @@ mod tests {
     fn zero_rate_blocks_forever() {
         let mut tb = TokenBucket::new(Rate::ZERO, 100);
         assert!(tb.try_consume(SimTime::ZERO, 100).is_ok()); // initial burst
-        assert_eq!(
-            tb.try_consume(SimTime::ZERO, 1).unwrap_err(),
-            SimTime::MAX
-        );
+        assert_eq!(tb.try_consume(SimTime::ZERO, 1).unwrap_err(), SimTime::MAX);
     }
 
     #[test]
@@ -167,6 +163,53 @@ mod tests {
                 }
             }
             let budget = depth + rate.bytes_in(t - SimTime::ZERO) + 1;
+            proptest::prop_assert!(admitted <= budget,
+                "admitted {admitted} > budget {budget}");
+        }
+
+        /// Mid-stream `set_rate` neither mints nor destroys tokens: a
+        /// rate change at a fixed instant leaves the available tokens
+        /// untouched, and the admitted total stays bounded by depth plus
+        /// the rate integrated over each constant-rate segment.
+        #[test]
+        fn prop_set_rate_conserves_tokens(
+            ops in proptest::collection::vec((0u8..2, 1u64..3000, 0usize..4), 1..80)
+        ) {
+            let rates = [
+                Rate::from_gbps(1),
+                Rate::from_gbps(5),
+                Rate::from_gbps(10),
+                Rate::from_gbps(40),
+            ];
+            let depth = 3000u64;
+            let mut rate = Rate::from_gbps(10);
+            let mut tb = TokenBucket::new(rate, depth);
+            let mut t = SimTime::ZERO;
+            let mut admitted = 0u64;
+            // Exact integral of rate over time, in bit-picoseconds.
+            let mut budget_bitps: u128 = 0;
+            let mut seg_start = SimTime::ZERO;
+            for &(kind, bytes, ridx) in &ops {
+                if kind == 0 {
+                    loop {
+                        match tb.try_consume(t, bytes) {
+                            Ok(()) => { admitted += bytes; break; }
+                            Err(next) => t = next,
+                        }
+                    }
+                } else {
+                    let before = tb.available_bytes(t);
+                    budget_bitps +=
+                        ((t - seg_start).as_ps() as u128) * rate.as_bps() as u128;
+                    seg_start = t;
+                    rate = rates[ridx];
+                    tb.set_rate(t, rate);
+                    proptest::prop_assert_eq!(tb.available_bytes(t), before,
+                        "rate change minted or destroyed tokens");
+                }
+            }
+            budget_bitps += ((t - seg_start).as_ps() as u128) * rate.as_bps() as u128;
+            let budget = depth + (budget_bitps / PS_PER_SEC as u128 / 8) as u64 + 1;
             proptest::prop_assert!(admitted <= budget,
                 "admitted {admitted} > budget {budget}");
         }

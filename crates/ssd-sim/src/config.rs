@@ -134,14 +134,12 @@ impl SsdConfig {
 
     /// Theoretical chip-bound read bandwidth, bytes/s.
     pub fn chip_bound_read_bw(&self) -> f64 {
-        self.n_chips() as f64 * self.page.as_bytes() as f64
-            / self.read_latency.as_secs_f64()
+        self.n_chips() as f64 * self.page.as_bytes() as f64 / self.read_latency.as_secs_f64()
     }
 
     /// Theoretical chip-bound write (program) bandwidth, bytes/s.
     pub fn chip_bound_write_bw(&self) -> f64 {
-        self.n_chips() as f64 * self.page.as_bytes() as f64
-            / self.write_latency.as_secs_f64()
+        self.n_chips() as f64 * self.page.as_bytes() as f64 / self.write_latency.as_secs_f64()
     }
 }
 

@@ -104,7 +104,9 @@ impl Ftl {
         );
         let chips = (0..n_chips)
             .map(|_| ChipState {
-                blocks: (0..blocks_per_chip).map(|_| Block::new(pages_per_block)).collect(),
+                blocks: (0..blocks_per_chip)
+                    .map(|_| Block::new(pages_per_block))
+                    .collect(),
                 open: 0,
                 free: (1..blocks_per_chip).rev().collect(),
             })

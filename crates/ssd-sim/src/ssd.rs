@@ -132,6 +132,10 @@ struct ChipState {
     busy: bool,
     queue: VecDeque<ChipJob>,
     in_service: Option<ChipJob>,
+    /// When the current service started (telemetry).
+    busy_since: Option<SimTime>,
+    /// Accumulated busy picoseconds of finished services (telemetry).
+    busy_ps: u64,
 }
 
 #[derive(Debug)]
@@ -139,6 +143,10 @@ struct ChannelState {
     busy: bool,
     queue: VecDeque<BusJob>,
     in_service: Option<BusJob>,
+    /// When the current transfer started (telemetry).
+    busy_since: Option<SimTime>,
+    /// Accumulated busy picoseconds of finished transfers (telemetry).
+    busy_ps: u64,
 }
 
 #[derive(Debug)]
@@ -205,6 +213,8 @@ impl Ssd {
                     busy: false,
                     queue: VecDeque::new(),
                     in_service: None,
+                    busy_since: None,
+                    busy_ps: 0,
                 })
                 .collect(),
             channels: (0..n_channels)
@@ -212,6 +222,8 @@ impl Ssd {
                     busy: false,
                     queue: VecDeque::new(),
                     in_service: None,
+                    busy_since: None,
+                    busy_ps: 0,
                 })
                 .collect(),
             commands: HashMap::new(),
@@ -240,6 +252,25 @@ impl Ssd {
     /// Write-cache occupancy fraction.
     pub fn cache_occupancy(&self) -> f64 {
         self.cache.occupancy()
+    }
+
+    /// Cumulative busy picoseconds per `(channel, chip)` up to `now`
+    /// (a unit mid-service is credited up to `now`). Telemetry samplers
+    /// difference successive calls to get per-window utilization.
+    pub fn busy_ps(&self, now: SimTime) -> (Vec<u64>, Vec<u64>) {
+        let credit = |busy_ps: u64, since: Option<SimTime>| {
+            busy_ps + since.map_or(0, |s| now.since(s).as_ps())
+        };
+        (
+            self.channels
+                .iter()
+                .map(|c| credit(c.busy_ps, c.busy_since))
+                .collect(),
+            self.chips
+                .iter()
+                .map(|c| credit(c.busy_ps, c.busy_since))
+                .collect(),
+        )
     }
 
     /// CMT hit/miss counters `(hits, misses)`.
@@ -338,6 +369,7 @@ impl Ssd {
             return step;
         };
         st.busy = true;
+        st.busy_since = Some(now);
         st.in_service = Some(job);
         let dur = match job {
             ChipJob::CellRead {
@@ -387,6 +419,7 @@ impl Ssd {
             return step;
         };
         st.busy = true;
+        st.busy_since = Some(now);
         st.in_service = Some(job);
         let dur = self.cfg.page_transfer_time();
         step.schedule
@@ -398,6 +431,9 @@ impl Ssd {
         let job = {
             let st = &mut self.chips[chip];
             st.busy = false;
+            if let Some(since) = st.busy_since.take() {
+                st.busy_ps += now.since(since).as_ps();
+            }
             st.in_service.take().expect("chip done without service")
         };
         let mut step = SsdStep::default();
@@ -433,6 +469,9 @@ impl Ssd {
         let job = {
             let st = &mut self.channels[channel];
             st.busy = false;
+            if let Some(since) = st.busy_since.take() {
+                st.busy_ps += now.since(since).as_ps();
+            }
             st.in_service.take().expect("channel done without service")
         };
         let mut step = SsdStep::default();
@@ -529,10 +568,7 @@ impl Ssd {
         debug_assert!(st.remaining_work > 0);
         st.remaining_work -= 1;
         if st.remaining_work == 0 {
-            step.releases.push(CommandRelease {
-                id: cmd,
-                op: st.op,
-            });
+            step.releases.push(CommandRelease { id: cmd, op: st.op });
             self.gc_entry(cmd);
         }
         step
@@ -602,6 +638,61 @@ mod tests {
         assert_eq!(done_at.unwrap(), SimTime::ZERO + expect);
         assert_eq!(ssd.stats().reads_completed, 1);
         assert_eq!(ssd.in_flight(), 0);
+    }
+
+    #[test]
+    fn busy_time_matches_service_time() {
+        // One uncached read: chip busy for exactly the two cell reads
+        // (map + data), its channel for one page transfer.
+        let cfg = SsdConfig::ssd_a();
+        let mut ssd = Ssd::new(cfg.clone());
+        let mut q = sim_engine::EventQueue::new();
+        let step = ssd.submit(
+            SsdCommand {
+                id: 1,
+                op: IoType::Read,
+                lba: 0,
+                size: 16 * 1024,
+            },
+            SimTime::ZERO,
+        );
+        for (t, e) in step.schedule {
+            q.schedule(t, e);
+        }
+        let mut end = SimTime::ZERO;
+        while let Some((t, e)) = q.pop() {
+            for (t2, e2) in ssd.handle(e, t).schedule {
+                q.schedule(t2, e2);
+            }
+            end = t;
+        }
+        let (channels, chips) = ssd.busy_ps(end);
+        assert_eq!(
+            chips.iter().sum::<u64>(),
+            (cfg.read_latency + cfg.read_latency).as_ps()
+        );
+        assert_eq!(
+            channels.iter().sum::<u64>(),
+            cfg.page_transfer_time().as_ps()
+        );
+        // Mid-service credit: a fresh submit makes a chip busy, and the
+        // accumulated time keeps growing with `now` while it serves.
+        let step = ssd.submit(
+            SsdCommand {
+                id: 2,
+                op: IoType::Read,
+                lba: 9_999,
+                size: 4096,
+            },
+            end,
+        );
+        assert!(!step.schedule.is_empty());
+        let (_, before) = ssd.busy_ps(end);
+        let (_, after) = ssd.busy_ps(end + SimDuration::from_us(10));
+        assert_eq!(
+            after.iter().sum::<u64>() - before.iter().sum::<u64>(),
+            SimDuration::from_us(10).as_ps()
+        );
     }
 
     #[test]
@@ -740,7 +831,10 @@ mod tests {
             .collect();
         let (stats, makespan) = run_closed_loop(cfg, cmds);
         let achieved = stats.read_bytes_completed as f64 / makespan.as_secs_f64();
-        assert!(achieved <= bound * 1.01, "achieved {achieved} > bound {bound}");
+        assert!(
+            achieved <= bound * 1.01,
+            "achieved {achieved} > bound {bound}"
+        );
         assert!(
             achieved > bound * 0.5,
             "achieved {achieved} too far below bound {bound}"

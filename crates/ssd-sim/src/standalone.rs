@@ -13,7 +13,10 @@ use std::collections::VecDeque;
 
 /// Drive `commands` through a fresh SSD with up to `queue_depth`
 /// outstanding; returns device stats and the makespan.
-pub fn run_closed_loop(cfg: SsdConfig, commands: Vec<SsdCommand>) -> (SsdStats, sim_engine::SimDuration) {
+pub fn run_closed_loop(
+    cfg: SsdConfig,
+    commands: Vec<SsdCommand>,
+) -> (SsdStats, sim_engine::SimDuration) {
     let qd = cfg.queue_depth;
     let mut ssd = Ssd::new(cfg);
     let mut q: EventQueue<SsdEvent> = EventQueue::new();
@@ -24,11 +27,11 @@ pub fn run_closed_loop(cfg: SsdConfig, commands: Vec<SsdCommand>) -> (SsdStats, 
     let mut last_completion = SimTime::ZERO;
 
     let feed = |ssd: &mut Ssd,
-                    q: &mut EventQueue<SsdEvent>,
-                    pending: &mut VecDeque<SsdCommand>,
-                    completed: &mut usize,
-                    last: &mut SimTime,
-                    now: SimTime| {
+                q: &mut EventQueue<SsdEvent>,
+                pending: &mut VecDeque<SsdCommand>,
+                completed: &mut usize,
+                last: &mut SimTime,
+                now: SimTime| {
         while ssd.in_flight() < qd {
             let Some(cmd) = pending.pop_front() else {
                 break;
@@ -87,7 +90,11 @@ mod tests {
         let cmds: Vec<SsdCommand> = (0..100)
             .map(|i| SsdCommand {
                 id: i,
-                op: if i % 2 == 0 { IoType::Read } else { IoType::Write },
+                op: if i % 2 == 0 {
+                    IoType::Read
+                } else {
+                    IoType::Write
+                },
                 lba: i * 32,
                 size: 16 * 1024,
             })

@@ -132,7 +132,11 @@ fn deterministic_completion_order() {
     let cmds: Vec<SsdCommand> = (0..80)
         .map(|i| SsdCommand {
             id: i,
-            op: if i % 2 == 0 { IoType::Read } else { IoType::Write },
+            op: if i % 2 == 0 {
+                IoType::Read
+            } else {
+                IoType::Write
+            },
             lba: i * 131,
             size: 4096 + (i % 5) * 13_000,
         })

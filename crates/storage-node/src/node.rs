@@ -4,9 +4,9 @@
 
 use nvme_queues::{FifoQueues, QueueDiscipline, SsqQueues};
 use serde::{Deserialize, Serialize};
-use sim_engine::SimTime;
+use sim_engine::{ProbeBuffer, SimTime, TraceRecord};
 use ssd_sim::{CommandCompletion, Ssd, SsdCommand, SsdConfig, SsdEvent, SsdStep};
-use workload::Request;
+use workload::{IoType, Request};
 
 /// Which submission-queue discipline a node runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,6 +54,13 @@ pub struct StorageNode {
     read_gate_open: bool,
     /// Requests absorbed by block-layer merging.
     merged: u64,
+    /// Telemetry probes (fetch decisions, queue occupancy, SSD
+    /// utilization); drained by the owning event loop.
+    probes: ProbeBuffer,
+    /// Scope tag on this node's records (target index in system runs).
+    scope: u64,
+    /// `busy_ps` snapshot at the previous utilization sample.
+    util_prev: Option<(SimTime, Vec<u64>, Vec<u64>)>,
 }
 
 impl StorageNode {
@@ -71,7 +78,55 @@ impl StorageNode {
             ssd: Ssd::new(cfg.ssd.clone()),
             read_gate_open: true,
             merged: 0,
+            probes: ProbeBuffer::default(),
+            scope: 0,
+            util_prev: None,
         }
+    }
+
+    /// Enable or disable telemetry (discipline fetch decisions, queue
+    /// occupancy, SSD channel/chip utilization), tagging records with
+    /// `scope` — the target index in multi-target runs.
+    pub fn set_telemetry(&mut self, on: bool, scope: u64) {
+        self.probes.set_enabled(on);
+        self.disc.set_telemetry(on);
+        self.scope = scope;
+        self.util_prev = None;
+    }
+
+    /// Move pending probe records out, preserving record order.
+    pub fn drain_probes(&mut self) -> Vec<TraceRecord> {
+        self.probes.drain()
+    }
+
+    /// Record one telemetry sample: SSD channel/chip utilization over
+    /// the window since the previous sample, and per-class queue
+    /// occupancy. The owner calls this on its series bin boundaries.
+    pub fn sample_telemetry(&mut self, now: SimTime) {
+        if !self.probes.is_enabled() {
+            return;
+        }
+        let (chan, chip) = self.ssd.busy_ps(now);
+        if let Some((t0, chan0, chip0)) = &self.util_prev {
+            let dt = now.since(*t0).as_ps();
+            if dt > 0 {
+                let mean_util = |cur: &[u64], prev: &[u64]| {
+                    let busy: u64 = cur.iter().zip(prev).map(|(a, b)| a - b).sum();
+                    busy as f64 / (dt as f64 * cur.len().max(1) as f64)
+                };
+                let cu = mean_util(&chan, chan0);
+                let pu = mean_util(&chip, chip0);
+                self.probes.record(now, "ssd", self.scope, "chan_util", cu);
+                self.probes.record(now, "ssd", self.scope, "chip_util", pu);
+            }
+        }
+        self.util_prev = Some((now, chan, chip));
+        let qr = self.disc.queued_of(IoType::Read) as f64;
+        let qw = self.disc.queued_of(IoType::Write) as f64;
+        self.probes
+            .record(now, "ssq", self.scope, "queued_reads", qr);
+        self.probes
+            .record(now, "ssq", self.scope, "queued_writes", qw);
     }
 
     /// Accept one request from above (application or NVMe-oF target
@@ -117,6 +172,17 @@ impl StorageNode {
             );
             debug_assert!(s.completions.is_empty() && s.releases.is_empty());
             step.merge_from(s);
+        }
+        if self.probes.is_enabled() {
+            for d in self.disc.drain_decisions() {
+                let class = if d.op.is_read() { 0.0 } else { 1.0 };
+                self.probes
+                    .record(now, "ssq", self.scope, "fetch_class", class);
+                if !d.charged {
+                    self.probes
+                        .record(now, "ssq", self.scope, "free_fetch", 1.0);
+                }
+            }
         }
         step
     }

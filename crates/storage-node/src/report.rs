@@ -79,7 +79,10 @@ impl NodeReport {
 
     /// Untrimmed average write throughput over the makespan.
     pub fn write_tput_overall(&self) -> Rate {
-        sim_engine::rate::achieved_rate(self.write_bytes, self.makespan.max(SimDuration::from_ps(1)))
+        sim_engine::rate::achieved_rate(
+            self.write_bytes,
+            self.makespan.max(SimDuration::from_ps(1)),
+        )
     }
 }
 

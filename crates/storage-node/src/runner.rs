@@ -3,7 +3,7 @@
 
 use crate::node::{NodeConfig, StorageNode};
 use crate::report::NodeReport;
-use sim_engine::{EventQueue, SimDuration, SimTime};
+use sim_engine::{EventQueue, SimDuration, SimTime, TraceRecord, TraceSink};
 use ssd_sim::SsdEvent;
 use std::collections::HashMap;
 use workload::{IoType, Trace};
@@ -26,13 +26,26 @@ pub fn run_trace(cfg: &NodeConfig, trace: &Trace) -> NodeReport {
     run_trace_with_schedule(cfg, trace, &[])
 }
 
+/// [`run_trace_windowed_with_schedule`] with telemetry: SSQ fetch
+/// decisions and weight changes, per-bin queue occupancy and SSD
+/// channel/chip utilization flow into `sink` as they happen. The
+/// returned report is identical to the untraced run's.
+pub fn run_trace_windowed_with_schedule_traced(
+    cfg: &NodeConfig,
+    trace: &Trace,
+    weight_schedule: &[(SimTime, u32)],
+    sink: &mut dyn TraceSink,
+) -> NodeReport {
+    run_trace_impl(cfg, trace, weight_schedule, Some(trace.span()), Some(sink))
+}
+
 /// Run a trace and stop the clock at the last arrival: steady-state
 /// throughput measurement under sustained offered load, the semantics of
 /// the paper's Fig. 5 sweeps. Backlog still queued at the horizon is
 /// intentionally not drained — under saturation the split of *completed*
 /// bytes inside the window is exactly what the weight ratio controls.
 pub fn run_trace_windowed(cfg: &NodeConfig, trace: &Trace) -> NodeReport {
-    run_trace_impl(cfg, trace, &[], Some(trace.span()))
+    run_trace_impl(cfg, trace, &[], Some(trace.span()), None)
 }
 
 /// Windowed run with scripted weight changes (see
@@ -42,7 +55,7 @@ pub fn run_trace_windowed_with_schedule(
     trace: &Trace,
     weight_schedule: &[(SimTime, u32)],
 ) -> NodeReport {
-    run_trace_impl(cfg, trace, weight_schedule, Some(trace.span()))
+    run_trace_impl(cfg, trace, weight_schedule, Some(trace.span()), None)
 }
 
 /// Run a trace, applying `(time, weight)` changes as they come due
@@ -53,7 +66,7 @@ pub fn run_trace_with_schedule(
     trace: &Trace,
     weight_schedule: &[(SimTime, u32)],
 ) -> NodeReport {
-    run_trace_impl(cfg, trace, weight_schedule, None)
+    run_trace_impl(cfg, trace, weight_schedule, None, None)
 }
 
 fn run_trace_impl(
@@ -61,8 +74,13 @@ fn run_trace_impl(
     trace: &Trace,
     weight_schedule: &[(SimTime, u32)],
     horizon: Option<SimTime>,
+    mut sink: Option<&mut dyn TraceSink>,
 ) -> NodeReport {
     let mut node = StorageNode::new(cfg);
+    if sink.is_some() {
+        node.set_telemetry(true, 0);
+    }
+    let mut last_sample = SimTime::ZERO;
     let mut q: EventQueue<Ev> = EventQueue::new();
     let mut report = NodeReport::new(BIN);
     let mut submit_time: HashMap<u64, SimTime> = HashMap::new();
@@ -90,9 +108,27 @@ fn run_trace_impl(
             Ev::SetWeight(w) => {
                 node.set_weight_ratio(w);
                 report.weight_changes.push((now, w));
+                if let Some(s) = sink.as_deref_mut() {
+                    s.record(TraceRecord {
+                        at: now,
+                        component: "ssq",
+                        scope: 0,
+                        metric: "weight",
+                        value: w as f64,
+                    });
+                }
                 node.pump(now)
             }
         };
+        if let Some(s) = sink.as_deref_mut() {
+            if now.since(last_sample) >= BIN {
+                node.sample_telemetry(now);
+                last_sample = now;
+            }
+            for rec in node.drain_probes() {
+                s.record(rec);
+            }
+        }
         for c in &step.completions {
             let lat = submit_time
                 .remove(&c.id)
@@ -130,6 +166,14 @@ fn run_trace_impl(
         );
     }
     report.ssd = node.ssd().stats();
+    if let Some(s) = sink {
+        let stats = report.ssd;
+        s.count(("ssd", 0, "reads_completed"), stats.reads_completed);
+        s.count(("ssd", 0, "writes_completed"), stats.writes_completed);
+        s.count(("ssd", 0, "gc_copies"), stats.gc_copies);
+        s.count(("ssd", 0, "erases"), stats.erases);
+        s.gauge(("ssq", 0, "weight"), node.weight_ratio() as f64);
+    }
     report
 }
 
@@ -202,6 +246,48 @@ mod tests {
         );
         assert_eq!(r.weight_changes.len(), 2);
         assert_eq!(r.weight_changes[0].1, 4);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_series() {
+        use sim_engine::RingSink;
+        let t = small_trace(7);
+        let schedule = [(SimTime::from_ms(1), 4), (SimTime::from_ms(2), 2)];
+        let plain = run_trace_windowed_with_schedule(&NodeConfig::default(), &t, &schedule);
+        let mut sink = RingSink::new(1 << 16);
+        let traced = run_trace_windowed_with_schedule_traced(
+            &NodeConfig::default(),
+            &t,
+            &schedule,
+            &mut sink,
+        );
+        // Telemetry must not perturb the simulation.
+        assert_eq!(plain.reads_completed, traced.reads_completed);
+        assert_eq!(plain.writes_completed, traced.writes_completed);
+        assert_eq!(plain.read_series.bins(), traced.read_series.bins());
+        assert_eq!(plain.write_series.bins(), traced.write_series.bins());
+        assert_eq!(plain.makespan, traced.makespan);
+        let rep = sink.into_report();
+        assert_eq!(
+            rep.series("ssq", "weight").len(),
+            2,
+            "both weight changes traced"
+        );
+        assert!(!rep.series("ssq", "fetch_class").is_empty());
+        assert!(!rep.series("ssd", "chip_util").is_empty());
+        assert_eq!(
+            rep.counter(("ssd", 0, "reads_completed")),
+            plain.reads_completed
+        );
+        // Same seed, same schedule: byte-identical JSON-lines export.
+        let mut sink2 = RingSink::new(1 << 16);
+        let _ = run_trace_windowed_with_schedule_traced(
+            &NodeConfig::default(),
+            &t,
+            &schedule,
+            &mut sink2,
+        );
+        assert_eq!(rep.to_json_lines(), sink2.into_report().to_json_lines());
     }
 
     #[test]

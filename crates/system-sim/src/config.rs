@@ -239,7 +239,9 @@ mod tests {
             assert!(a.iter().any(|x| x.target == t));
         }
         // Arrival order preserved.
-        assert!(a.windows(2).all(|w| w[0].request.arrival <= w[1].request.arrival));
+        assert!(a
+            .windows(2)
+            .all(|w| w[0].request.arrival <= w[1].request.arrival));
     }
 
     #[test]
@@ -262,6 +264,8 @@ mod tests {
         let mut ids: Vec<u64> = a.iter().map(|x| x.request.id).collect();
         ids.dedup();
         assert_eq!(ids.len(), 80);
-        assert!(a.windows(2).all(|w| w[0].request.arrival <= w[1].request.arrival));
+        assert!(a
+            .windows(2)
+            .all(|w| w[0].request.arrival <= w[1].request.arrival));
     }
 }

@@ -2,13 +2,15 @@
 //! binaries print these results; integration tests run them at reduced
 //! scale and assert the qualitative shapes.
 
-use crate::config::{per_target_traces, spread_trace, BackgroundTraffic, Mode, SystemConfig, TargetSelection};
+use crate::config::{
+    per_target_traces, spread_trace, BackgroundTraffic, Mode, SystemConfig, TargetSelection,
+};
 use crate::report::SystemReport;
-use crate::scripted::{fig9_events, run_scripted, ScriptedResult};
-use crate::system::run_system;
+use crate::scripted::{fig9_events, run_scripted, run_scripted_traced, ScriptedResult};
+use crate::system::{run_system, run_system_traced};
 use ml::Dataset;
 use serde::{Deserialize, Serialize};
-use sim_engine::{SimDuration, SimTime};
+use sim_engine::{SimDuration, SimTime, TraceSink};
 use src_core::tpm::{
     generate_training_samples, samples_to_dataset, table1_accuracy, ThroughputPredictionModel,
     TrainingConfig,
@@ -130,10 +132,7 @@ pub fn feature_importance(ssd: &SsdConfig, scale: &Scale, seed: u64) -> Vec<(Str
         .map(|s| s.to_string())
         .collect();
     names.push("weight_ratio".into());
-    names
-        .into_iter()
-        .zip(tpm.feature_importance())
-        .collect()
+    names.into_iter().zip(tpm.feature_importance()).collect()
 }
 
 // ----------------------------------------------------------------------
@@ -243,6 +242,29 @@ pub fn fig7_fig8(
     tpm: Arc<ThroughputPredictionModel>,
     seed: u64,
 ) -> Fig7Result {
+    fig7_fig8_impl(ssd, scale, tpm, seed, None)
+}
+
+/// [`fig7_fig8`] with telemetry: each mode's run streams into its own
+/// sink (`sinks.0` DCQCN-only, `sinks.1` DCQCN-SRC) so the two traces
+/// stay comparable line-by-line.
+pub fn fig7_fig8_traced(
+    ssd: &SsdConfig,
+    scale: &Scale,
+    tpm: Arc<ThroughputPredictionModel>,
+    seed: u64,
+    sinks: (&mut dyn TraceSink, &mut dyn TraceSink),
+) -> Fig7Result {
+    fig7_fig8_impl(ssd, scale, tpm, seed, Some(sinks))
+}
+
+fn fig7_fig8_impl(
+    ssd: &SsdConfig,
+    scale: &Scale,
+    tpm: Arc<ThroughputPredictionModel>,
+    seed: u64,
+    sinks: Option<(&mut dyn TraceSink, &mut dyn TraceSink)>,
+) -> Fig7Result {
     let n = scale.requests_per_target;
     // Per-target VDI stream at 20 µs inter-arrival so the two Targets
     // together offer the paper's ~35.2 Gbps of read traffic into the
@@ -266,22 +288,24 @@ pub fn fig7_fig8(
         pfc: paper_pfc(),
         ..SystemConfig::default()
     };
-    let dcqcn_only = run_system(
-        &SystemConfig {
-            mode: Mode::DcqcnOnly,
-            ..base.clone()
-        },
-        &assignments,
-        None,
-    );
-    let dcqcn_src = run_system(
-        &SystemConfig {
-            mode: Mode::DcqcnSrc,
-            ..base
-        },
-        &assignments,
-        Some(tpm),
-    );
+    let only_cfg = SystemConfig {
+        mode: Mode::DcqcnOnly,
+        ..base.clone()
+    };
+    let src_cfg = SystemConfig {
+        mode: Mode::DcqcnSrc,
+        ..base
+    };
+    let (dcqcn_only, dcqcn_src) = match sinks {
+        Some((s_only, s_src)) => (
+            run_system_traced(&only_cfg, &assignments, None, s_only),
+            run_system_traced(&src_cfg, &assignments, Some(tpm), s_src),
+        ),
+        None => (
+            run_system(&only_cfg, &assignments, None),
+            run_system(&src_cfg, &assignments, Some(tpm)),
+        ),
+    };
     Fig7Result {
         dcqcn_only,
         dcqcn_src,
@@ -293,6 +317,47 @@ pub fn fig7_fig8(
 
 /// Run the Fig. 9 scripted-congestion experiment on SSD-B.
 pub fn fig9(scale: &Scale, seed: u64) -> ScriptedResult {
+    fig9_impl(scale, seed, None)
+}
+
+/// [`fig9`] with telemetry: SRC demand/weight decisions and the storage
+/// node's SSQ/SSD series stream into `sink`.
+pub fn fig9_traced(scale: &Scale, seed: u64, sink: &mut dyn TraceSink) -> ScriptedResult {
+    fig9_impl(scale, seed, Some(sink))
+}
+
+/// Companion fabric slice for the Fig. 9 trace: the scripted convergence
+/// run has no network in the loop, so this short congested system run
+/// (same device, derived seed) supplies the real DCQCN per-flow rate and
+/// TXQ backlog series for the same trace file.
+pub fn fig9_fabric_slice(scale: &Scale, seed: u64, sink: &mut dyn TraceSink) -> SystemReport {
+    let ssd = SsdConfig::ssd_b();
+    let n = (scale.requests_per_target / 2).max(150);
+    let trace = generate_micro(
+        &MicroConfig {
+            read_iat_mean_us: 10.0,
+            write_iat_mean_us: 10.0,
+            read_size_mean: 40_000.0,
+            write_size_mean: 40_000.0,
+            read_count: n,
+            write_count: n,
+            ..MicroConfig::default()
+        },
+        seed,
+    );
+    let assignments = spread_trace(&trace, 1, 2);
+    let cfg = SystemConfig {
+        n_initiators: 1,
+        n_targets: 2,
+        ssd,
+        background: paper_background(&assignments),
+        pfc: paper_pfc(),
+        ..SystemConfig::default()
+    };
+    run_system_traced(&cfg, &assignments, None, sink)
+}
+
+fn fig9_impl(scale: &Scale, seed: u64, sink: Option<&mut dyn TraceSink>) -> ScriptedResult {
     let ssd = SsdConfig::ssd_b();
     let tpm = train_tpm(&ssd, scale, seed);
     // Sustained heavy workload so the weight knob has authority.
@@ -313,12 +378,11 @@ pub fn fig9(scale: &Scale, seed: u64) -> ScriptedResult {
     let baseline = weight_sweep(&ssd, &trace, &[1])[0].read_gbps;
     let span_ms = trace.span().as_ms_f64();
     let spacing = SimDuration::from_ms(((span_ms / 5.0).max(2.0)) as u64);
-    let events = fig9_events(
-        baseline,
-        SimTime::ZERO + spacing,
-        spacing,
-    );
-    run_scripted(&ssd, &trace, &events, tpm, &SrcConfig::default())
+    let events = fig9_events(baseline, SimTime::ZERO + spacing, spacing);
+    match sink {
+        Some(s) => run_scripted_traced(&ssd, &trace, &events, tpm, &SrcConfig::default(), s),
+        None => run_scripted(&ssd, &trace, &events, tpm, &SrcConfig::default()),
+    }
 }
 
 // ----------------------------------------------------------------------

@@ -25,4 +25,4 @@ pub mod system;
 
 pub use config::{Mode, SystemConfig, TopologyKind};
 pub use report::SystemReport;
-pub use system::run_system;
+pub use system::{run_system, run_system_traced};

@@ -84,15 +84,33 @@ mod tests {
     fn reproduces_fig2_numbers() {
         let p = MotivationParams::default();
         let a = no_congestion(&p);
-        assert_eq!(a, MotivationOutcome { reads: 6.0, writes: 3.0 });
+        assert_eq!(
+            a,
+            MotivationOutcome {
+                reads: 6.0,
+                writes: 3.0
+            }
+        );
         assert_eq!(a.total(), 9.0);
 
         let b = dcqcn_only(&p);
-        assert_eq!(b, MotivationOutcome { reads: 3.0, writes: 3.0 });
+        assert_eq!(
+            b,
+            MotivationOutcome {
+                reads: 3.0,
+                writes: 3.0
+            }
+        );
         assert_eq!(b.total(), 6.0);
 
         let c = with_src(&p);
-        assert_eq!(c, MotivationOutcome { reads: 3.0, writes: 6.0 });
+        assert_eq!(
+            c,
+            MotivationOutcome {
+                reads: 3.0,
+                writes: 6.0
+            }
+        );
         assert_eq!(c.total(), 9.0, "SRC preserves the aggregate");
     }
 

@@ -3,12 +3,15 @@
 //! demanded sending rates — no network in the loop, so the convergence
 //! of the dynamic adjustment itself is visible.
 
-use sim_engine::{Rate, SimDuration, SimTime};
+use sim_engine::{Rate, SimDuration, SimTime, TraceSink};
 use src_core::algorithm::{CongestionEvent, CongestionKind};
 use src_core::{SrcConfig, SrcController, ThroughputPredictionModel};
 use std::sync::Arc;
 use storage_node::report::NodeReport;
-use storage_node::{run_trace_windowed_with_schedule, DisciplineKind, NodeConfig};
+use storage_node::{
+    run_trace_windowed_with_schedule, run_trace_windowed_with_schedule_traced, DisciplineKind,
+    NodeConfig,
+};
 use workload::{extract_features, Trace};
 
 /// Result of a scripted run: the node report plus the weight schedule
@@ -34,7 +37,35 @@ pub fn run_scripted(
     tpm: Arc<ThroughputPredictionModel>,
     src_cfg: &SrcConfig,
 ) -> ScriptedResult {
+    run_scripted_impl(ssd, trace, events, tpm, src_cfg, None)
+}
+
+/// [`run_scripted`] with telemetry: SRC demand/weight decisions plus the
+/// storage node's SSQ and SSD series flow into `sink`. The returned
+/// result is identical to the untraced run's.
+pub fn run_scripted_traced(
+    ssd: &ssd_sim::SsdConfig,
+    trace: &Trace,
+    events: &[CongestionEvent],
+    tpm: Arc<ThroughputPredictionModel>,
+    src_cfg: &SrcConfig,
+    sink: &mut dyn TraceSink,
+) -> ScriptedResult {
+    run_scripted_impl(ssd, trace, events, tpm, src_cfg, Some(sink))
+}
+
+fn run_scripted_impl(
+    ssd: &ssd_sim::SsdConfig,
+    trace: &Trace,
+    events: &[CongestionEvent],
+    tpm: Arc<ThroughputPredictionModel>,
+    src_cfg: &SrcConfig,
+    sink: Option<&mut dyn TraceSink>,
+) -> ScriptedResult {
     let mut controller = SrcController::new(tpm, src_cfg.clone());
+    if sink.is_some() {
+        controller.set_telemetry(true, 0);
+    }
     // The controller's monitor is fed from the trace itself (arrivals
     // are what a Target observes).
     let mut schedule: Vec<(SimTime, u32)> = Vec::new();
@@ -53,15 +84,22 @@ pub fn run_scripted(
         let w_now = controller.current_weight();
         responses.push((ev.at, ev.demanded.as_gbps_f64(), w_now));
     }
-    let report = run_trace_windowed_with_schedule(
-        &NodeConfig {
-            ssd: ssd.clone(),
-            discipline: DisciplineKind::Ssq { weight: 1 },
-            merge_cap: None,
-        },
-        trace,
-        &schedule,
-    );
+    let node_cfg = NodeConfig {
+        ssd: ssd.clone(),
+        discipline: DisciplineKind::Ssq { weight: 1 },
+        merge_cap: None,
+    };
+    let report = match sink {
+        Some(s) => {
+            // SRC's decisions first (they happen "before" the replayed
+            // storage run applies them as a schedule), then the node run.
+            for rec in controller.drain_probes() {
+                s.record(rec);
+            }
+            run_trace_windowed_with_schedule_traced(&node_cfg, trace, &schedule, s)
+        }
+        None => run_trace_windowed_with_schedule(&node_cfg, trace, &schedule),
+    };
     let convergence_ms = convergence_delays(&report, events);
     ScriptedResult {
         report,
@@ -112,7 +150,11 @@ fn convergence_delays(report: &NodeReport, events: &[CongestionEvent]) -> Vec<f6
 /// retrieve to full speed. (The paper's absolute numbers — 6, 3, 6,
 /// 10 Gbps on SSD-B — correspond to the same fractions of its 10 Gbps
 /// baseline.)
-pub fn fig9_events(baseline_read_gbps: f64, first_at: SimTime, spacing: SimDuration) -> Vec<CongestionEvent> {
+pub fn fig9_events(
+    baseline_read_gbps: f64,
+    first_at: SimTime,
+    spacing: SimDuration,
+) -> Vec<CongestionEvent> {
     let frac = [0.6, 0.3, 0.6, 1.0];
     let kind = [
         CongestionKind::Pause,

@@ -7,7 +7,7 @@ use fabric::{decode_tag, InitiatorProto, MsgKind, TargetProto, TxqPolicy, WireSe
 use net_sim::network::{NetEvent, NetStep, Network};
 use net_sim::topology::{build_clos, build_star, NodeId};
 use net_sim::FlowId;
-use sim_engine::{EventQueue, SimTime};
+use sim_engine::{EventQueue, SimDuration, SimTime, TraceRecord, TraceSink};
 use src_core::{SrcController, ThroughputPredictionModel};
 use ssd_sim::SsdEvent;
 use std::collections::HashMap;
@@ -18,10 +18,15 @@ use workload::IoType;
 enum Ev {
     Issue(usize),
     Net(NetEvent),
-    Ssd { target: usize, ev: SsdEvent },
+    Ssd {
+        target: usize,
+        ev: SsdEvent,
+    },
     /// Background burst from background source `src` (re-arms itself
     /// until the configured stop time).
-    Background { src: usize },
+    Background {
+        src: usize,
+    },
 }
 
 /// Where a flow sits in the fabric.
@@ -45,6 +50,10 @@ struct TargetState {
     in_flows: Vec<FlowId>,
 }
 
+/// Telemetry sampling cadence for gauges (TXQ backlog, SSD utilization,
+/// SSQ occupancy): 1 ms, matching the report bin width.
+const SAMPLE_BIN: SimDuration = SimDuration(1_000_000_000);
+
 /// Run one full-system simulation over the given request assignments.
 /// `tpm` must be provided in [`Mode::DcqcnSrc`].
 ///
@@ -55,6 +64,29 @@ pub fn run_system(
     cfg: &SystemConfig,
     assignments: &[Assignment],
     tpm: Option<Arc<ThroughputPredictionModel>>,
+) -> SystemReport {
+    run_system_impl(cfg, assignments, tpm, None)
+}
+
+/// [`run_system`] with telemetry: DCQCN per-flow rate/alpha and RP-stage
+/// transitions, CNP traffic, TXQ backlog and gate transitions, SSQ fetch
+/// decisions and weight changes, SSD utilization, and SRC decisions all
+/// flow into `sink` as deterministic [`TraceRecord`]s. The returned
+/// report is identical to the untraced run's.
+pub fn run_system_traced(
+    cfg: &SystemConfig,
+    assignments: &[Assignment],
+    tpm: Option<Arc<ThroughputPredictionModel>>,
+    sink: &mut dyn TraceSink,
+) -> SystemReport {
+    run_system_impl(cfg, assignments, tpm, Some(sink))
+}
+
+fn run_system_impl(
+    cfg: &SystemConfig,
+    assignments: &[Assignment],
+    tpm: Option<Arc<ThroughputPredictionModel>>,
+    mut sink: Option<&mut dyn TraceSink>,
 ) -> SystemReport {
     let n_bg = cfg.background.as_ref().map_or(0, |b| b.n_sources);
     let n_hosts = cfg.n_initiators + cfg.n_targets + n_bg;
@@ -70,8 +102,7 @@ pub fn run_system(
     let init_hosts: Vec<NodeId> = clos.hosts[..cfg.n_initiators].to_vec();
     let tgt_hosts: Vec<NodeId> =
         clos.hosts[cfg.n_initiators..cfg.n_initiators + cfg.n_targets].to_vec();
-    let bg_hosts: Vec<NodeId> =
-        clos.hosts[cfg.n_initiators + cfg.n_targets..n_hosts].to_vec();
+    let bg_hosts: Vec<NodeId> = clos.hosts[cfg.n_initiators + cfg.n_targets..n_hosts].to_vec();
 
     let mut net = Network::new(clos.topology, cfg.dcqcn.clone(), cfg.pfc.clone(), cfg.mtu);
     if cfg.cc == CcChoice::Timely {
@@ -116,8 +147,20 @@ pub fn run_system(
             in_flows,
         });
     }
-    let mut initiators: Vec<InitiatorProto> =
-        (0..cfg.n_initiators).map(|_| InitiatorProto::new()).collect();
+    let mut initiators: Vec<InitiatorProto> = (0..cfg.n_initiators)
+        .map(|_| InitiatorProto::new())
+        .collect();
+
+    if sink.is_some() {
+        net.set_telemetry(true);
+        for (t_idx, t) in targets.iter_mut().enumerate() {
+            t.node.set_telemetry(true, t_idx as u64);
+            if let Some(src) = t.src.as_mut() {
+                src.set_telemetry(true, t_idx as u64);
+            }
+        }
+    }
+    let mut last_sample = SimTime::ZERO;
 
     // Background congestion flows toward Initiator 0.
     let mut bg_flows: Vec<FlowId> = Vec::with_capacity(n_bg);
@@ -179,8 +222,7 @@ pub fn run_system(
                         // can learn from completion feedback).
                         (0..targets.len())
                             .min_by_key(|&t| {
-                                targets[t].proto.in_flight()
-                                    + targets[t].node.discipline().queued()
+                                targets[t].proto.in_flight() + targets[t].node.discipline().queued()
                             })
                             .expect("at least one target")
                     }
@@ -193,11 +235,8 @@ pub fn run_system(
                         }),
                 };
                 actual_target[a.request.id as usize] = target;
-                let ws = initiators[a.initiator].issue(
-                    &a.request,
-                    out_flows[a.initiator][target],
-                    now,
-                );
+                let ws =
+                    initiators[a.initiator].issue(&a.request, out_flows[a.initiator][target], now);
                 net_steps.push(exec_send(&mut net, ws, now));
             }
             Ev::Net(nev) => {
@@ -208,7 +247,10 @@ pub fn run_system(
                 ssd_scheds.push((target, step));
             }
             Ev::Background { src } => {
-                let bg = cfg.background.as_ref().expect("background event without config");
+                let bg = cfg
+                    .background
+                    .as_ref()
+                    .expect("background event without config");
                 if now < bg.stop {
                     // Closed-loop source: keep the flow's NIC queue
                     // topped up (so the link stays contended at whatever
@@ -262,8 +304,8 @@ pub fn run_system(
                     .sum();
                 let t = &mut targets[t_idx];
                 if let Some(src) = t.src.as_mut() {
-                    if let Some(w) =
-                        src.on_congestion_notification(sim_engine::Rate::from_bps(demanded_bps), now)
+                    if let Some(w) = src
+                        .on_congestion_notification(sim_engine::Rate::from_bps(demanded_bps), now)
                     {
                         t.node.set_weight_ratio(w);
                         let step = t.node.pump(now);
@@ -287,12 +329,9 @@ pub fn run_system(
                         if let Some(src) = t.src.as_mut() {
                             src.observe(&a.request, now);
                         }
-                        let sub = t.proto.on_command(
-                            kind,
-                            &a.request,
-                            t.in_flows[a.initiator],
-                            now,
-                        );
+                        let sub =
+                            t.proto
+                                .on_command(kind, &a.request, t.in_flows[a.initiator], now);
                         let step = t.node.submit(sub.request, now);
                         ssd_scheds.push((tgt_idx, step));
                     }
@@ -334,7 +373,13 @@ pub fn run_system(
                 debug_assert!(net_step.deliveries.is_empty());
             }
             for (t, e) in step.schedule {
-                q.schedule(t, Ev::Ssd { target: t_idx, ev: e });
+                q.schedule(
+                    t,
+                    Ev::Ssd {
+                        target: t_idx,
+                        ev: e,
+                    },
+                );
             }
         }
 
@@ -343,6 +388,17 @@ pub fn run_system(
         for (t_idx, t) in targets.iter_mut().enumerate() {
             let backlog = net.host_backlog_bytes(t.host);
             if let Some(open) = t.txq.observe(backlog) {
+                // TxqPolicy has no clock or buffer of its own, so gate
+                // transitions are recorded here at the observation site.
+                if let Some(s) = sink.as_deref_mut() {
+                    s.record(TraceRecord {
+                        at: now,
+                        component: "txq",
+                        scope: t_idx as u64,
+                        metric: "gate_open",
+                        value: if open { 1.0 } else { 0.0 },
+                    });
+                }
                 t.node.set_read_gate(open);
                 if open {
                     let step = t.node.pump(now);
@@ -352,9 +408,7 @@ pub fn run_system(
                             report.write_bytes += c.size;
                             report.write_series.add(now, c.size as f64);
                             let issued = assignments[c.id as usize].request.arrival;
-                            report
-                                .write_latency_us
-                                .push(now.since(issued).as_us_f64());
+                            report.write_latency_us.push(now.since(issued).as_us_f64());
                         }
                         let ws = t.proto.on_storage_completion(c.id, now);
                         let net_step = net.send(ws.flow, ws.bytes, ws.tag, now);
@@ -363,10 +417,48 @@ pub fn run_system(
                         }
                     }
                     for (tt, e) in step.schedule {
-                        q.schedule(tt, Ev::Ssd { target: t_idx, ev: e });
+                        q.schedule(
+                            tt,
+                            Ev::Ssd {
+                                target: t_idx,
+                                ev: e,
+                            },
+                        );
                     }
                 } else {
                     report.gate_closures.push((now, t_idx));
+                }
+            }
+        }
+
+        // Telemetry: sample gauges once per bin, then drain every
+        // component's probe buffer in a fixed order so the trace is
+        // deterministic.
+        if let Some(s) = sink.as_deref_mut() {
+            if now.since(last_sample) >= SAMPLE_BIN {
+                last_sample = now;
+                for (t_idx, t) in targets.iter_mut().enumerate() {
+                    t.node.sample_telemetry(now);
+                    s.record(TraceRecord {
+                        at: now,
+                        component: "txq",
+                        scope: t_idx as u64,
+                        metric: "backlog_bytes",
+                        value: net.host_backlog_bytes(t.host) as f64,
+                    });
+                }
+            }
+            for rec in net.drain_probes() {
+                s.record(rec);
+            }
+            for t in targets.iter_mut() {
+                for rec in t.node.drain_probes() {
+                    s.record(rec);
+                }
+                if let Some(src) = t.src.as_mut() {
+                    for rec in src.drain_probes() {
+                        s.record(rec);
+                    }
                 }
             }
         }
@@ -409,6 +501,17 @@ pub fn run_system(
     }
     report.ecn_marked = net.ecn_marked();
     report.cnps = net.cnps_sent();
+    if let Some(s) = sink {
+        s.count(("net", 0, "ecn_marked"), report.ecn_marked);
+        s.count(("net", 0, "cnps_sent"), report.cnps);
+        s.count(("net", 0, "pauses_received"), report.pauses_total);
+        s.count(
+            ("txq", 0, "gate_closures"),
+            report.gate_closures.len() as u64,
+        );
+        s.count(("sys", 0, "reads_completed"), report.reads_completed);
+        s.count(("sys", 0, "writes_completed"), report.writes_completed);
+    }
     report
 }
 
@@ -455,6 +558,41 @@ mod tests {
         assert_eq!(r1.read_series.bins(), r2.read_series.bins());
         assert_eq!(r1.pauses_total, r2.pauses_total);
         assert_eq!(r1.makespan, r2.makespan);
+    }
+
+    #[test]
+    fn traced_run_is_identical_and_deterministic() {
+        use sim_engine::RingSink;
+        let cfg = SystemConfig::default();
+        let a = small_assignments(200, 4);
+        let plain = run_system(&cfg, &a, None);
+        let mut sink = RingSink::new(1 << 18);
+        let traced = run_system_traced(&cfg, &a, None, &mut sink);
+        // A no-op sink gives the same report as a recording one.
+        let nulled = run_system_traced(&cfg, &a, None, &mut sim_engine::NullSink);
+        assert_eq!(nulled.reads_completed, traced.reads_completed);
+        assert_eq!(nulled.read_series.bins(), traced.read_series.bins());
+        assert_eq!(nulled.makespan, traced.makespan);
+        // Telemetry must not perturb the simulation.
+        assert_eq!(plain.reads_completed, traced.reads_completed);
+        assert_eq!(plain.writes_completed, traced.writes_completed);
+        assert_eq!(plain.read_series.bins(), traced.read_series.bins());
+        assert_eq!(plain.write_series.bins(), traced.write_series.bins());
+        assert_eq!(plain.pauses_total, traced.pauses_total);
+        assert_eq!(plain.ecn_marked, traced.ecn_marked);
+        assert_eq!(plain.makespan, traced.makespan);
+        let rep = sink.into_report();
+        assert!(!rep.series("txq", "backlog_bytes").is_empty());
+        assert!(!rep.series("ssd", "chip_util").is_empty());
+        assert_eq!(rep.counter(("net", 0, "ecn_marked")), plain.ecn_marked);
+        assert_eq!(
+            rep.counter(("sys", 0, "reads_completed")),
+            plain.reads_completed
+        );
+        // Same inputs: byte-identical JSON-lines export.
+        let mut sink2 = RingSink::new(1 << 18);
+        let _ = run_system_traced(&cfg, &a, None, &mut sink2);
+        assert_eq!(rep.to_json_lines(), sink2.into_report().to_json_lines());
     }
 
     #[test]

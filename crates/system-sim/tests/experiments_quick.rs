@@ -44,12 +44,7 @@ fn fig7_fig8_src_preserves_aggregate_throughput() {
     assert!(r.dcqcn_only.min_inbound_rate_gbps < 1.0);
     // SRC actually adjusted weights.
     assert!(r.dcqcn_src.decisions.iter().any(|d| !d.is_empty()));
-    assert!(r
-        .dcqcn_src
-        .decisions
-        .iter()
-        .flatten()
-        .any(|d| d.weight > 1));
+    assert!(r.dcqcn_src.decisions.iter().flatten().any(|d| d.weight > 1));
     // Everything completed in both modes.
     assert_eq!(
         r.dcqcn_only.reads_completed + r.dcqcn_only.writes_completed,
@@ -83,7 +78,11 @@ fn fig9_dynamic_control_tracks_demanded_rates() {
     assert!(r.report.weight_changes.len() >= 2);
     // Convergence measured for at least half the events.
     let finite = r.convergence_ms.iter().filter(|d| d.is_finite()).count();
-    assert!(finite * 2 >= r.convergence_ms.len(), "{:?}", r.convergence_ms);
+    assert!(
+        finite * 2 >= r.convergence_ms.len(),
+        "{:?}",
+        r.convergence_ms
+    );
 }
 
 #[test]
@@ -123,7 +122,10 @@ fn table4_incast_ratio_trend() {
         rows[0].improvement_pct,
         rows[3].improvement_pct
     );
-    assert!(rows[0].improvement_pct > 5.0, "2:1 gain too small: {rows:?}");
+    assert!(
+        rows[0].improvement_pct > 5.0,
+        "2:1 gain too small: {rows:?}"
+    );
 }
 
 #[test]

@@ -82,7 +82,11 @@ pub fn extract_features(window: &[Request]) -> WorkloadFeatures {
     let r = class_stats_of(window, IoType::Read);
     let w = class_stats_of(window, IoType::Write);
     let total = (r.count + w.count) as f64;
-    let read_ratio = if total == 0.0 { 0.0 } else { r.count as f64 / total };
+    let read_ratio = if total == 0.0 {
+        0.0
+    } else {
+        r.count as f64 / total
+    };
     // Flow speed = mean size / mean IAT; when a class has a single request
     // (no IAT sample) the flow speed is reported as 0 — the window is too
     // short to say anything about its rate.

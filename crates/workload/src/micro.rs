@@ -3,10 +3,10 @@
 //! request sizes are drawn from exponential distributions").
 
 use crate::request::{IoType, Request, SECTOR_BYTES};
+pub use crate::spatial::LbaModel;
 use crate::trace::Trace;
 use rand::Rng;
 use rand_distr::{Distribution, Exp};
-pub use crate::spatial::LbaModel;
 use serde::{Deserialize, Serialize};
 use sim_engine::rng::stream_rng;
 use sim_engine::{SimDuration, SimTime};

@@ -53,7 +53,11 @@ impl Mmpp2 {
     /// Create a sampler starting in the steady-state-probable state.
     pub fn sampler(&self, rng: &mut impl Rng) -> Mmpp2Sampler {
         let pi0 = self.sojourn_mean_us[0] / (self.sojourn_mean_us[0] + self.sojourn_mean_us[1]);
-        let state = if rng.gen_bool(pi0.clamp(0.0, 1.0)) { 0 } else { 1 };
+        let state = if rng.gen_bool(pi0.clamp(0.0, 1.0)) {
+            0
+        } else {
+            1
+        };
         let mut s = Mmpp2Sampler {
             model: self.clone(),
             state,
@@ -67,7 +71,9 @@ impl Mmpp2 {
 impl Mmpp2Sampler {
     fn draw_sojourn(&self, rng: &mut impl Rng) -> f64 {
         let mean = self.model.sojourn_mean_us[self.state].max(1e-9);
-        Exp::new(1.0 / mean).expect("positive sojourn rate").sample(rng)
+        Exp::new(1.0 / mean)
+            .expect("positive sojourn rate")
+            .sample(rng)
     }
 
     /// Sample the next inter-arrival time in microseconds.
@@ -164,9 +170,9 @@ impl IatModel {
     /// Create a stateful sampler.
     pub fn sampler(&self, rng: &mut impl Rng) -> IatSampler {
         match self {
-            IatModel::Exponential { mean_us } => IatSampler::Exp(
-                Exp::new(1.0 / mean_us).expect("positive mean"),
-            ),
+            IatModel::Exponential { mean_us } => {
+                IatSampler::Exp(Exp::new(1.0 / mean_us).expect("positive mean"))
+            }
             IatModel::GammaRenewal { mean_us, scv } => {
                 let shape = 1.0 / scv;
                 let scale = mean_us / shape;
@@ -250,9 +256,18 @@ mod tests {
 
     #[test]
     fn exponential_fit_band() {
-        assert!(matches!(IatModel::fit(10.0, 1.0), IatModel::Exponential { .. }));
-        assert!(matches!(IatModel::fit(10.0, 0.98), IatModel::Exponential { .. }));
-        assert!(matches!(IatModel::fit(10.0, 0.5), IatModel::GammaRenewal { .. }));
+        assert!(matches!(
+            IatModel::fit(10.0, 1.0),
+            IatModel::Exponential { .. }
+        ));
+        assert!(matches!(
+            IatModel::fit(10.0, 0.98),
+            IatModel::Exponential { .. }
+        ));
+        assert!(matches!(
+            IatModel::fit(10.0, 0.5),
+            IatModel::GammaRenewal { .. }
+        ));
         assert!(matches!(IatModel::fit(10.0, 4.0), IatModel::Ipp(_)));
     }
 
@@ -278,7 +293,10 @@ mod tests {
             let m = IatModel::fit(10.0, target);
             assert!((m.mean_us() - 10.0).abs() < 1e-6, "model mean");
             let (mean, scv) = empirical_moments(&m, 400_000, 3);
-            assert!((mean - 10.0).abs() / 10.0 < 0.05, "mean={mean} for scv {target}");
+            assert!(
+                (mean - 10.0).abs() / 10.0 < 0.05,
+                "mean={mean} for scv {target}"
+            );
             assert!(
                 (scv - target).abs() / target < 0.15,
                 "scv={scv}, target={target}"
@@ -342,7 +360,11 @@ mod tests {
         for _ in 0..100_000 {
             st.push(sm.sample(&mut rng) as f64);
         }
-        assert!((st.mean() - 32_000.0).abs() / 32_000.0 < 0.05, "mean={}", st.mean());
+        assert!(
+            (st.mean() - 32_000.0).abs() / 32_000.0 < 0.05,
+            "mean={}",
+            st.mean()
+        );
         // Rounding to sectors with a 4 KiB floor truncates the left tail,
         // so allow generous tolerance on the SCV.
         assert!((st.scv() - 1.5).abs() < 0.3, "scv={}", st.scv());

@@ -37,13 +37,14 @@ impl LbaModel {
     pub fn sampler(&self, space_sectors: u64) -> LbaSampler {
         assert!(space_sectors > 0, "empty LBA space");
         match self {
-            LbaModel::Uniform => LbaSampler::Uniform { space: space_sectors },
+            LbaModel::Uniform => LbaSampler::Uniform {
+                space: space_sectors,
+            },
             LbaModel::Zipf { regions, s } => {
                 assert!(*regions >= 1, "need at least one region");
                 assert!(*s > 0.0, "Zipf exponent must be positive");
                 // Precompute the region CDF.
-                let weights: Vec<f64> =
-                    (1..=*regions).map(|k| 1.0 / (k as f64).powf(*s)).collect();
+                let weights: Vec<f64> = (1..=*regions).map(|k| 1.0 / (k as f64).powf(*s)).collect();
                 let total: f64 = weights.iter().sum();
                 let mut cdf = Vec::with_capacity(weights.len());
                 let mut acc = 0.0;
@@ -138,7 +139,11 @@ mod tests {
 
     #[test]
     fn zipf_concentrates_on_first_region() {
-        let mut s = LbaModel::Zipf { regions: 10, s: 1.2 }.sampler(10_000);
+        let mut s = LbaModel::Zipf {
+            regions: 10,
+            s: 1.2,
+        }
+        .sampler(10_000);
         let mut rng = stream_rng(2, "z");
         let mut first = 0usize;
         let n = 5000;

@@ -70,7 +70,10 @@ impl SyntheticConfig {
             read_count,
             write_count,
             lba_space_sectors: 1 << 22,
-            lba_model: LbaModel::Zipf { regions: 16, s: 1.1 },
+            lba_model: LbaModel::Zipf {
+                regions: 16,
+                s: 1.1,
+            },
         }
     }
 
@@ -92,7 +95,10 @@ impl SyntheticConfig {
             read_count,
             write_count,
             lba_space_sectors: 1 << 22,
-            lba_model: LbaModel::Zipf { regions: 32, s: 1.2 },
+            lba_model: LbaModel::Zipf {
+                regions: 32,
+                s: 1.2,
+            },
         }
     }
 }
@@ -221,9 +227,21 @@ mod tests {
         let t = generate_synthetic(&cfg, 5);
         let r = t.class_stats(IoType::Read);
         let w = t.class_stats(IoType::Write);
-        assert!((r.size_mean - 44_000.0).abs() / 44_000.0 < 0.05, "{}", r.size_mean);
-        assert!((w.size_mean - 23_000.0).abs() / 23_000.0 < 0.05, "{}", w.size_mean);
-        assert!((r.iat_mean_us - 10.0).abs() / 10.0 < 0.1, "{}", r.iat_mean_us);
+        assert!(
+            (r.size_mean - 44_000.0).abs() / 44_000.0 < 0.05,
+            "{}",
+            r.size_mean
+        );
+        assert!(
+            (w.size_mean - 23_000.0).abs() / 23_000.0 < 0.05,
+            "{}",
+            w.size_mean
+        );
+        assert!(
+            (r.iat_mean_us - 10.0).abs() / 10.0 < 0.1,
+            "{}",
+            r.iat_mean_us
+        );
         // Read traffic load ≈ 35.2 Gbps (Sec. IV-D).
         let load = t.offered_load_bps(IoType::Read);
         assert!((load - 35.2e9).abs() / 35.2e9 < 0.12, "load={load}");
@@ -260,7 +278,10 @@ mod tests {
         assert_eq!(ScvQuadrant::classify(0.5, 0.5), ScvQuadrant::LowSizeLowIat);
         assert_eq!(ScvQuadrant::classify(0.5, 2.0), ScvQuadrant::LowSizeHighIat);
         assert_eq!(ScvQuadrant::classify(2.0, 0.5), ScvQuadrant::HighSizeLowIat);
-        assert_eq!(ScvQuadrant::classify(2.0, 2.0), ScvQuadrant::HighSizeHighIat);
+        assert_eq!(
+            ScvQuadrant::classify(2.0, 2.0),
+            ScvQuadrant::HighSizeHighIat
+        );
     }
 
     #[test]

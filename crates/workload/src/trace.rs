@@ -71,7 +71,10 @@ impl Trace {
 
     /// Arrival time of the last request (ZERO when empty).
     pub fn span(&self) -> SimTime {
-        self.requests.last().map(|r| r.arrival).unwrap_or(SimTime::ZERO)
+        self.requests
+            .last()
+            .map(|r| r.arrival)
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Requests whose arrival lies in `[from, to)`.
@@ -181,11 +184,18 @@ mod tests {
 
     #[test]
     fn sorts_and_merges() {
-        let a = Trace::from_requests(vec![mk(1, IoType::Read, 30, 4096), mk(0, IoType::Read, 10, 4096)]);
+        let a = Trace::from_requests(vec![
+            mk(1, IoType::Read, 30, 4096),
+            mk(0, IoType::Read, 10, 4096),
+        ]);
         assert_eq!(a.requests()[0].arrival, SimTime::from_us(10));
         let b = Trace::from_requests(vec![mk(0, IoType::Write, 20, 8192)]);
         let m = a.merge(b);
-        let times: Vec<u64> = m.requests().iter().map(|r| r.arrival.as_ps() / 1_000_000).collect();
+        let times: Vec<u64> = m
+            .requests()
+            .iter()
+            .map(|r| r.arrival.as_ps() / 1_000_000)
+            .collect();
         assert_eq!(times, vec![10, 20, 30]);
         let ids: Vec<u64> = m.requests().iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![0, 1, 2]);
@@ -227,7 +237,9 @@ mod tests {
         let t = Trace::from_requests((0..10).map(|i| mk(i, IoType::Read, i * 10, 4096)).collect());
         let w = t.window(SimTime::from_us(20), SimTime::from_us(50));
         assert_eq!(w.len(), 3); // arrivals 20, 30, 40
-        assert!(t.window(SimTime::from_us(200), SimTime::from_us(300)).is_empty());
+        assert!(t
+            .window(SimTime::from_us(200), SimTime::from_us(300))
+            .is_empty());
     }
 
     #[test]
@@ -242,7 +254,10 @@ mod tests {
 
     #[test]
     fn jsonl_round_trip() {
-        let t = Trace::from_requests(vec![mk(0, IoType::Read, 1, 4096), mk(1, IoType::Write, 2, 8192)]);
+        let t = Trace::from_requests(vec![
+            mk(0, IoType::Read, 1, 4096),
+            mk(1, IoType::Write, 2, 8192),
+        ]);
         let mut buf = Vec::new();
         t.write_jsonl(&mut buf).unwrap();
         let t2 = Trace::read_jsonl(std::io::Cursor::new(buf)).unwrap();

@@ -26,7 +26,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -57,10 +61,14 @@ pub fn read_csv<R: BufRead>(reader: R) -> Result<Trace, ParseError> {
         }
         let mut parts = trimmed.split(',');
         let mut next = |what: &str| {
-            parts.next().map(str::trim).filter(|s| !s.is_empty()).ok_or(ParseError {
-                line: lineno,
-                message: format!("missing field: {what}"),
-            })
+            parts
+                .next()
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .ok_or(ParseError {
+                    line: lineno,
+                    message: format!("missing field: {what}"),
+                })
         };
         let ts: f64 = next("timestamp")?.parse().map_err(|e| ParseError {
             line: lineno,
@@ -221,7 +229,11 @@ mod tests {
         let w = w.expect("write profile");
         assert!((r.iat_mean_us - cfg.read.iat_mean_us).abs() / cfg.read.iat_mean_us < 0.1);
         assert!((r.size_mean - cfg.read.size_mean).abs() / cfg.read.size_mean < 0.1);
-        assert!(r.iat_scv > 1.5, "bursty input should fit bursty: {}", r.iat_scv);
+        assert!(
+            r.iat_scv > 1.5,
+            "bursty input should fit bursty: {}",
+            r.iat_scv
+        );
         assert!((w.size_mean - cfg.write.size_mean).abs() / cfg.write.size_mean < 0.1);
     }
 

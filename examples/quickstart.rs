@@ -19,9 +19,27 @@ fn main() {
     let b = motivation::dcqcn_only(&p);
     let c = motivation::with_src(&p);
     println!("Fig. 2 toy model (requests per time unit):");
-    println!("  {:<16} reads={:<4} writes={:<4} total={}", "no congestion", a.reads, a.writes, a.total());
-    println!("  {:<16} reads={:<4} writes={:<4} total={}", "DCQCN only", b.reads, b.writes, b.total());
-    println!("  {:<16} reads={:<4} writes={:<4} total={}", "DCQCN + SRC", c.reads, c.writes, c.total());
+    println!(
+        "  {:<16} reads={:<4} writes={:<4} total={}",
+        "no congestion",
+        a.reads,
+        a.writes,
+        a.total()
+    );
+    println!(
+        "  {:<16} reads={:<4} writes={:<4} total={}",
+        "DCQCN only",
+        b.reads,
+        b.writes,
+        b.total()
+    );
+    println!(
+        "  {:<16} reads={:<4} writes={:<4} total={}",
+        "DCQCN + SRC",
+        c.reads,
+        c.writes,
+        c.total()
+    );
     println!();
 
     // ------------------------------------------------------------------
@@ -41,7 +59,10 @@ fn main() {
         },
         42,
     );
-    println!("  {:>3} {:>12} {:>12} {:>12}", "w", "read Gbps", "write Gbps", "total Gbps");
+    println!(
+        "  {:>3} {:>12} {:>12} {:>12}",
+        "w", "read Gbps", "write Gbps", "total Gbps"
+    );
     for point in weight_sweep(&SsdConfig::ssd_a(), &trace, &[1, 2, 4, 8]) {
         println!(
             "  {:>3} {:>12.2} {:>12.2} {:>12.2}",

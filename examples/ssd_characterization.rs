@@ -58,8 +58,6 @@ fn main() {
             println!("{:>8.0} {:>8.0} | {}", iat, size / 1000.0, cells);
         }
     }
-    println!(
-        "\nHeavy cells (short IAT, large sizes): read falls / write rises with w."
-    );
+    println!("\nHeavy cells (short IAT, large sizes): read falls / write rises with w.");
     println!("Light cells: the weighted round-robin fades out — the paper's Sec. III-B.");
 }

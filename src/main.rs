@@ -42,7 +42,12 @@ fn cmd_motivation() -> ExitCode {
         ("DCQCN only", motivation::dcqcn_only(&p)),
         ("DCQCN + SRC", motivation::with_src(&p)),
     ] {
-        println!("{label:<16} reads={:<4} writes={:<4} total={}", o.reads, o.writes, o.total());
+        println!(
+            "{label:<16} reads={:<4} writes={:<4} total={}",
+            o.reads,
+            o.writes,
+            o.total()
+        );
     }
     ExitCode::SUCCESS
 }
@@ -66,7 +71,10 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     println!("weight sweep: IAT {iat} us, size {size_kb} KB per class");
     println!("{:>4} {:>12} {:>12}", "w", "read Gbps", "write Gbps");
     for p in weight_sweep(&ssd, &trace, &[1, 2, 3, 4, 6, 8]) {
-        println!("{:>4} {:>12.2} {:>12.2}", p.weight, p.read_gbps, p.write_gbps);
+        println!(
+            "{:>4} {:>12.2} {:>12.2}",
+            p.weight, p.read_gbps, p.write_gbps
+        );
     }
     ExitCode::SUCCESS
 }
@@ -86,16 +94,15 @@ fn cmd_replay(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         return usage();
     };
-    let weight: u32 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1)
-        .max(1); // SSQ weights start at 1
+    let weight: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1).max(1); // SSQ weights start at 1
     let trace = match load_trace(path) {
         Ok(t) => t,
         Err(c) => return c,
     };
-    println!("replaying {} requests at weight ratio {weight} on SSD-A ...", trace.len());
+    println!(
+        "replaying {} requests at weight ratio {weight} on SSD-A ...",
+        trace.len()
+    );
     let r = run_trace(
         &NodeConfig {
             discipline: DisciplineKind::Ssq { weight },
@@ -105,11 +112,15 @@ fn cmd_replay(args: &[String]) -> ExitCode {
     );
     println!(
         "reads  : {:>8}  {:>10} bytes  mean latency {:>9.1} us",
-        r.reads_completed, r.read_bytes, r.read_latency_us.mean()
+        r.reads_completed,
+        r.read_bytes,
+        r.read_latency_us.mean()
     );
     println!(
         "writes : {:>8}  {:>10} bytes  mean latency {:>9.1} us",
-        r.writes_completed, r.write_bytes, r.write_latency_us.mean()
+        r.writes_completed,
+        r.write_bytes,
+        r.write_latency_us.mean()
     );
     println!(
         "tput   : read {:.2} Gbps, write {:.2} Gbps (trimmed), makespan {:.1} ms",

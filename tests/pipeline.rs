@@ -45,12 +45,18 @@ fn algorithm1_decision_verified_against_device() {
 
     // Baseline read throughput at w = 1.
     let base = weight_sweep(&ssd, &trace, &[1])[0].read_gbps;
-    assert!(base > 0.5, "workload should produce real throughput: {base}");
+    assert!(
+        base > 0.5,
+        "workload should produce real throughput: {base}"
+    );
 
     // Demand roughly half the baseline.
     let demanded = base * 0.5;
     let w = predict_weight_ratio(&tpm, demanded, &ch, 0.1, 16);
-    assert!(w > 1, "halving the rate requires raising the weight, got {w}");
+    assert!(
+        w > 1,
+        "halving the rate requires raising the weight, got {w}"
+    );
 
     // Measure what that weight actually does on the device.
     let measured = weight_sweep(&ssd, &trace, &[w])[0].read_gbps;
@@ -60,7 +66,10 @@ fn algorithm1_decision_verified_against_device() {
         "control error too large: demanded {demanded:.2}, got {measured:.2} (w={w})"
     );
     // And it must actually throttle relative to baseline.
-    assert!(measured < base * 0.85, "w={w} failed to throttle: {measured} vs {base}");
+    assert!(
+        measured < base * 0.85,
+        "w={w} failed to throttle: {measured} vs {base}"
+    );
 }
 
 /// The TPM generalizes across seeds: train on one set of traces, test on
@@ -133,14 +142,18 @@ fn ssq_at_w1_is_not_worse_than_fifo() {
 /// the whole storage stack, even at high write weight.
 #[test]
 fn consistency_preserved_through_stack() {
-    use srcsim::workload::{Request, Trace};
     use sim_engine::SimTime;
+    use srcsim::workload::{Request, Trace};
     // Interleaved same-LBA chain plus background traffic.
     let mut reqs = Vec::new();
     for i in 0..50u64 {
         reqs.push(Request {
             id: i * 2,
-            op: if i % 2 == 0 { IoType::Write } else { IoType::Read },
+            op: if i % 2 == 0 {
+                IoType::Write
+            } else {
+                IoType::Read
+            },
             lba: 42, // same LBA chain
             size: 4096,
             arrival: SimTime::from_us(i * 30),

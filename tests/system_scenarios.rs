@@ -6,11 +6,18 @@
 
 use srcsim::net_sim::ClosConfig;
 use srcsim::ssd_sim::SsdConfig;
-use srcsim::system_sim::config::{per_target_traces, spread_trace, Mode, SystemConfig, TopologyKind};
+use srcsim::system_sim::config::{
+    per_target_traces, spread_trace, Mode, SystemConfig, TopologyKind,
+};
 use srcsim::system_sim::run_system;
 use srcsim::workload::micro::{generate_micro, MicroConfig};
 
-fn micro_assignments(n_per_class: usize, n_init: usize, n_tgt: usize, seed: u64) -> Vec<srcsim::system_sim::config::Assignment> {
+fn micro_assignments(
+    n_per_class: usize,
+    n_init: usize,
+    n_tgt: usize,
+    seed: u64,
+) -> Vec<srcsim::system_sim::config::Assignment> {
     let t = generate_micro(
         &MicroConfig {
             read_count: n_per_class,
@@ -47,7 +54,13 @@ fn full_system_on_clos_fabric() {
     let r = run_system(&cfg, &a, None);
     assert_eq!(r.reads_completed, 400);
     assert_eq!(r.writes_completed, 400);
-    assert_eq!(r.read_bytes, a.iter().filter(|x| x.request.op.is_read()).map(|x| x.request.size).sum::<u64>());
+    assert_eq!(
+        r.read_bytes,
+        a.iter()
+            .filter(|x| x.request.op.is_read())
+            .map(|x| x.request.size)
+            .sum::<u64>()
+    );
     assert!(r.read_latency_us.mean() > 0.0);
 }
 
@@ -153,8 +166,14 @@ fn per_target_affinity() {
         2,
     );
     let a = per_target_traces(&[t0, t1], 1);
-    assert!(a.iter().filter(|x| x.target == 0).all(|x| x.request.op.is_read()));
-    assert!(a.iter().filter(|x| x.target == 1).all(|x| !x.request.op.is_read()));
+    assert!(a
+        .iter()
+        .filter(|x| x.target == 0)
+        .all(|x| x.request.op.is_read()));
+    assert!(a
+        .iter()
+        .filter(|x| x.target == 1)
+        .all(|x| !x.request.op.is_read()));
     let r = run_system(
         &SystemConfig {
             mode: Mode::DcqcnOnly,

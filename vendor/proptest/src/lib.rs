@@ -1,0 +1,332 @@
+//! Offline stub of `proptest`: the `proptest!` macro, range/tuple/vec
+//! strategies, and `prop_assert*` macros, backed by a deterministic
+//! per-test RNG (seeded from the test's name) instead of upstream's
+//! shrinking engine.
+//!
+//! Failing cases are reported with the drawn inputs (`Debug`), but are
+//! **not** shrunk. Case count defaults to 64 and can be set with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` exactly like
+//! upstream.
+
+use std::ops::Range;
+
+/// Runner configuration (subset: case count).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generator used by the runner (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary byte string (e.g. the test name).
+    pub fn from_name(name: &str) -> Self {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for &b in name.as_bytes() {
+            state = state.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+        }
+        TestRng { state }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator. Upstream proptest's `Strategy` also carries
+/// shrinking machinery; this stub only samples.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! uint_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128) - (self.start as u128);
+                ((self.start as u128) + (rng.next_u64() as u128) % span) as $t
+            }
+        }
+    )*};
+}
+uint_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! sint_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + ((rng.next_u64() as u128) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+sint_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `sizes`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        assert!(sizes.start < sizes.end, "empty vec size range");
+        VecStrategy { element, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.sizes.end - self.sizes.start) as u64;
+            let len = self.sizes.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Error carried out of a failing property body.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Result type produced by the instrumented property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Assert inside a property; on failure the runner reports the inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($a), stringify!($b), a, b, file!(), line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} != {}`\n  both: {:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Define property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, v in proptest::collection::vec(0u8..4, 1..20)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let dbg_inputs = format!(
+                        concat!($(concat!(stringify!($arg), " = {:?}, ")),+),
+                        $(&$arg),+
+                    );
+                    #[allow(unused_mut)]
+                    let mut body = move || -> $crate::TestCaseResult {
+                        { $body }
+                        Ok(())
+                    };
+                    if let Err(e) = body() {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            case + 1, config.cases, e.0, dbg_inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult, TestRng,
+    };
+}
+
+// `proptest::prop_assert!` style paths (used by several call sites)
+// resolve through the crate root because `#[macro_export]` places the
+// macros there.
+
+#[cfg(test)]
+mod tests {
+    crate::proptest! {
+        #![proptest_config(crate::ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..10, y in -5i64..5, f in 0.0f64..1.0) {
+            crate::prop_assert!((3..10).contains(&x));
+            crate::prop_assert!((-5..5).contains(&y));
+            crate::prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vecs_sized(v in crate::collection::vec((0u8..2, 0u64..4), 2..6)) {
+            crate::prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (a, b) in v {
+                crate::prop_assert!(a < 2 && b < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline stub of `rand_distr`: the `Distribution` trait plus the
+//! `Exp` and `Gamma` distributions this workspace samples from.
+//!
+//! `Exp` uses inverse-CDF sampling; `Gamma` uses the Marsaglia–Tsang
+//! squeeze method (with the Ahrens–Dieter boost for shape < 1) over a
+//! polar-method standard normal. All draws consume generator output in
+//! a deterministic order, so simulations stay reproducible.
+
+use rand::Rng;
+
+pub use rand::distributions::Distribution;
+
+/// Error from invalid distribution parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+impl std::error::Error for ParamError {}
+
+/// Upstream-compatible error aliases.
+pub type ExpError = ParamError;
+/// Upstream-compatible error aliases.
+pub type GammaError = ParamError;
+
+fn unit_open(rng: &mut (impl Rng + ?Sized)) -> f64 {
+    // Uniform in (0, 1]: avoids ln(0).
+    let u: f64 = rand::FromRng::from_rng(rng);
+    1.0 - u
+}
+
+/// Standard normal via the polar (Marsaglia) method. No caching of the
+/// second variate — each call consumes a fresh pair so the stream
+/// position depends only on call count.
+fn standard_normal(rng: &mut (impl Rng + ?Sized)) -> f64 {
+    loop {
+        let u: f64 = rand::FromRng::from_rng(rng);
+        let v: f64 = rand::FromRng::from_rng(rng);
+        let x = 2.0 * u - 1.0;
+        let y = 2.0 * v - 1.0;
+        let s = x * x + y * y;
+        if s > 0.0 && s < 1.0 {
+            return x * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exp<F = f64> {
+    lambda: F,
+}
+
+impl Exp<f64> {
+    /// New exponential with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp: lambda must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open(rng).ln() / self.lambda
+    }
+}
+
+/// Gamma distribution with `shape` k and `scale` theta (mean
+/// `shape * scale`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Gamma<F = f64> {
+    shape: F,
+    scale: F,
+}
+
+impl Gamma<f64> {
+    /// New gamma with `shape > 0`, `scale > 0`.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, GammaError> {
+        if shape > 0.0 && shape.is_finite() && scale > 0.0 && scale.is_finite() {
+            Ok(Gamma { shape, scale })
+        } else {
+            Err(ParamError("Gamma: shape and scale must be positive"))
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape < 1.0 {
+            // Ahrens–Dieter boost: Gamma(k) = Gamma(k+1) * U^(1/k).
+            let boost = unit_open(rng).powf(1.0 / self.shape);
+            let g = sample_shape_ge_one(self.shape + 1.0, rng);
+            return g * boost * self.scale;
+        }
+        sample_shape_ge_one(self.shape, rng) * self.scale
+    }
+}
+
+/// Marsaglia–Tsang for shape >= 1, unit scale.
+fn sample_shape_ge_one<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u = unit_open(rng);
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v3;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+            return d * v3;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+        (0..n).map(|_| f()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exp_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Exp::new(0.25).unwrap();
+        let m = mean_of(40_000, || d.sample(&mut rng));
+        assert!((m - 4.0).abs() < 0.1, "mean={m}");
+    }
+
+    #[test]
+    fn gamma_mean_and_var_match() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (k, th) = (3.0, 2.0);
+        let d = Gamma::new(k, th).unwrap();
+        let xs: Vec<f64> = (0..40_000).map(|_| d.sample(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!((m - k * th).abs() < 0.15, "mean={m}");
+        assert!((var - k * th * th).abs() < 0.6, "var={var}");
+    }
+
+    #[test]
+    fn gamma_small_shape() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let d = Gamma::new(0.5, 1.0).unwrap();
+        let m = mean_of(40_000, || d.sample(&mut rng));
+        assert!((m - 0.5).abs() < 0.05, "mean={m}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Gamma::new(-1.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+    }
+}

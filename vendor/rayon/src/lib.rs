@@ -1,0 +1,110 @@
+//! Offline stub of `rayon`: the `par_iter`/`into_par_iter` entry points
+//! executed **sequentially** on the calling thread.
+//!
+//! The returned iterators are ordinary [`std::iter::Iterator`]s, so the
+//! usual combinators (`map`, `enumerate`, `flat_map`, `collect`, …)
+//! keep working unchanged. Results are identical to a real rayon run
+//! because the workspace only uses order-preserving collectors.
+
+/// Consuming conversion: `into_par_iter()`.
+pub trait IntoParallelIterator {
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Convert into a "parallel" (here: sequential) iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Borrowing conversion: `par_iter()`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item: 'data;
+    /// Iterate by reference.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoParallelIterator,
+{
+    type Iter = <&'data I as IntoParallelIterator>::Iter;
+    type Item = <&'data I as IntoParallelIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Mutably borrowing conversion: `par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item: 'data;
+    /// Iterate by mutable reference.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoParallelIterator,
+{
+    type Iter = <&'data mut I as IntoParallelIterator>::Iter;
+    type Item = <&'data mut I as IntoParallelIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Run two closures (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `rayon::prelude`.
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn slice_par_iter_enumerate_flat_map() {
+        let xs = vec![10, 20];
+        let v: Vec<usize> = xs
+            .par_iter()
+            .enumerate()
+            .flat_map(|(i, &x)| vec![i, x])
+            .collect();
+        assert_eq!(v, vec![0, 10, 1, 20]);
+    }
+
+    #[test]
+    fn par_iter_mut_in_place() {
+        let mut xs = vec![1, 2, 3];
+        xs.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(xs, vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline stub of `serde_derive`: hand-rolled token parsing (no
+//! syn/quote) generating `Serialize`/`Deserialize` impls for the serde
+//! stub's value-tree traits.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields
+//! * tuple structs (newtype structs serialize transparently)
+//! * unit structs
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, matching upstream serde's default)
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and
+//! panic at compile time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+/// Derive `Serialize` (serde-stub value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `Deserialize` (serde-stub value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kw = ident_at(&toks, i).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_at(&toks, i).expect("expected type name");
+    i += 1;
+
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is not supported");
+    }
+
+    let data = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("serde stub derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stub derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde stub derive: cannot derive for `{other}`"),
+    };
+
+    Input { name, data }
+}
+
+fn ident_at(toks: &[TokenTree], i: usize) -> Option<String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and `pub`
+/// visibility (incl. `pub(crate)` and friends).
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    *i += 1;
+                }
+                assert!(
+                    matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket),
+                    "malformed attribute"
+                );
+                *i += 1;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning the names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name =
+            ident_at(&toks, i).unwrap_or_else(|| panic!("expected field name, got {:?}", toks[i]));
+        i += 1;
+        assert!(
+            matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_type(&toks, &mut i);
+        fields.push(name);
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Skip a type expression up to a top-level `,` (angle-bracket aware:
+/// commas inside `<...>` belong to the type).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Count comma-separated fields at the top level of a tuple body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        n += 1;
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i)
+            .unwrap_or_else(|| panic!("expected variant name, got {:?}", toks[i]));
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_fields(g.stream());
+                i += 1;
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde stub derive: explicit discriminants are not supported");
+        }
+        variants.push(Variant { name, shape });
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!("::serde::Value::Object(vec![{pushes}])")
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: String = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k}),"))
+                .collect();
+            format!("::serde::Value::Array(vec![{items}])")
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+                        }
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(vec![\
+                             (\"{vn}\".to_string(), ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![\
+                                 (\"{vn}\".to_string(), ::serde::Value::Array(vec![{items}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 (\"{vn}\".to_string(), ::serde::Value::Object(vec![{pushes}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(v, \"{f}\")?,"))
+                .collect();
+            format!(
+                "if v.as_object().is_none() {{\n\
+                 return Err(::serde::Error::expected(\"object (struct {name})\", v));\n\
+                 }}\n\
+                 Ok({name} {{ {inits} }})"
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Data::TupleStruct(n) => {
+            let inits: String = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?,"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => \
+                 Ok({name}({inits})),\n\
+                 other => Err(::serde::Error::expected(\"array of {n} (struct {name})\", other)),\n\
+                 }}"
+            )
+        }
+        Data::UnitStruct => format!(
+            "match v {{ ::serde::Value::Null => Ok({name}), \
+             other => Err(::serde::Error::expected(\"null (unit struct {name})\", other)) }}"
+        ),
+        Data::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!("\"{vn}\" => Ok({name}::{vn}),"),
+                        Shape::Tuple(1) => format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(inner)?)),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let inits: String = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?,"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => match inner {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {n} => \
+                                 Ok({name}::{vn}({inits})),\n\
+                                 other => Err(::serde::Error::expected(\
+                                 \"array of {n} (variant {vn})\", other)),\n\
+                                 }},"
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(inner, \"{f}\")?,"))
+                                .collect();
+                            format!("\"{vn}\" => Ok({name}::{vn} {{ {inits} }}),")
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::Error::msg(format!(\
+                 \"unknown unit variant `{{other}}` for enum {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (tag, inner) = &fields[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\n\
+                 other => Err(::serde::Error::msg(format!(\
+                 \"unknown variant `{{other}}` for enum {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(::serde::Error::expected(\"enum {name}\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

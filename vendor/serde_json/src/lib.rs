@@ -1,0 +1,455 @@
+//! Offline stub of `serde_json` for the serde stub's [`Value`] tree:
+//! a deterministic JSON emitter (object keys in declaration order,
+//! floats via Rust's shortest round-trip formatting) and a strict
+//! recursive-descent parser.
+
+use serde::{Deserialize, Serialize, Value};
+use std::io::Write;
+
+/// serde_json-compatible error type.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl Error {
+    fn msg(m: impl std::fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// serde_json-compatible result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------- emit
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn fmt_f64(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        // Upstream serde_json refuses non-finite floats; emit null so
+        // telemetry lines stay valid JSON.
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Integral value: keep a trailing `.0` so the number parses
+        // back as a float.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => fmt_f64(*f, out),
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, fv)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                write_compact(fv, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, fv)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push_str(": ");
+                write_pretty(fv, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serialize to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize compact JSON into a writer.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut w: W, value: &T) -> Result<()> {
+    w.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Serialize pretty JSON into a writer.
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(mut w: W, value: &T) -> Result<()> {
+    w.write_all(to_string_pretty(value)?.as_bytes())?;
+    Ok(())
+}
+
+// --------------------------------------------------------------- parse
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                c as char, self.i
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.i)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::msg(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.i
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(Error::msg("unterminated string"));
+            };
+            self.i += 1;
+            match c {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(e) = self.peek() else {
+                        return Err(Error::msg("unterminated escape"));
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::msg("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::msg("bad \\u escape"))?;
+                            self.i += 4;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("bad \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::msg(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                c if c < 0x80 => s.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: find the full sequence.
+                    let start = self.i - 1;
+                    let len = utf8_len(c);
+                    let bytes = self
+                        .b
+                        .get(start..start + len)
+                        .ok_or_else(|| Error::msg("truncated UTF-8"))?;
+                    let chunk = std::str::from_utf8(bytes)
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    s.push_str(chunk);
+                    self.i = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| Error::msg("invalid number bytes"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::msg(format!("expected `,` or `]` at {}", self.i))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::msg(format!("expected `,` or `}}` at {}", self.i))),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Parse a JSON document into a [`Value`].
+pub fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(Error::msg(format!("trailing data at byte {}", p.i)));
+    }
+    Ok(v)
+}
+
+/// Deserialize a value of type `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    Ok(T::from_value(&parse_value(s)?)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v = parse_value(r#"{"a": [1, -2, 3.5], "b": {"c": null}, "d": "x"}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Value::Array(vec![Value::UInt(1), Value::Int(-2), Value::Float(3.5)])
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn from_str_typed() {
+        let xs: Vec<u64> = from_str("[1,2,3]").unwrap();
+        assert_eq!(xs, vec![1, 2, 3]);
+        let o: Option<f64> = from_str("null").unwrap();
+        assert_eq!(o, None);
+    }
+
+    #[test]
+    fn unicode_string() {
+        let v = parse_value(r#""héllo A""#).unwrap();
+        assert_eq!(v, Value::Str("héllo A".to_string()));
+        let s = to_string(&"héllo").unwrap();
+        assert_eq!(parse_value(&s).unwrap(), Value::Str("héllo".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("12 34").is_err());
+    }
+}
