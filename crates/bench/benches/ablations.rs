@@ -5,13 +5,17 @@
 //! * `ablation_wrr_vs_fifo` — the queueing discipline itself under a
 //!   saturating mixed workload;
 //! * `ablation_forest_size` — TPM accuracy/cost tradeoff across tree
-//!   counts.
+//!   counts;
+//! * `ablation_executor` — serial vs parallel `ScenarioRunner` on a
+//!   weight sweep (the determinism contract makes the outputs
+//!   identical, so this measures pure executor overhead/speedup).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ml::{Dataset, RandomForest, RandomForestParams, Regressor};
+use sim_engine::runner::with_threads;
 use sim_engine::ByteSize;
 use ssd_sim::SsdConfig;
-use storage_node::{run_trace_windowed, DisciplineKind, NodeConfig};
+use storage_node::{run_trace_windowed, weight_sweep, DisciplineKind, NodeConfig};
 use workload::micro::{generate_micro, MicroConfig};
 
 fn saturating_trace(seed: u64) -> workload::Trace {
@@ -100,10 +104,25 @@ fn ablation_forest_size(c: &mut Criterion) {
     g.finish();
 }
 
+fn ablation_executor(c: &mut Criterion) {
+    let trace = saturating_trace(9);
+    let ssd = SsdConfig::ssd_a();
+    let weights: Vec<u32> = (1..=8).collect();
+    let mut g = c.benchmark_group("ablation_executor");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| with_threads(t, || black_box(weight_sweep(&ssd, &trace, &weights))))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     ablation_wrr_vs_fifo,
     ablation_cmt,
-    ablation_forest_size
+    ablation_forest_size,
+    ablation_executor
 );
 criterion_main!(benches);

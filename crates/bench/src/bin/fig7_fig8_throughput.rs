@@ -7,12 +7,18 @@
 //! `results/fig7_fig8_dcqcn_src.jsonl` (deterministic: same seed →
 //! byte-identical files).
 //!
+//! With `SRCSIM_TRACE=<prefix>` each mode streams straight to
+//! `<prefix>.dcqcn_only.jsonl` / `<prefix>.dcqcn_src.jsonl` through
+//! [`FileSink`]s as the simulations run (bounded memory, same schema);
+//! without it the traces buffer in [`RingSink`]s, which additionally
+//! enables the in-memory series summaries below.
+//!
 //! Usage: `fig7_fig8_throughput [quick|full]`
 
-use sim_engine::{RingSink, TelemetryReport};
+use sim_engine::{FileSink, RingSink, TelemetryReport};
 use src_bench::{rule, scale_from_args, scale_label};
 use ssd_sim::SsdConfig;
-use system_sim::experiments::{fig7_fig8_traced, train_tpm};
+use system_sim::experiments::{fig7_fig8_traced, train_tpm, Fig7Result};
 use system_sim::SystemReport;
 
 const SEED: u64 = 7;
@@ -67,23 +73,17 @@ fn telemetry_summary(label: &str, rep: &TelemetryReport) {
     );
 }
 
-fn main() {
-    let scale = scale_from_args();
+fn streaming_summary(label: &str, sink: &FileSink) {
     println!(
-        "Figs. 7/8 — runtime throughput and pause number ({})",
-        scale_label(&scale)
+        "{label:<11} samples {:>7}  ecn {:>6}  cnps {:>5}  gate closures {:>3}",
+        sink.samples_written(),
+        sink.counter(("net", 0, "ecn_marked")),
+        sink.counter(("net", 0, "cnps_sent")),
+        sink.counter(("txq", 0, "gate_closures")),
     );
-    rule();
-    let ssd = SsdConfig::ssd_a();
-    eprintln!("training TPM on SSD-A ...");
-    let tpm = train_tpm(&ssd, &scale, 42);
-    eprintln!("running DCQCN-only and DCQCN-SRC ...");
-    let mut sink_only = RingSink::new(1 << 20);
-    let mut sink_src = RingSink::new(1 << 20);
-    let r = fig7_fig8_traced(&ssd, &scale, tpm, SEED, (&mut sink_only, &mut sink_src));
-    let rep_only = sink_only.into_report();
-    let rep_src = sink_src.into_report();
+}
 
+fn print_results(r: &Fig7Result) {
     let step = (r.dcqcn_only.read_series.len() / 20).max(1);
     series_table("DCQCN-only", &r.dcqcn_only, step);
     series_table("DCQCN-SRC", &r.dcqcn_src, step);
@@ -111,33 +111,78 @@ fn main() {
     let gain =
         (s.aggregated_tput().as_gbps_f64() / o.aggregated_tput().as_gbps_f64() - 1.0) * 100.0;
     println!("\naggregate improvement of SRC: {gain:+.0} %");
+}
 
-    println!("\nfabric telemetry:");
-    telemetry_summary("DCQCN-only", &rep_only);
-    telemetry_summary("DCQCN-SRC", &rep_src);
-    // Print only the decisions that changed a target's weight; the full
-    // per-notification stream is in the trace file.
-    let weights = rep_src.series("src", "weight");
-    let mut last: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
-    let mut changes: Vec<String> = Vec::new();
-    for &(at, tgt, w) in &weights {
-        let w = w as u32;
-        if last.insert(tgt, w) != Some(w) {
-            changes.push(format!("t={:.1}ms tgt{tgt} w={w}", at.as_ms_f64()));
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "Figs. 7/8 — runtime throughput and pause number ({})",
+        scale_label(&scale)
+    );
+    rule();
+    let ssd = SsdConfig::ssd_a();
+    eprintln!("training TPM on SSD-A ...");
+    let tpm = train_tpm(&ssd, &scale, 42);
+    eprintln!("running DCQCN-only and DCQCN-SRC ...");
+
+    if let Some(prefix) = std::env::var_os("SRCSIM_TRACE") {
+        // Streaming mode: two files, one per mode, written as the runs
+        // execute. Series summaries need the in-memory report, so only
+        // counter summaries print here.
+        let prefix = prefix.to_string_lossy().into_owned();
+        let only_path = format!("{prefix}.dcqcn_only.jsonl");
+        let src_path = format!("{prefix}.dcqcn_src.jsonl");
+        if let Some(dir) = std::path::Path::new(&only_path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir).expect("create trace dir");
         }
-    }
-    if !changes.is_empty() {
-        println!(
-            "SRC weight changes ({} decisions total): {}",
-            weights.len(),
-            changes.join(", ")
-        );
-    }
+        let mut sink_only = FileSink::create(&only_path).expect("create trace file");
+        let mut sink_src = FileSink::create(&src_path).expect("create trace file");
+        let r = fig7_fig8_traced(&ssd, &scale, tpm, SEED, (&mut sink_only, &mut sink_src));
+        print_results(&r);
+        println!("\nfabric telemetry (streamed):");
+        streaming_summary("DCQCN-only", &sink_only);
+        streaming_summary("DCQCN-SRC", &sink_src);
+        sink_only.finish().expect("flush trace file");
+        sink_src.finish().expect("flush trace file");
+        println!("\ntraces: {only_path}, {src_path} (streamed)");
+    } else {
+        let mut sink_only = RingSink::new(1 << 20);
+        let mut sink_src = RingSink::new(1 << 20);
+        let r = fig7_fig8_traced(&ssd, &scale, tpm, SEED, (&mut sink_only, &mut sink_src));
+        let rep_only = sink_only.into_report();
+        let rep_src = sink_src.into_report();
+        print_results(&r);
 
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write(ONLY_PATH, rep_only.to_json_lines()).expect("write trace file");
-    std::fs::write(SRC_PATH, rep_src.to_json_lines()).expect("write trace file");
-    println!("\ntraces: {ONLY_PATH}, {SRC_PATH}");
+        println!("\nfabric telemetry:");
+        telemetry_summary("DCQCN-only", &rep_only);
+        telemetry_summary("DCQCN-SRC", &rep_src);
+        // Print only the decisions that changed a target's weight; the
+        // full per-notification stream is in the trace file.
+        let weights = rep_src.series("src", "weight");
+        let mut last: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        let mut changes: Vec<String> = Vec::new();
+        for &(at, tgt, w) in &weights {
+            let w = w as u32;
+            if last.insert(tgt, w) != Some(w) {
+                changes.push(format!("t={:.1}ms tgt{tgt} w={w}", at.as_ms_f64()));
+            }
+        }
+        if !changes.is_empty() {
+            println!(
+                "SRC weight changes ({} decisions total): {}",
+                weights.len(),
+                changes.join(", ")
+            );
+        }
+
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write(ONLY_PATH, rep_only.to_json_lines()).expect("write trace file");
+        std::fs::write(SRC_PATH, rep_src.to_json_lines()).expect("write trace file");
+        println!("\ntraces: {ONLY_PATH}, {SRC_PATH}");
+    }
 
     println!(
         "paper: DCQCN-only aggregate collapses (7.5 -> 2.5 Gbps) during \

@@ -8,26 +8,23 @@
 //! itself has no network in the loop. Two runs with the same seed write
 //! byte-identical files.
 //!
+//! With `SRCSIM_TRACE=<path>` the trace streams straight to `<path>`
+//! through a [`FileSink`] as the simulation runs (bounded memory, same
+//! JSON-lines schema); without it the trace buffers in a [`RingSink`]
+//! and is written at the end, which additionally enables the in-memory
+//! series summaries below.
+//!
 //! Usage: `fig9_dynamic [quick|full]`
 
-use sim_engine::RingSink;
+use sim_engine::{FileSink, RingSink};
 use src_bench::{rule, scale_from_args, scale_label};
 use system_sim::experiments::{fig9_fabric_slice, fig9_traced};
+use system_sim::scripted::ScriptedResult;
 
 const SEED: u64 = 42;
 const TRACE_PATH: &str = "results/fig9_trace.jsonl";
 
-fn main() {
-    let scale = scale_from_args();
-    println!(
-        "Fig. 9 — dynamic throughput adjustment, SSD-B ({})",
-        scale_label(&scale)
-    );
-    rule();
-    let mut sink = RingSink::new(1 << 20);
-    let r = fig9_traced(&scale, SEED, &mut sink);
-    let mut rep = sink.into_report();
-
+fn print_responses(r: &ScriptedResult) {
     println!("congestion events and SRC responses:");
     println!(
         "{:>9} {:>15} {:>9} {:>16}",
@@ -60,14 +57,9 @@ fn main() {
         let avg = finite.iter().sum::<f64>() / finite.len() as f64;
         println!("\naverage control delay: {avg:.1} ms (paper: ~7.3 ms)");
     }
+}
 
-    // Weight-ratio series as traced at the storage node (the applied
-    // schedule, not just the controller's decisions).
-    println!("\napplied SSQ weight changes (from the trace):");
-    for (at, _, w) in rep.series("ssq", "weight") {
-        println!("  t={:>7.1} ms  w={}", at.as_ms_f64(), w as u32);
-    }
-
+fn print_throughput(r: &ScriptedResult) {
     println!("\nper-ms read/write throughput around the events:");
     let reads = r.report.read_series.bins();
     let writes = r.report.write_series.bins();
@@ -81,12 +73,35 @@ fn main() {
         println!("{:>7} {:>9.2} {:>9.2}", t, to_gbps(rv), to_gbps(wv));
         t += step;
     }
+}
+
+fn print_fabric_counters(ecn: u64, cnps: u64, pauses: u64, gates: u64) {
+    println!("  ecn marked: {ecn}   cnps: {cnps}   pauses: {pauses}   gate closures: {gates}");
+}
+
+/// Buffered mode: trace into RingSinks, print the in-memory series
+/// summaries, then write the merged report as one JSON-lines file.
+fn run_buffered(scale: &system_sim::experiments::Scale) {
+    let mut sink = RingSink::new(1 << 20);
+    let r = fig9_traced(scale, SEED, &mut sink);
+    let mut rep = sink.into_report();
+
+    print_responses(&r);
+
+    // Weight-ratio series as traced at the storage node (the applied
+    // schedule, not just the controller's decisions).
+    println!("\napplied SSQ weight changes (from the trace):");
+    for (at, _, w) in rep.series("ssq", "weight") {
+        println!("  t={:>7.1} ms  w={}", at.as_ms_f64(), w as u32);
+    }
+
+    print_throughput(&r);
 
     // Fabric slice: real DCQCN rates and TXQ occupancy on the same
     // device under background congestion.
     eprintln!("\nrunning congested fabric slice for DCQCN/TXQ series ...");
     let mut fabric_sink = RingSink::new(1 << 20);
-    let slice = fig9_fabric_slice(&scale, SEED, &mut fabric_sink);
+    let slice = fig9_fabric_slice(scale, SEED, &mut fabric_sink);
     rep.merge(fabric_sink.into_report());
 
     let rates = rep.series("dcqcn", "rate_gbps");
@@ -111,8 +126,7 @@ fn main() {
         backlog.len(),
         max_backlog / 1024.0
     );
-    println!(
-        "  ecn marked: {}   cnps: {}   pauses: {}   gate closures: {}",
+    print_fabric_counters(
         rep.counter(("net", 0, "ecn_marked")),
         rep.counter(("net", 0, "cnps_sent")),
         rep.counter(("net", 0, "pauses_received")),
@@ -123,6 +137,51 @@ fn main() {
     let lines = rep.to_json_lines();
     std::fs::write(TRACE_PATH, &lines).expect("write trace file");
     println!("\ntrace: {TRACE_PATH} ({} lines)", lines.lines().count());
+}
+
+/// Streaming mode (`SRCSIM_TRACE=<path>`): one FileSink spans the
+/// scripted run and the fabric slice, so the file carries the same
+/// merged trace as buffered mode without holding samples in memory.
+/// Series summaries are skipped; counters come from the sink.
+fn run_streaming(scale: &system_sim::experiments::Scale, path: std::path::PathBuf) {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create trace dir");
+    }
+    let mut sink = FileSink::create(&path).expect("create trace file");
+    let r = fig9_traced(scale, SEED, &mut sink);
+
+    print_responses(&r);
+    print_throughput(&r);
+
+    eprintln!("\nrunning congested fabric slice for DCQCN/TXQ series ...");
+    let slice = fig9_fabric_slice(scale, SEED, &mut sink);
+    rule();
+    println!(
+        "fabric slice ({:.1} ms simulated):",
+        slice.makespan.as_ms_f64()
+    );
+    print_fabric_counters(
+        sink.counter(("net", 0, "ecn_marked")),
+        sink.counter(("net", 0, "cnps_sent")),
+        sink.counter(("net", 0, "pauses_received")),
+        sink.counter(("txq", 0, "gate_closures")),
+    );
+
+    let samples = sink.finish().expect("flush trace file");
+    println!("\ntrace: {} ({samples} samples, streamed)", path.display());
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "Fig. 9 — dynamic throughput adjustment, SSD-B ({})",
+        scale_label(&scale)
+    );
+    rule();
+    match std::env::var_os("SRCSIM_TRACE") {
+        Some(p) => run_streaming(&scale, std::path::PathBuf::from(p)),
+        None => run_buffered(&scale),
+    }
 
     rule();
     println!(

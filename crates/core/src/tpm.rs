@@ -4,8 +4,8 @@
 //! ratio.
 
 use ml::{Dataset, ModelKind, RandomForest, RandomForestParams, Regressor};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use sim_engine::ScenarioRunner;
 use ssd_sim::SsdConfig;
 use storage_node::{weight_sweep, SweepPoint};
 use workload::micro::{generate_micro, MicroConfig};
@@ -81,9 +81,10 @@ impl TrainingConfig {
 }
 
 /// Generate TPM training samples by sweeping micro workloads on a
-/// device. Each `(trace, w)` pair is one sample; sweeps run in parallel
-/// across workloads (each DES run itself stays single-threaded, so the
-/// result is deterministic).
+/// device. Each `(trace, w)` pair is one sample; the [`ScenarioRunner`]
+/// sweeps workloads in parallel (each DES run itself stays
+/// single-threaded and each trace's seed is a pure function of its grid
+/// index, so the result is identical at any thread count).
 pub fn generate_training_samples(
     ssd: &SsdConfig,
     cfg: &TrainingConfig,
@@ -99,10 +100,8 @@ pub fn generate_training_samples(
             }
         }
     }
-    combos
-        .par_iter()
-        .enumerate()
-        .flat_map(|(i, &(iat, size, mix, _k))| {
+    ScenarioRunner::from_env()
+        .run_cells(&combos, |i, &(iat, size, mix, _k)| {
             let total = 2 * cfg.requests_per_class;
             let read_count = ((total as f64) * mix).round() as usize;
             let mc = MicroConfig {
@@ -117,6 +116,8 @@ pub fn generate_training_samples(
             let trace = generate_micro(&mc, seed.wrapping_add(i as u64));
             weight_sweep(ssd, &trace, &cfg.weights)
         })
+        .into_iter()
+        .flatten()
         .collect()
 }
 

@@ -8,6 +8,7 @@ use crate::ModelKind;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use sim_engine::ScenarioRunner;
 
 /// Shuffle and split a dataset into `(train, test)` with `train_frac` of
 /// the samples in the training part (at least one sample in each part).
@@ -30,7 +31,9 @@ pub fn train_test_split(data: &Dataset, train_frac: f64, seed: u64) -> (Dataset,
 
 /// K-fold cross-validated R² for one model family. The dataset is
 /// shuffled once; each fold serves as the validation set while the rest
-/// trains. Returns the mean R² across folds.
+/// trains. Folds are independent, so they evaluate on the workspace
+/// [`ScenarioRunner`] pool; per-fold scores are summed in fold order so
+/// the mean is bit-identical at any thread count.
 ///
 /// # Panics
 /// Panics when `k < 2` or the dataset has fewer than `k` samples.
@@ -40,8 +43,7 @@ pub fn k_fold_r2(data: &Dataset, kind: &ModelKind, k: usize, seed: u64) -> f64 {
     let mut idx: Vec<usize> = (0..data.len()).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     idx.shuffle(&mut rng);
-    let mut total = 0.0;
-    for fold in 0..k {
+    let scores = ScenarioRunner::from_env().run(k, |fold| {
         let test_idx: Vec<usize> = idx
             .iter()
             .copied()
@@ -60,9 +62,9 @@ pub fn k_fold_r2(data: &Dataset, kind: &ModelKind, k: usize, seed: u64) -> f64 {
         let test = data.subset(&test_idx);
         let model = kind.fit(&train, seed.wrapping_add(fold as u64));
         let pred = model.predict(&test.x);
-        total += r2_score_multi(&test.y, &pred);
-    }
-    total / k as f64
+        r2_score_multi(&test.y, &pred)
+    });
+    scores.iter().sum::<f64>() / k as f64
 }
 
 /// Leave-one-group-out validation: train on `train`, validate on `held`,

@@ -1,5 +1,6 @@
 //! Random-forest regression: bootstrap-bagged CART trees with per-split
-//! feature subsampling, trained in parallel with rayon.
+//! feature subsampling, trained in parallel on the workspace's
+//! [`ScenarioRunner`].
 //!
 //! This is the model the paper adopts for its throughput prediction
 //! model (Table I: R² = 0.94, the best of the five).
@@ -9,7 +10,7 @@ use crate::tree::{DecisionTree, TreeParams};
 use crate::Regressor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
+use sim_engine::ScenarioRunner;
 
 /// Random-forest hyperparameters.
 #[derive(Clone, Debug)]
@@ -46,9 +47,11 @@ pub struct RandomForest {
 
 impl RandomForest {
     /// Fit `params.n_trees` trees on bootstrap resamples. Deterministic
-    /// for a given `(data, params, seed)` triple: each tree draws from
-    /// its own seeded RNG stream, and rayon only parallelizes across
-    /// already-seeded independent tree fits.
+    /// for a given `(data, params, seed)` triple at any thread count:
+    /// each tree draws from its own seeded RNG stream derived from
+    /// `(seed, tree_index)`, and the runner only parallelizes across
+    /// already-seeded independent tree fits, collecting them in index
+    /// order.
     ///
     /// # Panics
     /// Panics on an empty dataset or zero trees.
@@ -67,15 +70,13 @@ impl RandomForest {
         };
         let n = data.len();
         let draw = ((n as f64) * params.sample_fraction).round().max(1.0) as usize;
-        let trees: Vec<DecisionTree> = (0..params.n_trees)
-            .into_par_iter()
-            .map(|t| {
-                let mut rng = StdRng::seed_from_u64(sim_seed(seed, t as u64));
+        let trees: Vec<DecisionTree> =
+            ScenarioRunner::from_env().run_seeded(seed, params.n_trees, |_, tree_seed| {
+                let mut rng = StdRng::seed_from_u64(tree_seed);
                 let idx: Vec<usize> = (0..draw).map(|_| rng.gen_range(0..n)).collect();
                 let sample = data.subset(&idx);
                 DecisionTree::fit_with(&sample, &tree_params, &mut rng)
-            })
-            .collect();
+            });
         RandomForest {
             trees,
             n_features: p,
@@ -102,17 +103,6 @@ impl RandomForest {
         }
         acc.iter().map(|&v| v / total).collect()
     }
-}
-
-/// SplitMix-style per-tree seed derivation (keeps trees decorrelated and
-/// runs reproducible regardless of rayon's scheduling order).
-fn sim_seed(master: u64, idx: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(idx.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 impl Regressor for RandomForest {

@@ -14,6 +14,10 @@
 //! * [`rate`] / [`series`] / [`token_bucket`] — data-rate arithmetic,
 //!   time-binned series for per-millisecond throughput curves, and a
 //!   token bucket used by NIC rate limiters.
+//! * [`runner`] — the [`ScenarioRunner`] deterministic parallel sweep
+//!   engine every experiment grid executes on, and [`telemetry`] —
+//!   deterministic probes, sinks (including the streaming
+//!   [`FileSink`]), and JSON-lines export.
 //!
 //! # Example
 //!
@@ -30,6 +34,7 @@
 pub mod queue;
 pub mod rate;
 pub mod rng;
+pub mod runner;
 pub mod series;
 pub mod stats;
 pub mod telemetry;
@@ -38,7 +43,10 @@ pub mod token_bucket;
 
 pub use queue::EventQueue;
 pub use rate::{ByteSize, Rate};
+pub use runner::ScenarioRunner;
 pub use series::TimeBinSeries;
-pub use telemetry::{NullSink, ProbeBuffer, RingSink, TelemetryReport, TraceRecord, TraceSink};
+pub use telemetry::{
+    FileSink, NullSink, ProbeBuffer, RingSink, TelemetryReport, TraceRecord, TraceSink,
+};
 pub use time::{SimDuration, SimTime};
 pub use token_bucket::TokenBucket;

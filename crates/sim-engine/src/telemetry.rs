@@ -51,9 +51,23 @@ impl TraceRecord {
     }
 }
 
+/// One serialized JSON line for a counter or gauge (fixed key order —
+/// shared by [`TelemetryReport::to_json_lines`] and [`FileSink`] so
+/// both emit the same schema).
+fn scalar_value(kind: &str, key: &MetricKey, value: Value) -> Value {
+    Value::Object(vec![
+        ("kind".into(), Value::Str(kind.into())),
+        ("component".into(), Value::Str(key.0.into())),
+        ("scope".into(), Value::UInt(key.1)),
+        ("metric".into(), Value::Str(key.2.into())),
+        ("value".into(), value),
+    ])
+}
+
 /// Where drained records go. Implementations must be deterministic:
-/// record order is the only order they may depend on.
-pub trait TraceSink {
+/// record order is the only order they may depend on. `Send` so
+/// independent runs can stream into their own sinks from pool workers.
+pub trait TraceSink: Send {
     /// Accept one record.
     fn record(&mut self, rec: TraceRecord);
 
@@ -274,26 +288,118 @@ impl TelemetryReport {
             out.push_str(&serde_json::to_string(&rec.to_value()).expect("static value"));
             out.push('\n');
         }
-        let scalar = |kind: &str, key: &MetricKey, value: Value| {
-            Value::Object(vec![
-                ("kind".into(), Value::Str(kind.into())),
-                ("component".into(), Value::Str(key.0.into())),
-                ("scope".into(), Value::UInt(key.1)),
-                ("metric".into(), Value::Str(key.2.into())),
-                ("value".into(), value),
-            ])
-        };
         for (key, v) in &self.counters {
-            let line = scalar("counter", key, Value::UInt(*v));
+            let line = scalar_value("counter", key, Value::UInt(*v));
             out.push_str(&serde_json::to_string(&line).expect("static value"));
             out.push('\n');
         }
         for (key, v) in &self.gauges {
-            let line = scalar("gauge", key, Value::Float(*v));
+            let line = scalar_value("gauge", key, Value::Float(*v));
             out.push_str(&serde_json::to_string(&line).expect("static value"));
             out.push('\n');
         }
         out
+    }
+}
+
+/// Streaming sink: samples are serialized to a buffered JSON-lines
+/// file as they arrive, so paper-scale runs trace to disk without the
+/// [`RingSink`] evicting anything. Counters and gauges accumulate in
+/// memory (they are tiny) and are appended by [`FileSink::finish`] in
+/// sorted key order — the file then has exactly the
+/// [`TelemetryReport::to_json_lines`] schema: samples in drain order,
+/// then counters, then gauges.
+///
+/// I/O errors are latched: the first error stops further writes and is
+/// returned by [`FileSink::finish`], keeping the hot `record` path
+/// infallible for the event loop.
+#[derive(Debug)]
+pub struct FileSink {
+    writer: std::io::BufWriter<std::fs::File>,
+    samples: u64,
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    error: Option<std::io::Error>,
+}
+
+impl FileSink {
+    /// Create (truncate) `path` and stream samples into it.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<FileSink> {
+        Ok(FileSink {
+            writer: std::io::BufWriter::new(std::fs::File::create(path)?),
+            samples: 0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            error: None,
+        })
+    }
+
+    /// Samples streamed so far.
+    pub fn samples_written(&self) -> u64 {
+        self.samples
+    }
+
+    /// Current value of one counter (0 when never bumped). Lets
+    /// binaries print summary counters before [`FileSink::finish`]
+    /// consumes the sink.
+    pub fn counter(&self, key: MetricKey) -> u64 {
+        self.counters.get(&key).copied().unwrap_or(0)
+    }
+
+    fn write_line(&mut self, line: &str) {
+        use std::io::Write;
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+
+    /// Append counters and gauges, flush, and return the total line
+    /// count — or the first I/O error hit anywhere along the stream.
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        let counters = std::mem::take(&mut self.counters);
+        let gauges = std::mem::take(&mut self.gauges);
+        let mut scalars = 0u64;
+        for (key, v) in &counters {
+            let line = serde_json::to_string(&scalar_value("counter", key, Value::UInt(*v)))
+                .expect("static value");
+            self.write_line(&line);
+            scalars += 1;
+        }
+        for (key, v) in &gauges {
+            let line = serde_json::to_string(&scalar_value("gauge", key, Value::Float(*v)))
+                .expect("static value");
+            self.write_line(&line);
+            scalars += 1;
+        }
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        use std::io::Write;
+        self.writer.flush()?;
+        Ok(self.samples + scalars)
+    }
+}
+
+impl TraceSink for FileSink {
+    fn record(&mut self, rec: TraceRecord) {
+        let line = serde_json::to_string(&rec.to_value()).expect("static value");
+        self.write_line(&line);
+        self.samples += 1;
+    }
+
+    fn count(&mut self, key: MetricKey, delta: u64) {
+        *self.counters.entry(key).or_insert(0) += delta;
+    }
+
+    fn gauge(&mut self, key: MetricKey, value: f64) {
+        self.gauges.insert(key, value);
     }
 }
 
@@ -373,6 +479,32 @@ mod tests {
         assert!(lines[0].starts_with("{\"kind\":\"sample\",\"t_ps\":1000000,"));
         assert!(lines[1].contains("\"kind\":\"counter\""));
         assert!(lines[2].contains("\"kind\":\"gauge\""));
+    }
+
+    #[test]
+    fn file_sink_matches_ring_sink_bytes() {
+        let feed = |sink: &mut dyn TraceSink| {
+            sink.record(rec(1_000, 0, 39.25));
+            sink.record(rec(2_000, 1, 12.5));
+            sink.count(("txq", 0, "gate_closures"), 4);
+            sink.count(("net", 0, "cnps_sent"), 2);
+            sink.gauge(("ssq", 1, "weight"), 2.0);
+        };
+        let mut ring = RingSink::new(16);
+        feed(&mut ring);
+        let expected = ring.into_report().to_json_lines();
+
+        let path =
+            std::env::temp_dir().join(format!("srcsim_filesink_test_{}.jsonl", std::process::id()));
+        let mut file = FileSink::create(&path).expect("create sink file");
+        feed(&mut file);
+        assert_eq!(file.samples_written(), 2);
+        assert_eq!(file.counter(("net", 0, "cnps_sent")), 2);
+        let lines = file.finish().expect("finish sink");
+        let got = std::fs::read_to_string(&path).expect("read sink file");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(lines, 5);
+        assert_eq!(got, expected, "FileSink must emit the RingSink schema");
     }
 
     #[test]

@@ -3,12 +3,13 @@
 use crate::node::{DisciplineKind, NodeConfig};
 use crate::runner::run_trace_windowed;
 use serde::{Deserialize, Serialize};
+use sim_engine::ScenarioRunner;
 use ssd_sim::SsdConfig;
 use workload::{extract_features, Trace, WorkloadFeatures};
 
 /// One point of a weight sweep: the measured read/write throughput of a
 /// workload under a given SSQ weight ratio.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {
     /// Write:read weight ratio.
     pub weight: u32,
@@ -21,26 +22,25 @@ pub struct SweepPoint {
 }
 
 /// Run `trace` on `ssd` for every weight in `weights`; one sweep row of
-/// Fig. 5, and the raw material for TPM training samples.
+/// Fig. 5, and the raw material for TPM training samples. Each weight
+/// cell is an independent seeded DES run, so the [`ScenarioRunner`]
+/// evaluates them in parallel with results in weight order.
 pub fn weight_sweep(ssd: &SsdConfig, trace: &Trace, weights: &[u32]) -> Vec<SweepPoint> {
     let features = extract_features(trace.requests());
-    weights
-        .iter()
-        .map(|&w| {
-            let cfg = NodeConfig {
-                ssd: ssd.clone(),
-                discipline: DisciplineKind::Ssq { weight: w },
-                merge_cap: None,
-            };
-            let r = run_trace_windowed(&cfg, trace);
-            SweepPoint {
-                weight: w,
-                read_gbps: r.read_tput().as_gbps_f64(),
-                write_gbps: r.write_tput().as_gbps_f64(),
-                features,
-            }
-        })
-        .collect()
+    ScenarioRunner::from_env().run_cells(weights, |_, &w| {
+        let cfg = NodeConfig {
+            ssd: ssd.clone(),
+            discipline: DisciplineKind::Ssq { weight: w },
+            merge_cap: None,
+        };
+        let r = run_trace_windowed(&cfg, trace);
+        SweepPoint {
+            weight: w,
+            read_gbps: r.read_tput().as_gbps_f64(),
+            write_gbps: r.write_tput().as_gbps_f64(),
+            features,
+        }
+    })
 }
 
 impl SweepPoint {

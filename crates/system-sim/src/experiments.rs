@@ -10,7 +10,8 @@ use crate::scripted::{fig9_events, run_scripted, run_scripted_traced, ScriptedRe
 use crate::system::{run_system, run_system_traced};
 use ml::Dataset;
 use serde::{Deserialize, Serialize};
-use sim_engine::{SimDuration, SimTime, TraceSink};
+use sim_engine::runner::join;
+use sim_engine::{ScenarioRunner, SimDuration, SimTime, TraceSink};
 use src_core::tpm::{
     generate_training_samples, samples_to_dataset, table1_accuracy, ThroughputPredictionModel,
     TrainingConfig,
@@ -72,7 +73,7 @@ impl Scale {
 // Fig. 5 — throughput vs weight ratio grid
 
 /// One cell of the Fig. 5 grid.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Fig5Cell {
     /// Mean inter-arrival time, µs.
     pub iat_us: f64,
@@ -83,32 +84,38 @@ pub struct Fig5Cell {
 }
 
 /// Sweep read/write throughput across weight ratios for the paper's
-/// 4×4 workload grid (10–25 µs × 10–40 KB), on the given device.
+/// 4×4 workload grid (10–25 µs × 10–40 KB), on the given device. Grid
+/// cells are independent seeded sweeps, so the [`ScenarioRunner`]
+/// evaluates them in parallel; each cell's trace seed stays the same
+/// pure function of its `(i, j)` grid position as the original serial
+/// loop, so results are byte-identical at any thread count.
 pub fn fig5(ssd: &SsdConfig, scale: &Scale, seed: u64) -> Vec<Fig5Cell> {
     let cfg = scale.training_config();
-    let mut out = Vec::new();
+    let mut cells: Vec<(usize, usize, f64, f64)> = Vec::new();
     for (i, &iat) in cfg.iat_means_us.iter().enumerate() {
         for (j, &size) in cfg.size_means.iter().enumerate() {
-            let trace = generate_micro(
-                &MicroConfig {
-                    read_iat_mean_us: iat,
-                    write_iat_mean_us: iat,
-                    read_size_mean: size,
-                    write_size_mean: size,
-                    read_count: cfg.requests_per_class,
-                    write_count: cfg.requests_per_class,
-                    ..MicroConfig::default()
-                },
-                seed.wrapping_add((i * 16 + j) as u64),
-            );
-            out.push(Fig5Cell {
-                iat_us: iat,
-                size_bytes: size,
-                points: weight_sweep(ssd, &trace, &cfg.weights),
-            });
+            cells.push((i, j, iat, size));
         }
     }
-    out
+    ScenarioRunner::from_env().run_cells(&cells, |_, &(i, j, iat, size)| {
+        let trace = generate_micro(
+            &MicroConfig {
+                read_iat_mean_us: iat,
+                write_iat_mean_us: iat,
+                read_size_mean: size,
+                write_size_mean: size,
+                read_count: cfg.requests_per_class,
+                write_count: cfg.requests_per_class,
+                ..MicroConfig::default()
+            },
+            seed.wrapping_add((i * 16 + j) as u64),
+        );
+        Fig5Cell {
+            iat_us: iat,
+            size_bytes: size,
+            points: weight_sweep(ssd, &trace, &cfg.weights),
+        }
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -139,51 +146,64 @@ pub fn feature_importance(ssd: &SsdConfig, scale: &Scale, seed: u64) -> Vec<(Str
 // Table III — cross-validation over SCV quadrants
 
 /// Table III rows: leave-one-quadrant-out R² of the random forest.
+///
+/// The `(quadrant, workload)` sweep cells and the four holdout fits are
+/// each independent, so both stages run on the [`ScenarioRunner`]; the
+/// per-cell trace seed stays the original pure function of `(qi, k)`.
 pub fn table3(ssd: &SsdConfig, scale: &Scale, seed: u64) -> Vec<(&'static str, f64)> {
     let cfg = scale.training_config();
-    // Synthetic sweeps per quadrant.
-    let mut quadrant_data: Vec<(ScvQuadrant, Dataset)> = Vec::new();
+    // Synthetic sweeps: one flat grid cell per (quadrant, workload).
+    let mut cells: Vec<(usize, ScvQuadrant, usize, f64, f64)> = Vec::new();
     for (qi, q) in ScvQuadrant::ALL.into_iter().enumerate() {
-        let mut samples: Vec<SweepPoint> = Vec::new();
         for (k, (&iat, &size)) in cfg
             .iat_means_us
             .iter()
             .zip(cfg.size_means.iter().cycle())
             .enumerate()
         {
-            let p = q.profile(iat, size);
-            let sc = SyntheticConfig {
-                read: p,
-                write: p,
-                read_count: cfg.requests_per_class,
-                write_count: cfg.requests_per_class,
-                lba_space_sectors: 1 << 22,
-                lba_model: workload::spatial::LbaModel::Uniform,
-            };
-            let trace = generate_synthetic(&sc, seed.wrapping_add((qi * 31 + k) as u64));
-            samples.extend(weight_sweep(ssd, &trace, &cfg.weights));
+            cells.push((qi, q, k, iat, size));
+        }
+    }
+    let runner = ScenarioRunner::from_env();
+    let cell_samples = runner.run_cells(&cells, |_, &(qi, q, k, iat, size)| {
+        let p = q.profile(iat, size);
+        let sc = SyntheticConfig {
+            read: p,
+            write: p,
+            read_count: cfg.requests_per_class,
+            write_count: cfg.requests_per_class,
+            lba_space_sectors: 1 << 22,
+            lba_model: workload::spatial::LbaModel::Uniform,
+        };
+        let trace = generate_synthetic(&sc, seed.wrapping_add((qi * 31 + k) as u64));
+        weight_sweep(ssd, &trace, &cfg.weights)
+    });
+    let mut quadrant_data: Vec<(ScvQuadrant, Dataset)> = Vec::new();
+    for (qi, q) in ScvQuadrant::ALL.into_iter().enumerate() {
+        let mut samples: Vec<SweepPoint> = Vec::new();
+        for ((ci, ..), s) in cells.iter().zip(&cell_samples) {
+            if *ci == qi {
+                samples.extend(s.iter().cloned());
+            }
         }
         quadrant_data.push((q, samples_to_dataset(&samples)));
     }
     // Micro sweeps are always in the training set (paper Sec. IV-C).
     let micro = samples_to_dataset(&generate_training_samples(ssd, &cfg, seed));
 
-    ScvQuadrant::ALL
-        .into_iter()
-        .map(|held| {
-            let mut train = micro.clone();
-            let mut test = Dataset::default();
-            for (q, d) in &quadrant_data {
-                if *q == held {
-                    test = d.clone();
-                } else {
-                    train = train.concat(d.clone());
-                }
+    runner.run_cells(&ScvQuadrant::ALL, |_, &held| {
+        let mut train = micro.clone();
+        let mut test = Dataset::default();
+        for (q, d) in &quadrant_data {
+            if *q == held {
+                test = d.clone();
+            } else {
+                train = train.concat(d.clone());
             }
-            let r2 = ml::cv::holdout_r2(&train, &test, &ml::ModelKind::RandomForest, seed);
-            (held.label(), r2)
-        })
-        .collect()
+        }
+        let r2 = ml::cv::holdout_r2(&train, &test, &ml::ModelKind::RandomForest, seed);
+        (held.label(), r2)
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -296,14 +316,16 @@ fn fig7_fig8_impl(
         mode: Mode::DcqcnSrc,
         ..base
     };
+    // The two modes are independent runs; `join` overlaps them when the
+    // thread budget allows (sinks are `Send`, each owned by one run).
     let (dcqcn_only, dcqcn_src) = match sinks {
-        Some((s_only, s_src)) => (
-            run_system_traced(&only_cfg, &assignments, None, s_only),
-            run_system_traced(&src_cfg, &assignments, Some(tpm), s_src),
+        Some((s_only, s_src)) => join(
+            || run_system_traced(&only_cfg, &assignments, None, s_only),
+            || run_system_traced(&src_cfg, &assignments, Some(tpm), s_src),
         ),
-        None => (
-            run_system(&only_cfg, &assignments, None),
-            run_system(&src_cfg, &assignments, Some(tpm)),
+        None => join(
+            || run_system(&only_cfg, &assignments, None),
+            || run_system(&src_cfg, &assignments, Some(tpm)),
         ),
     };
     Fig7Result {
@@ -419,14 +441,15 @@ pub fn fig10(
         write_size_mean: 4_000.0,
         ..MicroConfig::default()
     };
-    [
+    let classes = [
         ("light", light),
         ("moderate", MicroConfig::moderate()),
         ("heavy", MicroConfig::heavy()),
-    ]
-    .into_iter()
-    .map(|(label, mc)| {
-        let traces = vec![mk(mc.clone(), seed), mk(mc, seed + 1)];
+    ];
+    // Intensity classes (and the two modes within each) are independent
+    // runs; spread them across the pool.
+    ScenarioRunner::from_env().run_cells(&classes, |_, (label, mc)| {
+        let traces = vec![mk(mc.clone(), seed), mk(mc.clone(), seed + 1)];
         let assignments = per_target_traces(&traces, 1);
         let base = SystemConfig {
             n_initiators: 1,
@@ -436,25 +459,30 @@ pub fn fig10(
             pfc: paper_pfc(),
             ..SystemConfig::default()
         };
-        let only = run_system(
-            &SystemConfig {
-                mode: Mode::DcqcnOnly,
-                ..base.clone()
+        let (only, src) = join(
+            || {
+                run_system(
+                    &SystemConfig {
+                        mode: Mode::DcqcnOnly,
+                        ..base.clone()
+                    },
+                    &assignments,
+                    None,
+                )
             },
-            &assignments,
-            None,
-        );
-        let src = run_system(
-            &SystemConfig {
-                mode: Mode::DcqcnSrc,
-                ..base
+            || {
+                run_system(
+                    &SystemConfig {
+                        mode: Mode::DcqcnSrc,
+                        ..base.clone()
+                    },
+                    &assignments,
+                    Some(tpm.clone()),
+                )
             },
-            &assignments,
-            Some(tpm.clone()),
         );
-        (label, only, src)
+        (*label, only, src)
     })
-    .collect()
 }
 
 // ----------------------------------------------------------------------
@@ -482,64 +510,69 @@ pub fn table4(
     seed: u64,
 ) -> Vec<IncastRow> {
     let ratios: [(usize, usize); 4] = [(2, 1), (3, 1), (4, 1), (4, 4)];
-    ratios
-        .iter()
-        .map(|&(n_targets, n_initiators)| {
-            // Fixed total read load ≈ 38 Gbps: one heavy stream split
-            // across all targets.
-            let total_requests = scale.requests_per_target * n_targets;
-            let trace = generate_micro(
-                &MicroConfig {
-                    // 44 KB / 9.2 µs ≈ 38 Gbps of read load in total.
-                    read_iat_mean_us: 9.2,
-                    write_iat_mean_us: 9.2,
-                    read_size_mean: 44_000.0,
-                    write_size_mean: 23_000.0,
-                    read_count: total_requests,
-                    write_count: total_requests,
-                    ..MicroConfig::default()
-                },
-                seed,
-            );
-            let assignments = spread_trace(&trace, n_initiators, n_targets);
-            let base = SystemConfig {
-                n_initiators,
-                n_targets,
-                ssd: ssd.clone(),
-                background: paper_background(&assignments),
-                pfc: paper_pfc(),
-                ..SystemConfig::default()
-            };
-            let only = run_system(
-                &SystemConfig {
-                    mode: Mode::DcqcnOnly,
-                    ..base.clone()
-                },
-                &assignments,
-                None,
-            );
-            let src = run_system(
-                &SystemConfig {
-                    mode: Mode::DcqcnSrc,
-                    ..base
-                },
-                &assignments,
-                Some(tpm.clone()),
-            );
-            let only_gbps = only.aggregated_tput().as_gbps_f64();
-            let src_gbps = src.aggregated_tput().as_gbps_f64();
-            IncastRow {
-                ratio: format!("{n_targets}:{n_initiators}"),
-                src_gbps,
-                only_gbps,
-                improvement_pct: if only_gbps > 0.0 {
-                    (src_gbps - only_gbps) / only_gbps * 100.0
-                } else {
-                    0.0
-                },
-            }
-        })
-        .collect()
+    // Every ratio (and both modes within it) is an independent seeded
+    // run; the grid executes on the pool with rows in ratio order.
+    ScenarioRunner::from_env().run_cells(&ratios, |_, &(n_targets, n_initiators)| {
+        // Fixed total read load ≈ 38 Gbps: one heavy stream split
+        // across all targets.
+        let total_requests = scale.requests_per_target * n_targets;
+        let trace = generate_micro(
+            &MicroConfig {
+                // 44 KB / 9.2 µs ≈ 38 Gbps of read load in total.
+                read_iat_mean_us: 9.2,
+                write_iat_mean_us: 9.2,
+                read_size_mean: 44_000.0,
+                write_size_mean: 23_000.0,
+                read_count: total_requests,
+                write_count: total_requests,
+                ..MicroConfig::default()
+            },
+            seed,
+        );
+        let assignments = spread_trace(&trace, n_initiators, n_targets);
+        let base = SystemConfig {
+            n_initiators,
+            n_targets,
+            ssd: ssd.clone(),
+            background: paper_background(&assignments),
+            pfc: paper_pfc(),
+            ..SystemConfig::default()
+        };
+        let (only, src) = join(
+            || {
+                run_system(
+                    &SystemConfig {
+                        mode: Mode::DcqcnOnly,
+                        ..base.clone()
+                    },
+                    &assignments,
+                    None,
+                )
+            },
+            || {
+                run_system(
+                    &SystemConfig {
+                        mode: Mode::DcqcnSrc,
+                        ..base.clone()
+                    },
+                    &assignments,
+                    Some(tpm.clone()),
+                )
+            },
+        );
+        let only_gbps = only.aggregated_tput().as_gbps_f64();
+        let src_gbps = src.aggregated_tput().as_gbps_f64();
+        IncastRow {
+            ratio: format!("{n_targets}:{n_initiators}"),
+            src_gbps,
+            only_gbps,
+            improvement_pct: if only_gbps > 0.0 {
+                (src_gbps - only_gbps) / only_gbps * 100.0
+            } else {
+                0.0
+            },
+        }
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -582,13 +615,12 @@ pub fn extension_distribution(
         seed,
     );
     let assignments = spread_trace(&trace, 1, n_targets);
-    [
+    let policies = [
         ("static", TargetSelection::Static),
         ("least-loaded", TargetSelection::LeastLoaded),
         ("pack", TargetSelection::Pack { cap: 128 }),
-    ]
-    .into_iter()
-    .map(|(label, policy)| {
+    ];
+    ScenarioRunner::from_env().run_cells(&policies, |_, &(label, policy)| {
         let cfg = SystemConfig {
             n_initiators: 1,
             n_targets,
@@ -606,7 +638,6 @@ pub fn extension_distribution(
             write_gbps: r.write_tput().as_gbps_f64(),
         }
     })
-    .collect()
 }
 
 // ----------------------------------------------------------------------
@@ -638,21 +669,27 @@ pub fn extension_timely(
         cc: crate::config::CcChoice::Timely,
         ..SystemConfig::default()
     };
-    let dcqcn_only = run_system(
-        &SystemConfig {
-            mode: Mode::DcqcnOnly,
-            ..base.clone()
+    let (dcqcn_only, dcqcn_src) = join(
+        || {
+            run_system(
+                &SystemConfig {
+                    mode: Mode::DcqcnOnly,
+                    ..base.clone()
+                },
+                &assignments,
+                None,
+            )
         },
-        &assignments,
-        None,
-    );
-    let dcqcn_src = run_system(
-        &SystemConfig {
-            mode: Mode::DcqcnSrc,
-            ..base
+        || {
+            run_system(
+                &SystemConfig {
+                    mode: Mode::DcqcnSrc,
+                    ..base.clone()
+                },
+                &assignments,
+                Some(tpm),
+            )
         },
-        &assignments,
-        Some(tpm),
     );
     Fig7Result {
         dcqcn_only,

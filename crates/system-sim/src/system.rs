@@ -194,7 +194,6 @@ fn run_system_impl(
     // Initiator-side completion count drives termination.
     let total = assignments.len();
     let mut finished = 0usize;
-    let mut dbg_last_ms = 0u64;
     let tgt_host_index: HashMap<NodeId, usize> =
         tgt_hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
 
@@ -302,11 +301,23 @@ fn run_system_impl(
                     .iter()
                     .map(|&f| net.flow_rate(f).as_bps())
                     .sum();
+                let demanded = sim_engine::Rate::from_bps(demanded_bps);
+                // Per-target DCQCN aggregate: the sum of the granted
+                // rates of every flow into this Target, sampled at each
+                // rate-change notification — in every mode, so baseline
+                // and SRC traces carry the same series.
+                if let Some(s) = sink.as_deref_mut() {
+                    s.record(TraceRecord {
+                        at: now,
+                        component: "net",
+                        scope: t_idx as u64,
+                        metric: "inbound_gbps",
+                        value: demanded.as_gbps_f64(),
+                    });
+                }
                 let t = &mut targets[t_idx];
                 if let Some(src) = t.src.as_mut() {
-                    if let Some(w) = src
-                        .on_congestion_notification(sim_engine::Rate::from_bps(demanded_bps), now)
-                    {
+                    if let Some(w) = src.on_congestion_notification(demanded, now) {
                         t.node.set_weight_ratio(w);
                         let step = t.node.pump(now);
                         ssd_scheds.push((t_idx, step));
@@ -439,13 +450,32 @@ fn run_system_impl(
                 last_sample = now;
                 for (t_idx, t) in targets.iter_mut().enumerate() {
                     t.node.sample_telemetry(now);
-                    s.record(TraceRecord {
-                        at: now,
-                        component: "txq",
-                        scope: t_idx as u64,
-                        metric: "backlog_bytes",
-                        value: net.host_backlog_bytes(t.host) as f64,
-                    });
+                    let scope = t_idx as u64;
+                    let gauges: [(&'static str, &'static str, f64); 6] = [
+                        (
+                            "txq",
+                            "backlog_bytes",
+                            net.host_backlog_bytes(t.host) as f64,
+                        ),
+                        ("ssq", "weight_ratio", t.node.weight_ratio() as f64),
+                        (
+                            "ssq",
+                            "outstanding",
+                            t.node.discipline().outstanding() as f64,
+                        ),
+                        ("ssd", "cache_occupancy", t.node.ssd().cache_occupancy()),
+                        ("ssd", "in_flight", t.node.ssd().in_flight() as f64),
+                        ("tgt", "proto_in_flight", t.proto.in_flight() as f64),
+                    ];
+                    for (component, metric, value) in gauges {
+                        s.record(TraceRecord {
+                            at: now,
+                            component,
+                            scope,
+                            metric,
+                            value,
+                        });
+                    }
                 }
             }
             for rec in net.drain_probes() {
@@ -464,27 +494,6 @@ fn run_system_impl(
         }
 
         report.makespan = report.makespan.max(now.since(SimTime::ZERO));
-        // Optional diagnostics: SRCSIM_DEBUG=1 prints a per-ms snapshot.
-        if std::env::var_os("SRCSIM_DEBUG").is_some() {
-            let ms = now.as_ms_f64() as u64;
-            if ms > dbg_last_ms {
-                dbg_last_ms = ms;
-                for (i, t) in targets.iter().enumerate() {
-                    eprintln!(
-                        "[{ms}ms] tgt{i} w={} gate_open={} qR={} qW={} out={} txq={}KB cache={:.2} ssd_inflight={} proto_inflight={}",
-                        t.node.weight_ratio(),
-                        t.node.read_gate_open(),
-                        t.node.discipline().queued_of(workload::IoType::Read),
-                        t.node.discipline().queued_of(workload::IoType::Write),
-                        t.node.discipline().outstanding(),
-                        net.host_backlog_bytes(t.host) / 1024,
-                        t.node.ssd().cache_occupancy(),
-                        t.node.ssd().in_flight(),
-                        t.proto.in_flight(),
-                    );
-                }
-            }
-        }
         if finished >= total {
             break;
         }

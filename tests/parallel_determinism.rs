@@ -1,0 +1,99 @@
+//! The executor determinism contract (see `sim-engine/src/runner.rs`):
+//! every sweep refactored onto the [`ScenarioRunner`] must produce
+//! byte-identical results at `threads = 1` and `threads = 4`, because
+//! cell seeds are pure functions of `(base_seed, cell_index)` and
+//! results are written back by index.
+//!
+//! The cheap checks run in every build; the full experiment grids are
+//! ignored in debug builds (run `cargo test --release -- --include-ignored`).
+
+use srcsim::ml::{Dataset, ModelKind, RandomForest, RandomForestParams, Regressor};
+use srcsim::sim_engine::runner::with_threads;
+use srcsim::ssd_sim::SsdConfig;
+use srcsim::storage_node::weight_sweep;
+use srcsim::system_sim::experiments::{fig5, table3, Scale};
+use srcsim::workload::micro::{generate_micro, MicroConfig};
+
+#[test]
+fn weight_sweep_identical_serial_and_parallel() {
+    let trace = generate_micro(
+        &MicroConfig {
+            read_iat_mean_us: 20.0,
+            write_iat_mean_us: 20.0,
+            read_size_mean: 24_000.0,
+            write_size_mean: 24_000.0,
+            read_count: 300,
+            write_count: 300,
+            ..MicroConfig::default()
+        },
+        11,
+    );
+    let ssd = SsdConfig::ssd_a();
+    let weights = [1u32, 2, 4, 8];
+    let serial = with_threads(1, || weight_sweep(&ssd, &trace, &weights));
+    let parallel = with_threads(4, || weight_sweep(&ssd, &trace, &weights));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn forest_identical_serial_and_parallel() {
+    let x: Vec<Vec<f64>> = (0..150)
+        .map(|i| vec![i as f64 * 0.3, ((i * 7) % 11) as f64])
+        .collect();
+    let y: Vec<Vec<f64>> = x.iter().map(|r| vec![2.0 * r[0] - r[1]]).collect();
+    let data = Dataset::new(x, y);
+    let params = RandomForestParams {
+        n_trees: 12,
+        ..Default::default()
+    };
+    let fit_predict = |threads: usize| {
+        with_threads(threads, || {
+            let f = RandomForest::fit(&data, &params, 5);
+            (
+                f.predict_one(&[10.0, 3.0]),
+                f.predict_one(&[40.0, 7.0]),
+                f.feature_importance(),
+            )
+        })
+    };
+    assert_eq!(fit_predict(1), fit_predict(4));
+}
+
+#[test]
+fn kfold_identical_serial_and_parallel() {
+    let x: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64, (i % 9) as f64]).collect();
+    let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0] * 1.5 + r[1]]).collect();
+    let data = Dataset::new(x, y);
+    let serial = with_threads(1, || {
+        srcsim::ml::cv::k_fold_r2(&data, &ModelKind::RandomForest, 4, 3)
+    });
+    let parallel = with_threads(4, || {
+        srcsim::ml::cv::k_fold_r2(&data, &ModelKind::RandomForest, 4, 3)
+    });
+    // Bit-identical, not approximately equal: fold scores are summed in
+    // fold order regardless of completion order.
+    assert_eq!(serial.to_bits(), parallel.to_bits());
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy simulation; run in release")]
+fn fig5_grid_identical_serial_and_parallel() {
+    let ssd = SsdConfig::ssd_a();
+    let scale = Scale::quick();
+    let serial = with_threads(1, || fig5(&ssd, &scale, 42));
+    let parallel = with_threads(4, || fig5(&ssd, &scale, 42));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy simulation; run in release")]
+fn table3_identical_serial_and_parallel() {
+    let ssd = SsdConfig::ssd_a();
+    let scale = Scale::quick();
+    let serial = with_threads(1, || table3(&ssd, &scale, 42));
+    let parallel = with_threads(4, || table3(&ssd, &scale, 42));
+    for ((ls, rs), (lp, rp)) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(ls, lp);
+        assert_eq!(rs.to_bits(), rp.to_bits(), "{ls}: {rs} vs {rp}");
+    }
+}

@@ -1,0 +1,268 @@
+//! The `par_iter`/`into_par_iter` facade: lazy per-index pipelines
+//! executed on the [`crate::pool`] at a terminal (`collect`,
+//! `for_each`).
+//!
+//! A pipeline is a chain of combinators over an index-addressable
+//! source: the source materializes its items into one slot per index,
+//! combinators compose per-item functions, and the terminal evaluates
+//! slot `0..n` on the pool, reassembling items **in slot order**. Any
+//! `collect` is therefore byte-identical to the equivalent sequential
+//! iterator chain — the property the workspace's determinism contract
+//! rests on (see DESIGN.md "Parallel execution").
+//!
+//! Only the API subset the workspace uses is provided: `map`,
+//! `enumerate`, `flat_map`, `for_each`, `collect`. Combinator closures
+//! need the usual rayon bounds (`Fn + Sync`) because they are shared
+//! across worker threads.
+
+use crate::pool;
+use std::sync::Mutex;
+
+/// A parallel pipeline: `pi_len()` index slots, each producing zero or
+/// more items when driven. Implementations must be `Sync` — terminals
+/// share the pipeline across worker threads by reference.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item the pipeline yields.
+    type Item: Send;
+
+    /// Number of index slots.
+    #[doc(hidden)]
+    fn pi_len(&self) -> usize;
+
+    /// Produce slot `i`'s items. Called exactly once per slot.
+    #[doc(hidden)]
+    fn pi_run(&self, i: usize) -> Vec<Self::Item>;
+
+    /// Transform every item with `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair every item with its index. Available only on indexed
+    /// pipelines (one item per slot), where slot index == item index —
+    /// the same restriction real rayon enforces via
+    /// `IndexedParallelIterator`.
+    fn enumerate(self) -> Enumerate<Self>
+    where
+        Self: IndexedParallelIterator,
+    {
+        Enumerate { base: self }
+    }
+
+    /// Map every item to an iterator and flatten, preserving slot
+    /// order.
+    fn flat_map<I, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(Self::Item) -> I + Sync,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Apply `f` to every item on the pool. Slot evaluation order is
+    /// unspecified; per-slot items are delivered in order.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let n = self.pi_len();
+        pool::run_indexed(n, |i| {
+            for item in self.pi_run(i) {
+                f(item);
+            }
+        });
+    }
+
+    /// Evaluate the pipeline on the pool and collect every item in
+    /// slot order — identical to the sequential result.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        let n = self.pi_len();
+        pool::run_indexed(n, |i| self.pi_run(i))
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Marker for pipelines where every slot yields exactly one item
+/// (sources, `map`, `enumerate` — not `flat_map`).
+pub trait IndexedParallelIterator: ParallelIterator {}
+
+/// Index-addressable source: one owned item per slot, taken exactly
+/// once when the slot is driven.
+pub struct ParSeq<T> {
+    slots: Vec<Mutex<Option<T>>>,
+}
+
+impl<T: Send> ParallelIterator for ParSeq<T> {
+    type Item = T;
+
+    fn pi_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn pi_run(&self, i: usize) -> Vec<T> {
+        vec![self.slots[i]
+            .lock()
+            .expect("slot mutex poisoned")
+            .take()
+            .expect("slot driven exactly once")]
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for ParSeq<T> {}
+
+/// `map` pipeline node.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_run(&self, i: usize) -> Vec<R> {
+        self.base.pi_run(i).into_iter().map(&self.f).collect()
+    }
+}
+
+impl<P, F, R> IndexedParallelIterator for Map<P, F>
+where
+    P: IndexedParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+}
+
+/// `enumerate` pipeline node (indexed pipelines only).
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P> ParallelIterator for Enumerate<P>
+where
+    P: IndexedParallelIterator,
+{
+    type Item = (usize, P::Item);
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_run(&self, i: usize) -> Vec<(usize, P::Item)> {
+        // Indexed base: slot i holds exactly item i.
+        self.base.pi_run(i).into_iter().map(|x| (i, x)).collect()
+    }
+}
+
+impl<P> IndexedParallelIterator for Enumerate<P> where P: IndexedParallelIterator {}
+
+/// `flat_map` pipeline node.
+pub struct FlatMap<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, I> ParallelIterator for FlatMap<P, F>
+where
+    P: ParallelIterator,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(P::Item) -> I + Sync,
+{
+    type Item = I::Item;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_run(&self, i: usize) -> Vec<I::Item> {
+        self.base.pi_run(i).into_iter().flat_map(&self.f).collect()
+    }
+}
+
+/// Consuming conversion: `into_par_iter()`.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Iter = ParSeq<I::Item>;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParSeq<I::Item> {
+        ParSeq {
+            slots: self.into_iter().map(|x| Mutex::new(Some(x))).collect(),
+        }
+    }
+}
+
+/// Borrowing conversion: `par_iter()`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send + 'data;
+    /// Iterate by reference.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoParallelIterator,
+{
+    type Iter = <&'data I as IntoParallelIterator>::Iter;
+    type Item = <&'data I as IntoParallelIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Mutably borrowing conversion: `par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send + 'data;
+    /// Iterate by mutable reference.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoParallelIterator,
+{
+    type Iter = <&'data mut I as IntoParallelIterator>::Iter;
+    type Item = <&'data mut I as IntoParallelIterator>::Item;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}

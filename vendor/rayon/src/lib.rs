@@ -1,87 +1,41 @@
-//! Offline stub of `rayon`: the `par_iter`/`into_par_iter` entry points
-//! executed **sequentially** on the calling thread.
+//! Offline vendored `rayon`: the parallel-iterator API subset the
+//! workspace uses, backed by a **real** scoped-thread pool.
 //!
-//! The returned iterators are ordinary [`std::iter::Iterator`]s, so the
-//! usual combinators (`map`, `enumerate`, `flat_map`, `collect`, …)
-//! keep working unchanged. Results are identical to a real rayon run
-//! because the workspace only uses order-preserving collectors.
+//! Until PR 2 this crate was a sequential stub; it now executes
+//! `par_iter`/`into_par_iter` pipelines and [`join`] on worker threads
+//! while keeping the workspace's determinism contract: results are
+//! assembled in input-index order, so a `collect` is byte-identical to
+//! the sequential run at any thread count. See [`pool`] for the
+//! executor (thread-count resolution via `SRCSIM_THREADS` /
+//! `RAYON_NUM_THREADS`, serial fallback at 1 thread, nested-call
+//! serialization, panic semantics) and [`iter`] for the pipeline
+//! types.
+//!
+//! Higher layers should prefer `sim_engine::runner::ScenarioRunner`,
+//! which wraps [`pool`] with explicit thread configuration and
+//! per-cell seed derivation; this crate exists so `rayon`-idiomatic
+//! code keeps compiling against the vendored workspace.
 
-/// Consuming conversion: `into_par_iter()`.
-pub trait IntoParallelIterator {
-    /// The (sequential) iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type.
-    type Item;
-    /// Convert into a "parallel" (here: sequential) iterator.
-    fn into_par_iter(self) -> Self::Iter;
-}
+pub mod iter;
+pub mod pool;
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
-    type Item = I::Item;
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// Borrowing conversion: `par_iter()`.
-pub trait IntoParallelRefIterator<'data> {
-    /// The (sequential) iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type.
-    type Item: 'data;
-    /// Iterate by reference.
-    fn par_iter(&'data self) -> Self::Iter;
-}
-
-impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
-where
-    &'data I: IntoParallelIterator,
-{
-    type Iter = <&'data I as IntoParallelIterator>::Iter;
-    type Item = <&'data I as IntoParallelIterator>::Item;
-    fn par_iter(&'data self) -> Self::Iter {
-        self.into_par_iter()
-    }
-}
-
-/// Mutably borrowing conversion: `par_iter_mut()`.
-pub trait IntoParallelRefMutIterator<'data> {
-    /// The (sequential) iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type.
-    type Item: 'data;
-    /// Iterate by mutable reference.
-    fn par_iter_mut(&'data mut self) -> Self::Iter;
-}
-
-impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
-where
-    &'data mut I: IntoParallelIterator,
-{
-    type Iter = <&'data mut I as IntoParallelIterator>::Iter;
-    type Item = <&'data mut I as IntoParallelIterator>::Item;
-    fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.into_par_iter()
-    }
-}
-
-/// Run two closures (sequentially here) and return both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
+pub use iter::{
+    IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+    IntoParallelRefMutIterator, ParallelIterator,
+};
+pub use pool::{current_num_threads, join};
 
 pub mod prelude {
     //! Common imports, mirroring `rayon::prelude`.
-    pub use super::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+    pub use super::iter::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
+    };
 }
 
 #[cfg(test)]
 mod tests {
+    use super::pool::with_threads;
     use super::prelude::*;
 
     #[test]
@@ -106,5 +60,39 @@ mod tests {
         let mut xs = vec![1, 2, 3];
         xs.par_iter_mut().for_each(|x| *x += 1);
         assert_eq!(xs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_collect_matches_serial() {
+        let serial: Vec<u64> = with_threads(1, || {
+            (0..64u64)
+                .into_par_iter()
+                .map(|x| x.wrapping_mul(x))
+                .collect()
+        });
+        let parallel: Vec<u64> = with_threads(4, || {
+            (0..64u64)
+                .into_par_iter()
+                .map(|x| x.wrapping_mul(x))
+                .collect()
+        });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_flat_map_preserves_order() {
+        let out: Vec<usize> = with_threads(4, || {
+            (0..10usize)
+                .into_par_iter()
+                .flat_map(|i| vec![i * 2, i * 2 + 1])
+                .collect()
+        });
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 6 * 7, || "answer");
+        assert_eq!((a, b), (42, "answer"));
     }
 }

@@ -1,0 +1,268 @@
+//! The executor behind every parallel entry point in this crate: a
+//! scoped-thread pool with dynamic index scheduling and index-ordered
+//! result assembly.
+//!
+//! # Determinism contract
+//!
+//! [`run_indexed`] evaluates `f(0), f(1), …, f(n-1)` on up to
+//! [`current_num_threads`] worker threads. Workers pull the *next
+//! unclaimed index* from a shared atomic cursor (cheap dynamic load
+//! balancing — uneven cells don't serialize behind a static chunking),
+//! but every result is written back into its own index slot, so the
+//! returned `Vec` is identical to the serial
+//! `(0..n).map(f).collect()` no matter how the cells interleave.
+//! Callers that derive per-cell state (RNG seeds above all) from the
+//! cell *index* therefore produce byte-identical output at any thread
+//! count.
+//!
+//! # Thread-count resolution
+//!
+//! `SRCSIM_THREADS` wins over `RAYON_NUM_THREADS`; absent both, the
+//! machine's available parallelism is used. `threads = 1` is the safe
+//! serial fallback: no threads are spawned and `f` runs inline on the
+//! caller. [`with_threads`] installs a scoped per-thread override —
+//! the test harness uses it to compare serial and parallel runs inside
+//! one process without touching the environment.
+//!
+//! # Nesting
+//!
+//! Pool workers mark themselves; any parallel call made *from inside a
+//! worker* (a sweep cell that itself sweeps) runs serially, so the
+//! process never exceeds the configured thread budget and nested
+//! grids stay deterministic for free.
+//!
+//! # Panics
+//!
+//! A panic in one cell stops that worker; the remaining workers finish
+//! draining the cursor, every thread is joined, and the first panic
+//! payload is re-raised on the caller. Because the pool is scoped per
+//! call there is nothing to poison: the next `run_indexed` starts
+//! fresh.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Per-thread thread-count override installed by [`with_threads`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// True inside pool workers: nested parallel calls run serially.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Environment-resolved thread count, cached once per process:
+/// `SRCSIM_THREADS`, then `RAYON_NUM_THREADS`, then available
+/// parallelism (1 if unknown). Zero or unparsable values are ignored.
+fn env_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let parse = |key: &str| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        };
+        parse("SRCSIM_THREADS")
+            .or_else(|| parse("RAYON_NUM_THREADS"))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Number of threads the next parallel call on this thread will use:
+/// 1 inside a pool worker (nested calls are serial), otherwise the
+/// [`with_threads`] override, otherwise the environment default.
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(|c| c.get()) {
+        return 1;
+    }
+    OVERRIDE.with(|c| c.get()).unwrap_or_else(env_threads)
+}
+
+/// Run `f` with parallel calls on this thread capped at `n` threads
+/// (minimum 1). The previous cap is restored on exit, panic or not.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Evaluate `f(i)` for every `i in 0..n` on the pool and return the
+/// results **in index order** (see the module docs for the full
+/// contract). Serial when the thread budget or `n` is ≤ 1.
+pub fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let worker = || {
+        IN_WORKER.with(|c| c.set(true));
+        let mut got: Vec<(usize, T)> = Vec::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            got.push((i, f(i)));
+        }
+        got
+    };
+    let parts: Vec<Result<Vec<(usize, T)>, Box<dyn Any + Send>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads).map(|_| s.spawn(&worker)).collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut first_panic: Option<Box<dyn Any + Send>> = None;
+    for part in parts {
+        match part {
+            Ok(list) => {
+                for (i, v) in list {
+                    debug_assert!(out[i].is_none(), "index {i} computed twice");
+                    out[i] = Some(v);
+                }
+            }
+            Err(payload) => {
+                first_panic.get_or_insert(payload);
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        panic::resume_unwind(payload);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// Run two independent closures and return both results — `b` on a
+/// spawned scoped thread when the budget allows, both inline at
+/// `threads = 1`. Panics from either side are re-raised after both
+/// have stopped.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| {
+            IN_WORKER.with(|c| c.set(true));
+            b()
+        });
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn serial_when_one_thread() {
+        let spawned = AtomicBool::new(false);
+        let main_id = std::thread::current().id();
+        let out = with_threads(1, || {
+            run_indexed(8, |i| {
+                if std::thread::current().id() != main_id {
+                    spawned.store(true, Ordering::Relaxed);
+                }
+                i * i
+            })
+        });
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+        assert!(
+            !spawned.load(Ordering::Relaxed),
+            "serial fallback must not spawn"
+        );
+    }
+
+    #[test]
+    fn parallel_preserves_index_order() {
+        // Later indices finish first (they sleep less); the output must
+        // still be in index order.
+        let out = with_threads(4, || {
+            run_indexed(16, |i| {
+                std::thread::sleep(std::time::Duration::from_micros(((16 - i) * 50) as u64));
+                i * 3
+            })
+        });
+        assert_eq!(out, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_calls_run_serially() {
+        let out = with_threads(4, || {
+            run_indexed(4, |i| {
+                assert_eq!(current_num_threads(), 1, "worker must see a serial budget");
+                let inner = run_indexed(3, |j| i * 10 + j);
+                inner.iter().sum::<usize>()
+            })
+        });
+        assert_eq!(out, vec![3, 33, 63, 93]);
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_is_reusable() {
+        let boom = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                run_indexed(8, |i| {
+                    if i == 3 {
+                        panic!("cell 3 exploded");
+                    }
+                    i
+                })
+            })
+        });
+        assert!(boom.is_err(), "panic in one cell must reach the caller");
+        // Nothing is poisoned: the next call works and is ordered.
+        let out = with_threads(4, || run_indexed(8, |i| i + 1));
+        assert_eq!(out, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let before = current_num_threads();
+        let _ =
+            std::panic::catch_unwind(|| with_threads(7, || -> () { panic!("inside override") }));
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn join_returns_both_and_orders_results() {
+        let (a, b) = with_threads(2, || join(|| 1 + 1, || "two"));
+        assert_eq!((a, b), (2, "two"));
+        let (a, b) = with_threads(1, || join(|| 3, || 4));
+        assert_eq!((a, b), (3, 4));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u8> = with_threads(4, || run_indexed(0, |_| 0u8));
+        assert!(out.is_empty());
+    }
+}
