@@ -3,6 +3,7 @@
 //! timings. Full-scale reproductions are the `src/bin` binaries.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sim_engine::NullSink;
 use ssd_sim::SsdConfig;
 use system_sim::experiments::{
     fig10, fig5, fig7_fig8, fig9, table1, table3, table4, train_tpm, Scale, TrainKnob,
@@ -43,11 +44,19 @@ fn bench_experiments(c: &mut Criterion) {
         b.iter(|| black_box(table3(&ssd, &s, 1)))
     });
     g.bench_function("fig7_fig8_both_modes", |b| {
-        b.iter(|| black_box(fig7_fig8(&ssd, &scale, tpm.clone(), 7)))
+        b.iter(|| {
+            black_box(fig7_fig8(
+                &ssd,
+                &scale,
+                tpm.clone(),
+                7,
+                (&mut NullSink, &mut NullSink),
+            ))
+        })
     });
     g.bench_function("fig9_scripted", |b| {
         let s = tiny_scale();
-        b.iter(|| black_box(fig9(&s, 11)))
+        b.iter(|| black_box(fig9(&s, 11, &mut NullSink)))
     });
     g.bench_function("fig10_intensities", |b| {
         let s = tiny_scale();

@@ -1,9 +1,13 @@
 //! Reproduce Fig. 10: workload-intensity sensitivity — light, moderate
 //! and heavy micro workloads under DCQCN-only vs DCQCN-SRC.
 //!
+//! With `SRCSIM_CHECKPOINT=<prefix>` the TPM training sweep and the
+//! per-intensity grid commit completed cells to sweep manifests; a
+//! killed run resumes from the last committed cell on re-invocation.
+//!
 //! Usage: `fig10_intensity [quick|full]`
 
-use src_bench::{rule, scale_from_args, scale_label};
+use src_bench::{announce_checkpoint, rule, scale_from_args, scale_label};
 use ssd_sim::SsdConfig;
 use system_sim::experiments::{fig10, train_tpm};
 
@@ -11,6 +15,7 @@ fn main() {
     let scale = scale_from_args();
     println!("Fig. 10 — workload intensity ({})", scale_label(&scale));
     rule();
+    announce_checkpoint();
     let ssd = SsdConfig::ssd_a();
     eprintln!("training TPM on SSD-A ...");
     let tpm = train_tpm(&ssd, &scale, 42);

@@ -13,12 +13,16 @@
 //! without it the traces buffer in [`RingSink`]s, which additionally
 //! enables the in-memory series summaries below.
 //!
+//! With `SRCSIM_CHECKPOINT=<prefix>` the TPM training sweep commits
+//! completed cells to `<prefix>.tpm_train.<tag>.ckpt.jsonl`; a killed
+//! run resumes from the last committed cell on re-invocation.
+//!
 //! Usage: `fig7_fig8_throughput [quick|full]`
 
 use sim_engine::{FileSink, RingSink, TelemetryReport};
-use src_bench::{rule, scale_from_args, scale_label};
+use src_bench::{announce_checkpoint, rule, scale_from_args, scale_label};
 use ssd_sim::SsdConfig;
-use system_sim::experiments::{fig7_fig8_traced, train_tpm, Fig7Result};
+use system_sim::experiments::{fig7_fig8, train_tpm, Fig7Result};
 use system_sim::SystemReport;
 
 const SEED: u64 = 7;
@@ -120,6 +124,7 @@ fn main() {
         scale_label(&scale)
     );
     rule();
+    announce_checkpoint();
     let ssd = SsdConfig::ssd_a();
     eprintln!("training TPM on SSD-A ...");
     let tpm = train_tpm(&ssd, &scale, 42);
@@ -140,7 +145,7 @@ fn main() {
         }
         let mut sink_only = FileSink::create(&only_path).expect("create trace file");
         let mut sink_src = FileSink::create(&src_path).expect("create trace file");
-        let r = fig7_fig8_traced(&ssd, &scale, tpm, SEED, (&mut sink_only, &mut sink_src));
+        let r = fig7_fig8(&ssd, &scale, tpm, SEED, (&mut sink_only, &mut sink_src));
         print_results(&r);
         println!("\nfabric telemetry (streamed):");
         streaming_summary("DCQCN-only", &sink_only);
@@ -151,7 +156,7 @@ fn main() {
     } else {
         let mut sink_only = RingSink::new(1 << 20);
         let mut sink_src = RingSink::new(1 << 20);
-        let r = fig7_fig8_traced(&ssd, &scale, tpm, SEED, (&mut sink_only, &mut sink_src));
+        let r = fig7_fig8(&ssd, &scale, tpm, SEED, (&mut sink_only, &mut sink_src));
         let rep_only = sink_only.into_report();
         let rep_src = sink_src.into_report();
         print_results(&r);

@@ -17,8 +17,8 @@
 //! Usage: `fig9_dynamic [quick|full]`
 
 use sim_engine::{FileSink, RingSink};
-use src_bench::{rule, scale_from_args, scale_label};
-use system_sim::experiments::{fig9_fabric_slice, fig9_traced};
+use src_bench::{announce_checkpoint, rule, scale_from_args, scale_label};
+use system_sim::experiments::{fig9, fig9_fabric_slice};
 use system_sim::scripted::ScriptedResult;
 
 const SEED: u64 = 42;
@@ -83,7 +83,7 @@ fn print_fabric_counters(ecn: u64, cnps: u64, pauses: u64, gates: u64) {
 /// summaries, then write the merged report as one JSON-lines file.
 fn run_buffered(scale: &system_sim::experiments::Scale) {
     let mut sink = RingSink::new(1 << 20);
-    let r = fig9_traced(scale, SEED, &mut sink);
+    let r = fig9(scale, SEED, &mut sink);
     let mut rep = sink.into_report();
 
     print_responses(&r);
@@ -148,7 +148,7 @@ fn run_streaming(scale: &system_sim::experiments::Scale, path: std::path::PathBu
         std::fs::create_dir_all(dir).expect("create trace dir");
     }
     let mut sink = FileSink::create(&path).expect("create trace file");
-    let r = fig9_traced(scale, SEED, &mut sink);
+    let r = fig9(scale, SEED, &mut sink);
 
     print_responses(&r);
     print_throughput(&r);
@@ -178,6 +178,7 @@ fn main() {
         scale_label(&scale)
     );
     rule();
+    announce_checkpoint();
     match std::env::var_os("SRCSIM_TRACE") {
         Some(p) => run_streaming(&scale, std::path::PathBuf::from(p)),
         None => run_buffered(&scale),

@@ -2,9 +2,13 @@
 //! families on micro-trace sweeps, plus the Breiman feature-importance
 //! result (the paper: arrival flow speed dominates at 0.39).
 //!
+//! With `SRCSIM_CHECKPOINT=<prefix>` the training sweeps commit
+//! completed cells to `<prefix>.tpm_train.<tag>.ckpt.jsonl`; a killed
+//! run resumes from the last committed cell on re-invocation.
+//!
 //! Usage: `table1_regression [quick|full]`
 
-use src_bench::{rule, scale_from_args, scale_label};
+use src_bench::{announce_checkpoint, rule, scale_from_args, scale_label};
 use ssd_sim::SsdConfig;
 use system_sim::experiments::{feature_importance, table1};
 
@@ -12,6 +16,7 @@ fn main() {
     let scale = scale_from_args();
     println!("Table I — regression accuracy ({})", scale_label(&scale));
     rule();
+    announce_checkpoint();
     let rows = table1(&SsdConfig::ssd_a(), &scale, 42);
     println!("{:<28} {:>9}", "Model", "Accuracy");
     for (label, r2) in &rows {

@@ -2,9 +2,14 @@
 //! the four SCV quadrants of synthetic (MMPP) workloads — each quadrant
 //! held out in turn, trained on the rest plus all micro traces.
 //!
+//! With `SRCSIM_CHECKPOINT=<prefix>` the synthetic sweep, the holdout
+//! fits and the micro training sweep commit completed cells to sweep
+//! manifests (`table3_synth`, `table3_holdout`, `tpm_train`); a killed
+//! run resumes from the last committed cell on re-invocation.
+//!
 //! Usage: `table3_crossval [quick|full]`
 
-use src_bench::{rule, scale_from_args, scale_label};
+use src_bench::{announce_checkpoint, rule, scale_from_args, scale_label};
 use ssd_sim::SsdConfig;
 use system_sim::experiments::table3;
 
@@ -15,6 +20,7 @@ fn main() {
         scale_label(&scale)
     );
     rule();
+    announce_checkpoint();
     let rows = table3(&SsdConfig::ssd_a(), &scale, 42);
     println!("{:<42} {:>9}", "Data Subset", "Accuracy");
     for (label, r2) in &rows {

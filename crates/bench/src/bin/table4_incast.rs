@@ -2,9 +2,14 @@
 //! of DCQCN-SRC vs DCQCN-only at Targets:Initiators ratios of 2:1, 3:1,
 //! 4:1 and 4:4 under (approximately) constant total traffic.
 //!
+//! With `SRCSIM_CHECKPOINT=<prefix>` the TPM training sweep and the
+//! per-ratio grid commit completed cells to sweep manifests
+//! (`<prefix>.tpm_train.<tag>.ckpt.jsonl`, `<prefix>.table4.<tag>.ckpt.jsonl`);
+//! a killed run resumes from the last committed cell on re-invocation.
+//!
 //! Usage: `table4_incast [quick|full]`
 
-use src_bench::{rule, scale_from_args, scale_label};
+use src_bench::{announce_checkpoint, rule, scale_from_args, scale_label};
 use ssd_sim::SsdConfig;
 use system_sim::experiments::{table4, train_tpm};
 
@@ -15,6 +20,7 @@ fn main() {
         scale_label(&scale)
     );
     rule();
+    announce_checkpoint();
     let ssd = SsdConfig::ssd_a();
     eprintln!("training TPM on SSD-A ...");
     let tpm = train_tpm(&ssd, &scale, 42);

@@ -15,6 +15,19 @@ pub fn rule() {
     println!("{}", "-".repeat(72));
 }
 
+/// Announce checkpointing on stderr when `SRCSIM_CHECKPOINT` is set, so
+/// long sweeps make their resume story visible up front. The manifests
+/// themselves are opened lazily by each experiment's sweep.
+pub fn announce_checkpoint() {
+    if let Some(prefix) = std::env::var_os(sim_engine::CHECKPOINT_ENV) {
+        eprintln!(
+            "checkpointing sweeps to {}.<label>.<tag>.ckpt.jsonl \
+             (re-run with the same config to resume)",
+            prefix.to_string_lossy()
+        );
+    }
+}
+
 /// Format a scale for banners.
 pub fn scale_label(s: &Scale) -> String {
     format!(

@@ -5,7 +5,7 @@
 
 use ml::{Dataset, ModelKind, RandomForest, RandomForestParams, Regressor};
 use serde::{Deserialize, Serialize};
-use sim_engine::ScenarioRunner;
+use sim_engine::{CheckpointSpec, ScenarioRunner};
 use ssd_sim::SsdConfig;
 use storage_node::{weight_sweep, SweepPoint};
 use workload::micro::{generate_micro, MicroConfig};
@@ -85,10 +85,29 @@ impl TrainingConfig {
 /// sweeps workloads in parallel (each DES run itself stays
 /// single-threaded and each trace's seed is a pure function of its grid
 /// index, so the result is identical at any thread count).
+///
+/// With `SRCSIM_CHECKPOINT` set, per-workload sweeps are committed to a
+/// `tpm_train` manifest as they finish, so an interrupted training
+/// sweep resumes from its last completed workload.
 pub fn generate_training_samples(
     ssd: &SsdConfig,
     cfg: &TrainingConfig,
     seed: u64,
+) -> Vec<SweepPoint> {
+    let ckpt = CheckpointSpec::from_env(
+        "tpm_train",
+        &format!("tpm_train ssd={ssd:?} cfg={cfg:?} seed={seed}"),
+    );
+    generate_training_samples_checkpointed(ssd, cfg, seed, ckpt.as_ref())
+}
+
+/// [`generate_training_samples`] with an explicit checkpoint manifest
+/// (the env-independent form the resume tests drive directly).
+pub fn generate_training_samples_checkpointed(
+    ssd: &SsdConfig,
+    cfg: &TrainingConfig,
+    seed: u64,
+    ckpt: Option<&CheckpointSpec>,
 ) -> Vec<SweepPoint> {
     let mut combos: Vec<(f64, f64, f64, usize)> = Vec::new();
     for &iat in &cfg.iat_means_us {
@@ -101,7 +120,7 @@ pub fn generate_training_samples(
         }
     }
     ScenarioRunner::from_env()
-        .run_cells(&combos, |i, &(iat, size, mix, _k)| {
+        .run_cells_resumable(ckpt, seed, &combos, |i, &(iat, size, mix, _k)| {
             let total = 2 * cfg.requests_per_class;
             let read_count = ((total as f64) * mix).round() as usize;
             let mc = MicroConfig {

@@ -18,6 +18,11 @@
 //!   engine every experiment grid executes on, and [`telemetry`] —
 //!   deterministic probes, sinks (including the streaming
 //!   [`FileSink`]), and JSON-lines export.
+//! * [`checkpoint`] — durable sweep progress: a JSON-lines manifest of
+//!   completed cells with fsynced appends, replayed by
+//!   [`ScenarioRunner::run_cells_resumable`] so an interrupted grid
+//!   resumes byte-identically, recomputing only missing cells
+//!   (`SRCSIM_CHECKPOINT` env knob via [`CheckpointSpec::from_env`]).
 //!
 //! # Example
 //!
@@ -31,6 +36,7 @@
 //! assert_eq!((t, ev), (SimTime::from_us(1), "first"));
 //! ```
 
+pub mod checkpoint;
 pub mod queue;
 pub mod rate;
 pub mod rng;
@@ -41,6 +47,7 @@ pub mod telemetry;
 pub mod time;
 pub mod token_bucket;
 
+pub use checkpoint::{CheckpointSpec, CHECKPOINT_ENV};
 pub use queue::EventQueue;
 pub use rate::{ByteSize, Rate};
 pub use runner::ScenarioRunner;

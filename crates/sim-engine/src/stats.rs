@@ -2,11 +2,13 @@
 //! (paper Sec. III-B: mean, SCV, skewness, autocorrelation of request
 //! size and inter-arrival time) and by experiment metric collection.
 
+use serde::{Deserialize, Serialize};
+
 /// Welford online accumulator for mean / variance / skewness.
 ///
 /// Numerically stable one-pass algorithm; third central moment is tracked
 /// so skewness can be reported for trace fitting.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -340,7 +342,7 @@ mod tests {
 /// Latency accumulator: streaming moments plus retained samples for
 /// percentile reporting (runs here hold at most tens of thousands of
 /// requests, so retaining samples is cheap and exact).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct LatencyStats {
     online: OnlineStats,
     samples: Vec<f64>,

@@ -76,6 +76,14 @@ pub trait TraceSink: Send {
 
     /// Set a gauge to its latest value.
     fn gauge(&mut self, key: MetricKey, value: f64);
+
+    /// Whether this sink keeps anything. The sink-polymorphic run APIs
+    /// consult this once up front to skip probe buffering entirely for
+    /// [`NullSink`], so an untraced run does exactly the work it did
+    /// before the traced/untraced entry points were collapsed.
+    fn enabled(&self) -> bool {
+        true
+    }
 }
 
 /// Sink that discards everything (telemetry off).
@@ -86,6 +94,9 @@ impl TraceSink for NullSink {
     fn record(&mut self, _rec: TraceRecord) {}
     fn count(&mut self, _key: MetricKey, _delta: u64) {}
     fn gauge(&mut self, _key: MetricKey, _value: f64) {}
+    fn enabled(&self) -> bool {
+        false
+    }
 }
 
 /// In-memory ring sink: keeps the most recent `capacity` samples (drops

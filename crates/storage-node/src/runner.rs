@@ -3,7 +3,7 @@
 
 use crate::node::{NodeConfig, StorageNode};
 use crate::report::NodeReport;
-use sim_engine::{EventQueue, SimDuration, SimTime, TraceRecord, TraceSink};
+use sim_engine::{EventQueue, NullSink, SimDuration, SimTime, TraceRecord, TraceSink};
 use ssd_sim::SsdEvent;
 use std::collections::HashMap;
 use workload::{IoType, Trace};
@@ -23,20 +23,7 @@ enum Ev {
 /// meaningful only when the workload keeps the device busy for most of
 /// the run.
 pub fn run_trace(cfg: &NodeConfig, trace: &Trace) -> NodeReport {
-    run_trace_with_schedule(cfg, trace, &[])
-}
-
-/// [`run_trace_windowed_with_schedule`] with telemetry: SSQ fetch
-/// decisions and weight changes, per-bin queue occupancy and SSD
-/// channel/chip utilization flow into `sink` as they happen. The
-/// returned report is identical to the untraced run's.
-pub fn run_trace_windowed_with_schedule_traced(
-    cfg: &NodeConfig,
-    trace: &Trace,
-    weight_schedule: &[(SimTime, u32)],
-    sink: &mut dyn TraceSink,
-) -> NodeReport {
-    run_trace_impl(cfg, trace, weight_schedule, Some(trace.span()), Some(sink))
+    run_trace_impl(cfg, trace, &[], None, &mut NullSink)
 }
 
 /// Run a trace and stop the clock at the last arrival: steady-state
@@ -45,17 +32,38 @@ pub fn run_trace_windowed_with_schedule_traced(
 /// intentionally not drained — under saturation the split of *completed*
 /// bytes inside the window is exactly what the weight ratio controls.
 pub fn run_trace_windowed(cfg: &NodeConfig, trace: &Trace) -> NodeReport {
-    run_trace_impl(cfg, trace, &[], Some(trace.span()), None)
+    run_trace_impl(cfg, trace, &[], Some(trace.span()), &mut NullSink)
 }
 
 /// Windowed run with scripted weight changes (see
 /// [`run_trace_with_schedule`]).
+///
+/// This is the sink-polymorphic entry point: SSQ fetch decisions and
+/// weight changes, per-bin queue occupancy and SSD channel/chip
+/// utilization flow into `sink` as they happen. Pass `&mut NullSink`
+/// for an untraced run — the returned report is identical either way.
 pub fn run_trace_windowed_with_schedule(
     cfg: &NodeConfig,
     trace: &Trace,
     weight_schedule: &[(SimTime, u32)],
+    sink: &mut dyn TraceSink,
 ) -> NodeReport {
-    run_trace_impl(cfg, trace, weight_schedule, Some(trace.span()), None)
+    run_trace_impl(cfg, trace, weight_schedule, Some(trace.span()), sink)
+}
+
+/// Deprecated alias for [`run_trace_windowed_with_schedule`], which now
+/// takes the sink directly.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `run_trace_windowed_with_schedule` — it takes the sink directly"
+)]
+pub fn run_trace_windowed_with_schedule_traced(
+    cfg: &NodeConfig,
+    trace: &Trace,
+    weight_schedule: &[(SimTime, u32)],
+    sink: &mut dyn TraceSink,
+) -> NodeReport {
+    run_trace_windowed_with_schedule(cfg, trace, weight_schedule, sink)
 }
 
 /// Run a trace, applying `(time, weight)` changes as they come due
@@ -66,7 +74,7 @@ pub fn run_trace_with_schedule(
     trace: &Trace,
     weight_schedule: &[(SimTime, u32)],
 ) -> NodeReport {
-    run_trace_impl(cfg, trace, weight_schedule, None, None)
+    run_trace_impl(cfg, trace, weight_schedule, None, &mut NullSink)
 }
 
 fn run_trace_impl(
@@ -74,10 +82,11 @@ fn run_trace_impl(
     trace: &Trace,
     weight_schedule: &[(SimTime, u32)],
     horizon: Option<SimTime>,
-    mut sink: Option<&mut dyn TraceSink>,
+    sink: &mut dyn TraceSink,
 ) -> NodeReport {
+    let tracing = sink.enabled();
     let mut node = StorageNode::new(cfg);
-    if sink.is_some() {
+    if tracing {
         node.set_telemetry(true, 0);
     }
     let mut last_sample = SimTime::ZERO;
@@ -108,8 +117,8 @@ fn run_trace_impl(
             Ev::SetWeight(w) => {
                 node.set_weight_ratio(w);
                 report.weight_changes.push((now, w));
-                if let Some(s) = sink.as_deref_mut() {
-                    s.record(TraceRecord {
+                if tracing {
+                    sink.record(TraceRecord {
                         at: now,
                         component: "ssq",
                         scope: 0,
@@ -120,13 +129,13 @@ fn run_trace_impl(
                 node.pump(now)
             }
         };
-        if let Some(s) = sink.as_deref_mut() {
+        if tracing {
             if now.since(last_sample) >= BIN {
                 node.sample_telemetry(now);
                 last_sample = now;
             }
             for rec in node.drain_probes() {
-                s.record(rec);
+                sink.record(rec);
             }
         }
         for c in &step.completions {
@@ -166,13 +175,13 @@ fn run_trace_impl(
         );
     }
     report.ssd = node.ssd().stats();
-    if let Some(s) = sink {
+    if tracing {
         let stats = report.ssd;
-        s.count(("ssd", 0, "reads_completed"), stats.reads_completed);
-        s.count(("ssd", 0, "writes_completed"), stats.writes_completed);
-        s.count(("ssd", 0, "gc_copies"), stats.gc_copies);
-        s.count(("ssd", 0, "erases"), stats.erases);
-        s.gauge(("ssq", 0, "weight"), node.weight_ratio() as f64);
+        sink.count(("ssd", 0, "reads_completed"), stats.reads_completed);
+        sink.count(("ssd", 0, "writes_completed"), stats.writes_completed);
+        sink.count(("ssd", 0, "gc_copies"), stats.gc_copies);
+        sink.count(("ssd", 0, "erases"), stats.erases);
+        sink.gauge(("ssq", 0, "weight"), node.weight_ratio() as f64);
     }
     report
 }
@@ -253,14 +262,11 @@ mod tests {
         use sim_engine::RingSink;
         let t = small_trace(7);
         let schedule = [(SimTime::from_ms(1), 4), (SimTime::from_ms(2), 2)];
-        let plain = run_trace_windowed_with_schedule(&NodeConfig::default(), &t, &schedule);
+        let plain =
+            run_trace_windowed_with_schedule(&NodeConfig::default(), &t, &schedule, &mut NullSink);
         let mut sink = RingSink::new(1 << 16);
-        let traced = run_trace_windowed_with_schedule_traced(
-            &NodeConfig::default(),
-            &t,
-            &schedule,
-            &mut sink,
-        );
+        let traced =
+            run_trace_windowed_with_schedule(&NodeConfig::default(), &t, &schedule, &mut sink);
         // Telemetry must not perturb the simulation.
         assert_eq!(plain.reads_completed, traced.reads_completed);
         assert_eq!(plain.writes_completed, traced.writes_completed);
@@ -281,12 +287,7 @@ mod tests {
         );
         // Same seed, same schedule: byte-identical JSON-lines export.
         let mut sink2 = RingSink::new(1 << 16);
-        let _ = run_trace_windowed_with_schedule_traced(
-            &NodeConfig::default(),
-            &t,
-            &schedule,
-            &mut sink2,
-        );
+        let _ = run_trace_windowed_with_schedule(&NodeConfig::default(), &t, &schedule, &mut sink2);
         assert_eq!(rep.to_json_lines(), sink2.into_report().to_json_lines());
     }
 

@@ -154,6 +154,84 @@ impl Default for SystemConfig {
     }
 }
 
+impl SystemConfig {
+    /// Builder starting from [`SystemConfig::default`].
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            cfg: SystemConfig::default(),
+        }
+    }
+
+    /// Builder starting from this configuration — the idiom for mode
+    /// variants of a shared base (`base.to_builder().mode(…).build()`).
+    pub fn to_builder(&self) -> SystemConfigBuilder {
+        SystemConfigBuilder { cfg: self.clone() }
+    }
+}
+
+/// Fluent builder for [`SystemConfig`]; every setter has the field's
+/// name and the field's documentation applies.
+///
+/// ```
+/// use system_sim::{Mode, SystemConfig};
+///
+/// let base = SystemConfig::builder().n_targets(4).build();
+/// let src = base.to_builder().mode(Mode::DcqcnSrc).build();
+/// assert_eq!(src.n_targets, 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident: $ty:ty),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $field(mut self, $field: $ty) -> Self {
+                self.cfg.$field = $field;
+                self
+            }
+        )+
+    };
+}
+
+impl SystemConfigBuilder {
+    builder_setters! {
+        /// Fabric shape.
+        topology: TopologyKind,
+        /// Number of Initiator hosts.
+        n_initiators: usize,
+        /// Number of Target hosts.
+        n_targets: usize,
+        /// SSD model on every Target.
+        ssd: SsdConfig,
+        /// Baseline vs SRC.
+        mode: Mode,
+        /// DCQCN parameters (also carries the switch ECN thresholds).
+        dcqcn: DcqcnParams,
+        /// PFC thresholds.
+        pfc: PfcParams,
+        /// RoCE MTU.
+        mtu: u64,
+        /// Target TXQ watermarks `(high, low)` gating the SSD fetch.
+        txq_watermarks: (u64, u64),
+        /// SRC controller configuration (used in `DcqcnSrc` mode).
+        src: SrcConfig,
+        /// Optional background congestion (see [`BackgroundTraffic`]).
+        background: Option<BackgroundTraffic>,
+        /// Target-selection policy (see [`TargetSelection`]).
+        target_selection: TargetSelection,
+        /// Network congestion-control scheme.
+        cc: CcChoice,
+    }
+
+    /// Finish, yielding the configuration.
+    pub fn build(self) -> SystemConfig {
+        self.cfg
+    }
+}
+
 /// One request bound to an (initiator, target) pair.
 #[derive(Clone, Copy, Debug)]
 pub struct Assignment {

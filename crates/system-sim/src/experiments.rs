@@ -6,12 +6,12 @@ use crate::config::{
     per_target_traces, spread_trace, BackgroundTraffic, Mode, SystemConfig, TargetSelection,
 };
 use crate::report::SystemReport;
-use crate::scripted::{fig9_events, run_scripted, run_scripted_traced, ScriptedResult};
-use crate::system::{run_system, run_system_traced};
+use crate::scripted::{fig9_events, run_scripted, ScriptedResult};
+use crate::system::run_system;
 use ml::Dataset;
 use serde::{Deserialize, Serialize};
 use sim_engine::runner::join;
-use sim_engine::{ScenarioRunner, SimDuration, SimTime, TraceSink};
+use sim_engine::{CheckpointSpec, NullSink, ScenarioRunner, SimDuration, SimTime, TraceSink};
 use src_core::tpm::{
     generate_training_samples, samples_to_dataset, table1_accuracy, ThroughputPredictionModel,
     TrainingConfig,
@@ -88,34 +88,43 @@ pub struct Fig5Cell {
 /// cells are independent seeded sweeps, so the [`ScenarioRunner`]
 /// evaluates them in parallel; each cell's trace seed stays the same
 /// pure function of its `(i, j)` grid position as the original serial
-/// loop, so results are byte-identical at any thread count.
+/// loop, so results are byte-identical at any thread count. With
+/// `SRCSIM_CHECKPOINT` set, completed cells land in a sweep manifest
+/// and an interrupted grid resumes where it left off.
 pub fn fig5(ssd: &SsdConfig, scale: &Scale, seed: u64) -> Vec<Fig5Cell> {
     let cfg = scale.training_config();
+    let ckpt =
+        CheckpointSpec::from_env("fig5", &format!("fig5 ssd={ssd:?} cfg={cfg:?} seed={seed}"));
     let mut cells: Vec<(usize, usize, f64, f64)> = Vec::new();
     for (i, &iat) in cfg.iat_means_us.iter().enumerate() {
         for (j, &size) in cfg.size_means.iter().enumerate() {
             cells.push((i, j, iat, size));
         }
     }
-    ScenarioRunner::from_env().run_cells(&cells, |_, &(i, j, iat, size)| {
-        let trace = generate_micro(
-            &MicroConfig {
-                read_iat_mean_us: iat,
-                write_iat_mean_us: iat,
-                read_size_mean: size,
-                write_size_mean: size,
-                read_count: cfg.requests_per_class,
-                write_count: cfg.requests_per_class,
-                ..MicroConfig::default()
-            },
-            seed.wrapping_add((i * 16 + j) as u64),
-        );
-        Fig5Cell {
-            iat_us: iat,
-            size_bytes: size,
-            points: weight_sweep(ssd, &trace, &cfg.weights),
-        }
-    })
+    ScenarioRunner::from_env().run_cells_resumable(
+        ckpt.as_ref(),
+        seed,
+        &cells,
+        |_, &(i, j, iat, size)| {
+            let trace = generate_micro(
+                &MicroConfig {
+                    read_iat_mean_us: iat,
+                    write_iat_mean_us: iat,
+                    read_size_mean: size,
+                    write_size_mean: size,
+                    read_count: cfg.requests_per_class,
+                    write_count: cfg.requests_per_class,
+                    ..MicroConfig::default()
+                },
+                seed.wrapping_add((i * 16 + j) as u64),
+            );
+            Fig5Cell {
+                iat_us: iat,
+                size_bytes: size,
+                points: weight_sweep(ssd, &trace, &cfg.weights),
+            }
+        },
+    )
 }
 
 // ----------------------------------------------------------------------
@@ -152,6 +161,7 @@ pub fn feature_importance(ssd: &SsdConfig, scale: &Scale, seed: u64) -> Vec<(Str
 /// per-cell trace seed stays the original pure function of `(qi, k)`.
 pub fn table3(ssd: &SsdConfig, scale: &Scale, seed: u64) -> Vec<(&'static str, f64)> {
     let cfg = scale.training_config();
+    let fp = format!("table3 ssd={ssd:?} cfg={cfg:?} seed={seed}");
     // Synthetic sweeps: one flat grid cell per (quadrant, workload).
     let mut cells: Vec<(usize, ScvQuadrant, usize, f64, f64)> = Vec::new();
     for (qi, q) in ScvQuadrant::ALL.into_iter().enumerate() {
@@ -165,19 +175,25 @@ pub fn table3(ssd: &SsdConfig, scale: &Scale, seed: u64) -> Vec<(&'static str, f
         }
     }
     let runner = ScenarioRunner::from_env();
-    let cell_samples = runner.run_cells(&cells, |_, &(qi, q, k, iat, size)| {
-        let p = q.profile(iat, size);
-        let sc = SyntheticConfig {
-            read: p,
-            write: p,
-            read_count: cfg.requests_per_class,
-            write_count: cfg.requests_per_class,
-            lba_space_sectors: 1 << 22,
-            lba_model: workload::spatial::LbaModel::Uniform,
-        };
-        let trace = generate_synthetic(&sc, seed.wrapping_add((qi * 31 + k) as u64));
-        weight_sweep(ssd, &trace, &cfg.weights)
-    });
+    let ckpt_synth = CheckpointSpec::from_env("table3_synth", &fp);
+    let cell_samples = runner.run_cells_resumable(
+        ckpt_synth.as_ref(),
+        seed,
+        &cells,
+        |_, &(qi, q, k, iat, size)| {
+            let p = q.profile(iat, size);
+            let sc = SyntheticConfig {
+                read: p,
+                write: p,
+                read_count: cfg.requests_per_class,
+                write_count: cfg.requests_per_class,
+                lba_space_sectors: 1 << 22,
+                lba_model: workload::spatial::LbaModel::Uniform,
+            };
+            let trace = generate_synthetic(&sc, seed.wrapping_add((qi * 31 + k) as u64));
+            weight_sweep(ssd, &trace, &cfg.weights)
+        },
+    );
     let mut quadrant_data: Vec<(ScvQuadrant, Dataset)> = Vec::new();
     for (qi, q) in ScvQuadrant::ALL.into_iter().enumerate() {
         let mut samples: Vec<SweepPoint> = Vec::new();
@@ -191,19 +207,31 @@ pub fn table3(ssd: &SsdConfig, scale: &Scale, seed: u64) -> Vec<(&'static str, f
     // Micro sweeps are always in the training set (paper Sec. IV-C).
     let micro = samples_to_dataset(&generate_training_samples(ssd, &cfg, seed));
 
-    runner.run_cells(&ScvQuadrant::ALL, |_, &held| {
-        let mut train = micro.clone();
-        let mut test = Dataset::default();
-        for (q, d) in &quadrant_data {
-            if *q == held {
-                test = d.clone();
-            } else {
-                train = train.concat(d.clone());
+    // The holdout labels are `&'static str`, so the checkpoint payload
+    // is the R² alone; labels re-attach by cell index.
+    let ckpt_holdout = CheckpointSpec::from_env("table3_holdout", &fp);
+    let r2s = runner.run_cells_resumable(
+        ckpt_holdout.as_ref(),
+        seed,
+        &ScvQuadrant::ALL,
+        |_, &held| {
+            let mut train = micro.clone();
+            let mut test = Dataset::default();
+            for (q, d) in &quadrant_data {
+                if *q == held {
+                    test = d.clone();
+                } else {
+                    train = train.concat(d.clone());
+                }
             }
-        }
-        let r2 = ml::cv::holdout_r2(&train, &test, &ml::ModelKind::RandomForest, seed);
-        (held.label(), r2)
-    })
+            ml::cv::holdout_r2(&train, &test, &ml::ModelKind::RandomForest, seed)
+        },
+    );
+    ScvQuadrant::ALL
+        .into_iter()
+        .map(|q| q.label())
+        .zip(r2s)
+        .collect()
 }
 
 // ----------------------------------------------------------------------
@@ -255,35 +283,16 @@ pub fn paper_pfc() -> net_sim::PfcParams {
     }
 }
 
-/// Run the Fig. 7/8 experiment.
+/// Run the Fig. 7/8 experiment. Each mode's run streams into its own
+/// sink (`sinks.0` DCQCN-only, `sinks.1` DCQCN-SRC) so the two traces
+/// stay comparable line-by-line; pass `(&mut NullSink, &mut NullSink)`
+/// for an untraced run.
 pub fn fig7_fig8(
     ssd: &SsdConfig,
     scale: &Scale,
     tpm: Arc<ThroughputPredictionModel>,
     seed: u64,
-) -> Fig7Result {
-    fig7_fig8_impl(ssd, scale, tpm, seed, None)
-}
-
-/// [`fig7_fig8`] with telemetry: each mode's run streams into its own
-/// sink (`sinks.0` DCQCN-only, `sinks.1` DCQCN-SRC) so the two traces
-/// stay comparable line-by-line.
-pub fn fig7_fig8_traced(
-    ssd: &SsdConfig,
-    scale: &Scale,
-    tpm: Arc<ThroughputPredictionModel>,
-    seed: u64,
     sinks: (&mut dyn TraceSink, &mut dyn TraceSink),
-) -> Fig7Result {
-    fig7_fig8_impl(ssd, scale, tpm, seed, Some(sinks))
-}
-
-fn fig7_fig8_impl(
-    ssd: &SsdConfig,
-    scale: &Scale,
-    tpm: Arc<ThroughputPredictionModel>,
-    seed: u64,
-    sinks: Option<(&mut dyn TraceSink, &mut dyn TraceSink)>,
 ) -> Fig7Result {
     let n = scale.requests_per_target;
     // Per-target VDI stream at 20 µs inter-arrival so the two Targets
@@ -300,52 +309,79 @@ fn fig7_fig8_impl(
     // 70 % of the timeline): enough competing traffic that the Targets'
     // DCQCN share falls below the SSDs' read output — only then does
     // the TXQ become the bottleneck the paper describes.
-    let base = SystemConfig {
-        n_initiators: 1,
-        n_targets: 2,
-        ssd: ssd.clone(),
-        background: paper_background(&assignments),
-        pfc: paper_pfc(),
-        ..SystemConfig::default()
-    };
-    let only_cfg = SystemConfig {
-        mode: Mode::DcqcnOnly,
-        ..base.clone()
-    };
-    let src_cfg = SystemConfig {
-        mode: Mode::DcqcnSrc,
-        ..base
-    };
+    let base = SystemConfig::builder()
+        .n_initiators(1)
+        .n_targets(2)
+        .ssd(ssd.clone())
+        .background(paper_background(&assignments))
+        .pfc(paper_pfc())
+        .build();
+    let only_cfg = base.to_builder().mode(Mode::DcqcnOnly).build();
+    let src_cfg = base.to_builder().mode(Mode::DcqcnSrc).build();
     // The two modes are independent runs; `join` overlaps them when the
     // thread budget allows (sinks are `Send`, each owned by one run).
-    let (dcqcn_only, dcqcn_src) = match sinks {
-        Some((s_only, s_src)) => join(
-            || run_system_traced(&only_cfg, &assignments, None, s_only),
-            || run_system_traced(&src_cfg, &assignments, Some(tpm), s_src),
-        ),
-        None => join(
-            || run_system(&only_cfg, &assignments, None),
-            || run_system(&src_cfg, &assignments, Some(tpm)),
-        ),
-    };
+    let (s_only, s_src) = sinks;
+    let (dcqcn_only, dcqcn_src) = join(
+        || run_system(&only_cfg, &assignments, None, s_only),
+        || run_system(&src_cfg, &assignments, Some(tpm), s_src),
+    );
     Fig7Result {
         dcqcn_only,
         dcqcn_src,
     }
 }
 
+/// Deprecated alias for [`fig7_fig8`], which now takes the sinks
+/// directly.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `fig7_fig8` — it takes the sinks directly"
+)]
+pub fn fig7_fig8_traced(
+    ssd: &SsdConfig,
+    scale: &Scale,
+    tpm: Arc<ThroughputPredictionModel>,
+    seed: u64,
+    sinks: (&mut dyn TraceSink, &mut dyn TraceSink),
+) -> Fig7Result {
+    fig7_fig8(ssd, scale, tpm, seed, sinks)
+}
+
 // ----------------------------------------------------------------------
 // Fig. 9 — dynamic control convergence on SSD-B
 
-/// Run the Fig. 9 scripted-congestion experiment on SSD-B.
-pub fn fig9(scale: &Scale, seed: u64) -> ScriptedResult {
-    fig9_impl(scale, seed, None)
+/// Run the Fig. 9 scripted-congestion experiment on SSD-B. SRC
+/// demand/weight decisions and the storage node's SSQ/SSD series stream
+/// into `sink`; pass `&mut NullSink` for an untraced run.
+pub fn fig9(scale: &Scale, seed: u64, sink: &mut dyn TraceSink) -> ScriptedResult {
+    let ssd = SsdConfig::ssd_b();
+    let tpm = train_tpm(&ssd, scale, seed);
+    // Sustained heavy workload so the weight knob has authority.
+    let n = scale.requests_per_target * 8;
+    let trace = generate_micro(
+        &MicroConfig {
+            read_iat_mean_us: 10.0,
+            write_iat_mean_us: 10.0,
+            read_size_mean: 40_000.0,
+            write_size_mean: 40_000.0,
+            read_count: n,
+            write_count: n,
+            ..MicroConfig::default()
+        },
+        seed,
+    );
+    // Baseline read throughput at w = 1 sets the event scale.
+    let baseline = weight_sweep(&ssd, &trace, &[1])[0].read_gbps;
+    let span_ms = trace.span().as_ms_f64();
+    let spacing = SimDuration::from_ms(((span_ms / 5.0).max(2.0)) as u64);
+    let events = fig9_events(baseline, SimTime::ZERO + spacing, spacing);
+    run_scripted(&ssd, &trace, &events, tpm, &SrcConfig::default(), sink)
 }
 
-/// [`fig9`] with telemetry: SRC demand/weight decisions and the storage
-/// node's SSQ/SSD series stream into `sink`.
+/// Deprecated alias for [`fig9`], which now takes the sink directly.
+#[deprecated(since = "0.4.0", note = "use `fig9` — it takes the sink directly")]
 pub fn fig9_traced(scale: &Scale, seed: u64, sink: &mut dyn TraceSink) -> ScriptedResult {
-    fig9_impl(scale, seed, Some(sink))
+    fig9(scale, seed, sink)
 }
 
 /// Companion fabric slice for the Fig. 9 trace: the scripted convergence
@@ -368,43 +404,14 @@ pub fn fig9_fabric_slice(scale: &Scale, seed: u64, sink: &mut dyn TraceSink) -> 
         seed,
     );
     let assignments = spread_trace(&trace, 1, 2);
-    let cfg = SystemConfig {
-        n_initiators: 1,
-        n_targets: 2,
-        ssd,
-        background: paper_background(&assignments),
-        pfc: paper_pfc(),
-        ..SystemConfig::default()
-    };
-    run_system_traced(&cfg, &assignments, None, sink)
-}
-
-fn fig9_impl(scale: &Scale, seed: u64, sink: Option<&mut dyn TraceSink>) -> ScriptedResult {
-    let ssd = SsdConfig::ssd_b();
-    let tpm = train_tpm(&ssd, scale, seed);
-    // Sustained heavy workload so the weight knob has authority.
-    let n = scale.requests_per_target * 8;
-    let trace = generate_micro(
-        &MicroConfig {
-            read_iat_mean_us: 10.0,
-            write_iat_mean_us: 10.0,
-            read_size_mean: 40_000.0,
-            write_size_mean: 40_000.0,
-            read_count: n,
-            write_count: n,
-            ..MicroConfig::default()
-        },
-        seed,
-    );
-    // Baseline read throughput at w = 1 sets the event scale.
-    let baseline = weight_sweep(&ssd, &trace, &[1])[0].read_gbps;
-    let span_ms = trace.span().as_ms_f64();
-    let spacing = SimDuration::from_ms(((span_ms / 5.0).max(2.0)) as u64);
-    let events = fig9_events(baseline, SimTime::ZERO + spacing, spacing);
-    match sink {
-        Some(s) => run_scripted_traced(&ssd, &trace, &events, tpm, &SrcConfig::default(), s),
-        None => run_scripted(&ssd, &trace, &events, tpm, &SrcConfig::default()),
-    }
+    let cfg = SystemConfig::builder()
+        .n_initiators(1)
+        .n_targets(2)
+        .ssd(ssd)
+        .background(paper_background(&assignments))
+        .pfc(paper_pfc())
+        .build();
+    run_system(&cfg, &assignments, None, sink)
 }
 
 // ----------------------------------------------------------------------
@@ -447,42 +454,52 @@ pub fn fig10(
         ("heavy", MicroConfig::heavy()),
     ];
     // Intensity classes (and the two modes within each) are independent
-    // runs; spread them across the pool.
-    ScenarioRunner::from_env().run_cells(&classes, |_, (label, mc)| {
-        let traces = vec![mk(mc.clone(), seed), mk(mc.clone(), seed + 1)];
-        let assignments = per_target_traces(&traces, 1);
-        let base = SystemConfig {
-            n_initiators: 1,
-            n_targets: 2,
-            ssd: ssd.clone(),
-            background: paper_background(&assignments),
-            pfc: paper_pfc(),
-            ..SystemConfig::default()
-        };
-        let (only, src) = join(
-            || {
-                run_system(
-                    &SystemConfig {
-                        mode: Mode::DcqcnOnly,
-                        ..base.clone()
-                    },
-                    &assignments,
-                    None,
-                )
-            },
-            || {
-                run_system(
-                    &SystemConfig {
-                        mode: Mode::DcqcnSrc,
-                        ..base.clone()
-                    },
-                    &assignments,
-                    Some(tpm.clone()),
-                )
-            },
-        );
-        (*label, only, src)
-    })
+    // runs; spread them across the pool. The class labels are
+    // `&'static str`, so checkpoint payloads carry only the two reports
+    // and labels re-attach by cell index.
+    let ckpt = CheckpointSpec::from_env(
+        "fig10",
+        &format!("fig10 ssd={ssd:?} scale={scale:?} seed={seed}"),
+    );
+    let reports = ScenarioRunner::from_env().run_cells_resumable(
+        ckpt.as_ref(),
+        seed,
+        &classes,
+        |_, (_, mc)| {
+            let traces = vec![mk(mc.clone(), seed), mk(mc.clone(), seed + 1)];
+            let assignments = per_target_traces(&traces, 1);
+            let base = SystemConfig::builder()
+                .n_initiators(1)
+                .n_targets(2)
+                .ssd(ssd.clone())
+                .background(paper_background(&assignments))
+                .pfc(paper_pfc())
+                .build();
+            join(
+                || {
+                    run_system(
+                        &base.to_builder().mode(Mode::DcqcnOnly).build(),
+                        &assignments,
+                        None,
+                        &mut NullSink,
+                    )
+                },
+                || {
+                    run_system(
+                        &base.to_builder().mode(Mode::DcqcnSrc).build(),
+                        &assignments,
+                        Some(tpm.clone()),
+                        &mut NullSink,
+                    )
+                },
+            )
+        },
+    );
+    classes
+        .iter()
+        .zip(reports)
+        .map(|((label, _), (only, src))| (*label, only, src))
+        .collect()
 }
 
 // ----------------------------------------------------------------------
@@ -512,67 +529,71 @@ pub fn table4(
     let ratios: [(usize, usize); 4] = [(2, 1), (3, 1), (4, 1), (4, 4)];
     // Every ratio (and both modes within it) is an independent seeded
     // run; the grid executes on the pool with rows in ratio order.
-    ScenarioRunner::from_env().run_cells(&ratios, |_, &(n_targets, n_initiators)| {
-        // Fixed total read load ≈ 38 Gbps: one heavy stream split
-        // across all targets.
-        let total_requests = scale.requests_per_target * n_targets;
-        let trace = generate_micro(
-            &MicroConfig {
-                // 44 KB / 9.2 µs ≈ 38 Gbps of read load in total.
-                read_iat_mean_us: 9.2,
-                write_iat_mean_us: 9.2,
-                read_size_mean: 44_000.0,
-                write_size_mean: 23_000.0,
-                read_count: total_requests,
-                write_count: total_requests,
-                ..MicroConfig::default()
-            },
-            seed,
-        );
-        let assignments = spread_trace(&trace, n_initiators, n_targets);
-        let base = SystemConfig {
-            n_initiators,
-            n_targets,
-            ssd: ssd.clone(),
-            background: paper_background(&assignments),
-            pfc: paper_pfc(),
-            ..SystemConfig::default()
-        };
-        let (only, src) = join(
-            || {
-                run_system(
-                    &SystemConfig {
-                        mode: Mode::DcqcnOnly,
-                        ..base.clone()
-                    },
-                    &assignments,
-                    None,
-                )
-            },
-            || {
-                run_system(
-                    &SystemConfig {
-                        mode: Mode::DcqcnSrc,
-                        ..base.clone()
-                    },
-                    &assignments,
-                    Some(tpm.clone()),
-                )
-            },
-        );
-        let only_gbps = only.aggregated_tput().as_gbps_f64();
-        let src_gbps = src.aggregated_tput().as_gbps_f64();
-        IncastRow {
-            ratio: format!("{n_targets}:{n_initiators}"),
-            src_gbps,
-            only_gbps,
-            improvement_pct: if only_gbps > 0.0 {
-                (src_gbps - only_gbps) / only_gbps * 100.0
-            } else {
-                0.0
-            },
-        }
-    })
+    let ckpt = CheckpointSpec::from_env(
+        "table4",
+        &format!("table4 ssd={ssd:?} scale={scale:?} seed={seed}"),
+    );
+    ScenarioRunner::from_env().run_cells_resumable(
+        ckpt.as_ref(),
+        seed,
+        &ratios,
+        |_, &(n_targets, n_initiators)| {
+            // Fixed total read load ≈ 38 Gbps: one heavy stream split
+            // across all targets.
+            let total_requests = scale.requests_per_target * n_targets;
+            let trace = generate_micro(
+                &MicroConfig {
+                    // 44 KB / 9.2 µs ≈ 38 Gbps of read load in total.
+                    read_iat_mean_us: 9.2,
+                    write_iat_mean_us: 9.2,
+                    read_size_mean: 44_000.0,
+                    write_size_mean: 23_000.0,
+                    read_count: total_requests,
+                    write_count: total_requests,
+                    ..MicroConfig::default()
+                },
+                seed,
+            );
+            let assignments = spread_trace(&trace, n_initiators, n_targets);
+            let base = SystemConfig::builder()
+                .n_initiators(n_initiators)
+                .n_targets(n_targets)
+                .ssd(ssd.clone())
+                .background(paper_background(&assignments))
+                .pfc(paper_pfc())
+                .build();
+            let (only, src) = join(
+                || {
+                    run_system(
+                        &base.to_builder().mode(Mode::DcqcnOnly).build(),
+                        &assignments,
+                        None,
+                        &mut NullSink,
+                    )
+                },
+                || {
+                    run_system(
+                        &base.to_builder().mode(Mode::DcqcnSrc).build(),
+                        &assignments,
+                        Some(tpm.clone()),
+                        &mut NullSink,
+                    )
+                },
+            );
+            let only_gbps = only.aggregated_tput().as_gbps_f64();
+            let src_gbps = src.aggregated_tput().as_gbps_f64();
+            IncastRow {
+                ratio: format!("{n_targets}:{n_initiators}"),
+                src_gbps,
+                only_gbps,
+                improvement_pct: if only_gbps > 0.0 {
+                    (src_gbps - only_gbps) / only_gbps * 100.0
+                } else {
+                    0.0
+                },
+            }
+        },
+    )
 }
 
 // ----------------------------------------------------------------------
@@ -621,17 +642,16 @@ pub fn extension_distribution(
         ("pack", TargetSelection::Pack { cap: 128 }),
     ];
     ScenarioRunner::from_env().run_cells(&policies, |_, &(label, policy)| {
-        let cfg = SystemConfig {
-            n_initiators: 1,
-            n_targets,
-            ssd: ssd.clone(),
-            mode: Mode::DcqcnSrc,
-            background: paper_background(&assignments),
-            pfc: paper_pfc(),
-            target_selection: policy,
-            ..SystemConfig::default()
-        };
-        let r = run_system(&cfg, &assignments, Some(tpm.clone()));
+        let cfg = SystemConfig::builder()
+            .n_initiators(1)
+            .n_targets(n_targets)
+            .ssd(ssd.clone())
+            .mode(Mode::DcqcnSrc)
+            .background(paper_background(&assignments))
+            .pfc(paper_pfc())
+            .target_selection(policy)
+            .build();
+        let r = run_system(&cfg, &assignments, Some(tpm.clone()), &mut NullSink);
         DistributionRow {
             policy: label.to_string(),
             aggregated_gbps: r.aggregated_tput().as_gbps_f64(),
@@ -660,34 +680,29 @@ pub fn extension_timely(
         .map(|t| generate_synthetic(&vdi, seed.wrapping_add(t)))
         .collect();
     let assignments = per_target_traces(&traces, 1);
-    let base = SystemConfig {
-        n_initiators: 1,
-        n_targets: 2,
-        ssd: ssd.clone(),
-        background: paper_background(&assignments),
-        pfc: paper_pfc(),
-        cc: crate::config::CcChoice::Timely,
-        ..SystemConfig::default()
-    };
+    let base = SystemConfig::builder()
+        .n_initiators(1)
+        .n_targets(2)
+        .ssd(ssd.clone())
+        .background(paper_background(&assignments))
+        .pfc(paper_pfc())
+        .cc(crate::config::CcChoice::Timely)
+        .build();
     let (dcqcn_only, dcqcn_src) = join(
         || {
             run_system(
-                &SystemConfig {
-                    mode: Mode::DcqcnOnly,
-                    ..base.clone()
-                },
+                &base.to_builder().mode(Mode::DcqcnOnly).build(),
                 &assignments,
                 None,
+                &mut NullSink,
             )
         },
         || {
             run_system(
-                &SystemConfig {
-                    mode: Mode::DcqcnSrc,
-                    ..base.clone()
-                },
+                &base.to_builder().mode(Mode::DcqcnSrc).build(),
                 &assignments,
                 Some(tpm),
+                &mut NullSink,
             )
         },
     );

@@ -23,6 +23,8 @@ pub mod report;
 pub mod scripted;
 pub mod system;
 
-pub use config::{Mode, SystemConfig, TopologyKind};
+pub use config::{Mode, SystemConfig, SystemConfigBuilder, TopologyKind};
 pub use report::SystemReport;
-pub use system::{run_system, run_system_traced};
+pub use system::run_system;
+#[allow(deprecated)]
+pub use system::run_system_traced;

@@ -9,7 +9,12 @@ use src_core::controller::Decision;
 pub const TRIM_FRAC: f64 = 0.10;
 
 /// Metrics from one full-system run.
-#[derive(Debug)]
+///
+/// Serializable so checkpointed sweeps (`fig10`, Table IV) can cache
+/// whole per-cell reports in their manifests; the serde stub's JSON
+/// round-trip is lossless for every field, including the non-finite
+/// `min_inbound_rate_gbps` sentinel.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SystemReport {
     /// Read bytes received at Initiators per ms (Fig. 7 blue bars).
     pub read_series: TimeBinSeries,

@@ -8,10 +8,7 @@ use src_core::algorithm::{CongestionEvent, CongestionKind};
 use src_core::{SrcConfig, SrcController, ThroughputPredictionModel};
 use std::sync::Arc;
 use storage_node::report::NodeReport;
-use storage_node::{
-    run_trace_windowed_with_schedule, run_trace_windowed_with_schedule_traced, DisciplineKind,
-    NodeConfig,
-};
+use storage_node::{run_trace_windowed_with_schedule, DisciplineKind, NodeConfig};
 use workload::{extract_features, Trace};
 
 /// Result of a scripted run: the node report plus the weight schedule
@@ -30,20 +27,11 @@ pub struct ScriptedResult {
 /// Run `trace` on an SSQ storage node while injecting the scripted
 /// congestion `events`; SRC picks a weight per event using features of
 /// the trace window preceding the event.
+///
+/// SRC demand/weight decisions plus the storage node's SSQ and SSD
+/// series flow into `sink`; pass `&mut NullSink` for an untraced run
+/// (the result is identical either way).
 pub fn run_scripted(
-    ssd: &ssd_sim::SsdConfig,
-    trace: &Trace,
-    events: &[CongestionEvent],
-    tpm: Arc<ThroughputPredictionModel>,
-    src_cfg: &SrcConfig,
-) -> ScriptedResult {
-    run_scripted_impl(ssd, trace, events, tpm, src_cfg, None)
-}
-
-/// [`run_scripted`] with telemetry: SRC demand/weight decisions plus the
-/// storage node's SSQ and SSD series flow into `sink`. The returned
-/// result is identical to the untraced run's.
-pub fn run_scripted_traced(
     ssd: &ssd_sim::SsdConfig,
     trace: &Trace,
     events: &[CongestionEvent],
@@ -51,19 +39,9 @@ pub fn run_scripted_traced(
     src_cfg: &SrcConfig,
     sink: &mut dyn TraceSink,
 ) -> ScriptedResult {
-    run_scripted_impl(ssd, trace, events, tpm, src_cfg, Some(sink))
-}
-
-fn run_scripted_impl(
-    ssd: &ssd_sim::SsdConfig,
-    trace: &Trace,
-    events: &[CongestionEvent],
-    tpm: Arc<ThroughputPredictionModel>,
-    src_cfg: &SrcConfig,
-    sink: Option<&mut dyn TraceSink>,
-) -> ScriptedResult {
+    let tracing = sink.enabled();
     let mut controller = SrcController::new(tpm, src_cfg.clone());
-    if sink.is_some() {
+    if tracing {
         controller.set_telemetry(true, 0);
     }
     // The controller's monitor is fed from the trace itself (arrivals
@@ -89,23 +67,37 @@ fn run_scripted_impl(
         discipline: DisciplineKind::Ssq { weight: 1 },
         merge_cap: None,
     };
-    let report = match sink {
-        Some(s) => {
-            // SRC's decisions first (they happen "before" the replayed
-            // storage run applies them as a schedule), then the node run.
-            for rec in controller.drain_probes() {
-                s.record(rec);
-            }
-            run_trace_windowed_with_schedule_traced(&node_cfg, trace, &schedule, s)
+    // SRC's decisions first (they happen "before" the replayed storage
+    // run applies them as a schedule), then the node run.
+    if tracing {
+        for rec in controller.drain_probes() {
+            sink.record(rec);
         }
-        None => run_trace_windowed_with_schedule(&node_cfg, trace, &schedule),
-    };
+    }
+    let report = run_trace_windowed_with_schedule(&node_cfg, trace, &schedule, sink);
     let convergence_ms = convergence_delays(&report, events);
     ScriptedResult {
         report,
         responses,
         convergence_ms,
     }
+}
+
+/// Deprecated alias for [`run_scripted`], which now takes the sink
+/// directly.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `run_scripted` — it takes the sink directly"
+)]
+pub fn run_scripted_traced(
+    ssd: &ssd_sim::SsdConfig,
+    trace: &Trace,
+    events: &[CongestionEvent],
+    tpm: Arc<ThroughputPredictionModel>,
+    src_cfg: &SrcConfig,
+    sink: &mut dyn TraceSink,
+) -> ScriptedResult {
+    run_scripted(ssd, trace, events, tpm, src_cfg, sink)
 }
 
 /// Measure, for each event, how long the per-ms read throughput takes to

@@ -57,6 +57,15 @@ const SAMPLE_BIN: SimDuration = SimDuration(1_000_000_000);
 /// Run one full-system simulation over the given request assignments.
 /// `tpm` must be provided in [`Mode::DcqcnSrc`].
 ///
+/// This is the single sink-polymorphic entry point: telemetry — DCQCN
+/// per-flow rate/alpha and RP-stage transitions, CNP traffic, TXQ
+/// backlog and gate transitions, SSQ fetch decisions and weight
+/// changes, SSD utilization, and SRC decisions — flows into `sink` as
+/// deterministic [`TraceRecord`]s. Pass `&mut NullSink` for an
+/// untraced run; [`TraceSink::enabled`] gates all probe buffering, so
+/// that costs exactly what the former untraced entry point did, and
+/// the report is identical either way.
+///
 /// # Panics
 /// Panics on inconsistent configuration (SRC mode without a TPM, more
 /// hosts requested than the topology provides).
@@ -64,30 +73,9 @@ pub fn run_system(
     cfg: &SystemConfig,
     assignments: &[Assignment],
     tpm: Option<Arc<ThroughputPredictionModel>>,
-) -> SystemReport {
-    run_system_impl(cfg, assignments, tpm, None)
-}
-
-/// [`run_system`] with telemetry: DCQCN per-flow rate/alpha and RP-stage
-/// transitions, CNP traffic, TXQ backlog and gate transitions, SSQ fetch
-/// decisions and weight changes, SSD utilization, and SRC decisions all
-/// flow into `sink` as deterministic [`TraceRecord`]s. The returned
-/// report is identical to the untraced run's.
-pub fn run_system_traced(
-    cfg: &SystemConfig,
-    assignments: &[Assignment],
-    tpm: Option<Arc<ThroughputPredictionModel>>,
     sink: &mut dyn TraceSink,
 ) -> SystemReport {
-    run_system_impl(cfg, assignments, tpm, Some(sink))
-}
-
-fn run_system_impl(
-    cfg: &SystemConfig,
-    assignments: &[Assignment],
-    tpm: Option<Arc<ThroughputPredictionModel>>,
-    mut sink: Option<&mut dyn TraceSink>,
-) -> SystemReport {
+    let tracing = sink.enabled();
     let n_bg = cfg.background.as_ref().map_or(0, |b| b.n_sources);
     let n_hosts = cfg.n_initiators + cfg.n_targets + n_bg;
     let clos = match &cfg.topology {
@@ -151,7 +139,7 @@ fn run_system_impl(
         .map(|_| InitiatorProto::new())
         .collect();
 
-    if sink.is_some() {
+    if tracing {
         net.set_telemetry(true);
         for (t_idx, t) in targets.iter_mut().enumerate() {
             t.node.set_telemetry(true, t_idx as u64);
@@ -306,8 +294,8 @@ fn run_system_impl(
                 // rates of every flow into this Target, sampled at each
                 // rate-change notification — in every mode, so baseline
                 // and SRC traces carry the same series.
-                if let Some(s) = sink.as_deref_mut() {
-                    s.record(TraceRecord {
+                if tracing {
+                    sink.record(TraceRecord {
                         at: now,
                         component: "net",
                         scope: t_idx as u64,
@@ -401,8 +389,8 @@ fn run_system_impl(
             if let Some(open) = t.txq.observe(backlog) {
                 // TxqPolicy has no clock or buffer of its own, so gate
                 // transitions are recorded here at the observation site.
-                if let Some(s) = sink.as_deref_mut() {
-                    s.record(TraceRecord {
+                if tracing {
+                    sink.record(TraceRecord {
                         at: now,
                         component: "txq",
                         scope: t_idx as u64,
@@ -445,7 +433,7 @@ fn run_system_impl(
         // Telemetry: sample gauges once per bin, then drain every
         // component's probe buffer in a fixed order so the trace is
         // deterministic.
-        if let Some(s) = sink.as_deref_mut() {
+        if tracing {
             if now.since(last_sample) >= SAMPLE_BIN {
                 last_sample = now;
                 for (t_idx, t) in targets.iter_mut().enumerate() {
@@ -468,7 +456,7 @@ fn run_system_impl(
                         ("tgt", "proto_in_flight", t.proto.in_flight() as f64),
                     ];
                     for (component, metric, value) in gauges {
-                        s.record(TraceRecord {
+                        sink.record(TraceRecord {
                             at: now,
                             component,
                             scope,
@@ -479,15 +467,15 @@ fn run_system_impl(
                 }
             }
             for rec in net.drain_probes() {
-                s.record(rec);
+                sink.record(rec);
             }
             for t in targets.iter_mut() {
                 for rec in t.node.drain_probes() {
-                    s.record(rec);
+                    sink.record(rec);
                 }
                 if let Some(src) = t.src.as_mut() {
                     for rec in src.drain_probes() {
-                        s.record(rec);
+                        sink.record(rec);
                     }
                 }
             }
@@ -510,18 +498,33 @@ fn run_system_impl(
     }
     report.ecn_marked = net.ecn_marked();
     report.cnps = net.cnps_sent();
-    if let Some(s) = sink {
-        s.count(("net", 0, "ecn_marked"), report.ecn_marked);
-        s.count(("net", 0, "cnps_sent"), report.cnps);
-        s.count(("net", 0, "pauses_received"), report.pauses_total);
-        s.count(
+    if tracing {
+        sink.count(("net", 0, "ecn_marked"), report.ecn_marked);
+        sink.count(("net", 0, "cnps_sent"), report.cnps);
+        sink.count(("net", 0, "pauses_received"), report.pauses_total);
+        sink.count(
             ("txq", 0, "gate_closures"),
             report.gate_closures.len() as u64,
         );
-        s.count(("sys", 0, "reads_completed"), report.reads_completed);
-        s.count(("sys", 0, "writes_completed"), report.writes_completed);
+        sink.count(("sys", 0, "reads_completed"), report.reads_completed);
+        sink.count(("sys", 0, "writes_completed"), report.writes_completed);
     }
     report
+}
+
+/// Deprecated alias for [`run_system`], which now takes the sink
+/// directly.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `run_system` — it takes the sink directly"
+)]
+pub fn run_system_traced(
+    cfg: &SystemConfig,
+    assignments: &[Assignment],
+    tpm: Option<Arc<ThroughputPredictionModel>>,
+    sink: &mut dyn TraceSink,
+) -> SystemReport {
+    run_system(cfg, assignments, tpm, sink)
 }
 
 #[cfg(test)]
@@ -550,7 +553,7 @@ mod tests {
     fn baseline_run_completes() {
         let cfg = SystemConfig::default();
         let a = small_assignments(400, 1);
-        let r = run_system(&cfg, &a, None);
+        let r = run_system(&cfg, &a, None, &mut sim_engine::NullSink);
         assert_eq!(r.reads_completed, 200);
         // Writes counted at Targets.
         assert_eq!(r.writes_completed, 200);
@@ -562,8 +565,8 @@ mod tests {
     fn deterministic() {
         let cfg = SystemConfig::default();
         let a = small_assignments(200, 2);
-        let r1 = run_system(&cfg, &a, None);
-        let r2 = run_system(&cfg, &a, None);
+        let r1 = run_system(&cfg, &a, None, &mut sim_engine::NullSink);
+        let r2 = run_system(&cfg, &a, None, &mut sim_engine::NullSink);
         assert_eq!(r1.read_series.bins(), r2.read_series.bins());
         assert_eq!(r1.pauses_total, r2.pauses_total);
         assert_eq!(r1.makespan, r2.makespan);
@@ -574,11 +577,11 @@ mod tests {
         use sim_engine::RingSink;
         let cfg = SystemConfig::default();
         let a = small_assignments(200, 4);
-        let plain = run_system(&cfg, &a, None);
+        let plain = run_system(&cfg, &a, None, &mut sim_engine::NullSink);
         let mut sink = RingSink::new(1 << 18);
-        let traced = run_system_traced(&cfg, &a, None, &mut sink);
+        let traced = run_system(&cfg, &a, None, &mut sink);
         // A no-op sink gives the same report as a recording one.
-        let nulled = run_system_traced(&cfg, &a, None, &mut sim_engine::NullSink);
+        let nulled = run_system(&cfg, &a, None, &mut sim_engine::NullSink);
         assert_eq!(nulled.reads_completed, traced.reads_completed);
         assert_eq!(nulled.read_series.bins(), traced.read_series.bins());
         assert_eq!(nulled.makespan, traced.makespan);
@@ -600,7 +603,7 @@ mod tests {
         );
         // Same inputs: byte-identical JSON-lines export.
         let mut sink2 = RingSink::new(1 << 18);
-        let _ = run_system_traced(&cfg, &a, None, &mut sink2);
+        let _ = run_system(&cfg, &a, None, &mut sink2);
         assert_eq!(rep.to_json_lines(), sink2.into_report().to_json_lines());
     }
 
@@ -612,6 +615,6 @@ mod tests {
             ..SystemConfig::default()
         };
         let a = small_assignments(10, 3);
-        let _ = run_system(&cfg, &a, None);
+        let _ = run_system(&cfg, &a, None, &mut sim_engine::NullSink);
     }
 }

@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example congestion_storm`
 
+use srcsim::sim_engine::NullSink;
 use srcsim::ssd_sim::SsdConfig;
 use srcsim::system_sim::experiments::{fig7_fig8, train_tpm, Scale, TrainKnob};
 use srcsim::system_sim::SystemReport;
@@ -47,7 +48,7 @@ fn main() {
     println!("training the throughput prediction model on SSD-A ...");
     let tpm = train_tpm(&ssd, &scale, 42);
     println!("running both modes ...\n");
-    let r = fig7_fig8(&ssd, &scale, tpm, 7);
+    let r = fig7_fig8(&ssd, &scale, tpm, 7, (&mut NullSink, &mut NullSink));
 
     print_run("DCQCN-only", &r.dcqcn_only);
     print_run("DCQCN-SRC", &r.dcqcn_src);

@@ -9,6 +9,7 @@
 //! srcsim storm [quick|full]             DCQCN vs DCQCN-SRC congestion storm
 //! ```
 
+use srcsim::sim_engine::NullSink;
 use srcsim::ssd_sim::SsdConfig;
 use srcsim::storage_node::{run_trace, weight_sweep, DisciplineKind, NodeConfig};
 use srcsim::system_sim::experiments::{fig7_fig8, train_tpm, Scale};
@@ -162,7 +163,7 @@ fn cmd_storm(args: &[String]) -> ExitCode {
     eprintln!("training TPM ...");
     let tpm = train_tpm(&ssd, &scale, 42);
     eprintln!("running both modes ...");
-    let r = fig7_fig8(&ssd, &scale, tpm, 7);
+    let r = fig7_fig8(&ssd, &scale, tpm, 7, (&mut NullSink, &mut NullSink));
     let p = |label: &str, rep: &srcsim::system_sim::SystemReport| {
         println!(
             "{label:<12} read={:>5.2} write={:>5.2} aggregate={:>5.2} Gbps  pauses={}",

@@ -1,0 +1,189 @@
+//! The checkpoint/resume contract (see `sim-engine/src/checkpoint.rs`):
+//! a sweep interrupted after k of n cells and then resumed must (a)
+//! recompute only the missing cells and (b) return results
+//! byte-identical to an uninterrupted run, at any thread count. A torn
+//! manifest tail (SIGKILL mid-append) is truncated and recomputed; a
+//! tampered committed record is a hard error.
+//!
+//! The cheap checks run in every build; the full TPM training sweep is
+//! ignored in debug builds (run `cargo test --release -- --include-ignored`).
+
+use srcsim::sim_engine::checkpoint::committed_cells;
+use srcsim::sim_engine::runner::with_threads;
+use srcsim::sim_engine::{CheckpointSpec, ScenarioRunner};
+use srcsim::src_core::tpm::{generate_training_samples_checkpointed, TrainingConfig};
+use srcsim::ssd_sim::SsdConfig;
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Fresh per-process manifest path under the system temp dir.
+fn tmp(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "srcsim-ckpt-resume-{}-{name}.ckpt.jsonl",
+        std::process::id()
+    ));
+    let _ = fs::remove_file(&p);
+    p
+}
+
+/// A cheap pure cell: mixed integer/float payload derived only from
+/// `(index, cell)`, so resumed results must match bit-for-bit.
+fn compute(i: usize, c: u64) -> (u64, f64) {
+    let x = (c as f64).sqrt() * (i as f64 + 0.25);
+    (c.wrapping_mul(0x9e37_79b9) ^ i as u64, x.sin() * 1e6)
+}
+
+/// Strict byte identity: compare floats by bit pattern, not `==`.
+fn bits(v: &[(u64, f64)]) -> Vec<(u64, u64)> {
+    v.iter().map(|&(a, b)| (a, b.to_bits())).collect()
+}
+
+#[test]
+fn interrupted_sweep_resumes_byte_identical() {
+    const N: usize = 12;
+    const K: usize = 5; // cells computed before the simulated interrupt
+    let cells: Vec<u64> = (0..N as u64).map(|c| c * 3 + 1).collect();
+
+    for threads in [1usize, 4] {
+        let path = tmp(&format!("interrupt-t{threads}"));
+        let spec = CheckpointSpec::new(&path, "resume-test grid v1");
+        let runner = ScenarioRunner::from_env;
+
+        let reference: Vec<(u64, f64)> = with_threads(threads, || {
+            runner().run_cells_resumable(None, 99, &cells, |i, &c| compute(i, c))
+        });
+
+        // Interrupt: the closure panics once K cells have been computed.
+        // Exactly K closures complete (and commit) before the panic
+        // reaches the caller; the worker threads all join first.
+        let computed = AtomicUsize::new(0);
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(threads, || {
+                runner().run_cells_resumable(Some(&spec), 99, &cells, |i, &c| {
+                    if computed.fetch_add(1, Ordering::SeqCst) >= K {
+                        panic!("simulated interrupt");
+                    }
+                    compute(i, c)
+                })
+            })
+        }));
+        assert!(boom.is_err(), "interrupt must reach the caller");
+        let committed = committed_cells(&path).unwrap();
+        assert_eq!(
+            committed, K,
+            "threads={threads}: cells committed before interrupt"
+        );
+
+        // Resume: only the missing cells are recomputed, and the result
+        // is byte-identical to the uninterrupted run.
+        let recomputed = AtomicUsize::new(0);
+        let resumed: Vec<(u64, f64)> = with_threads(threads, || {
+            runner().run_cells_resumable(Some(&spec), 99, &cells, |i, &c| {
+                recomputed.fetch_add(1, Ordering::SeqCst);
+                compute(i, c)
+            })
+        });
+        assert_eq!(
+            recomputed.load(Ordering::SeqCst),
+            N - committed,
+            "threads={threads}: resume must recompute exactly the missing cells"
+        );
+        assert_eq!(bits(&resumed), bits(&reference), "threads={threads}");
+        assert_eq!(committed_cells(&path).unwrap(), N);
+
+        // Third run: everything cached, the closure must never fire,
+        // and deserialized payloads still match bit-for-bit.
+        let cached: Vec<(u64, f64)> = with_threads(threads, || {
+            runner().run_cells_resumable(Some(&spec), 99, &cells, |_, _| -> (u64, f64) {
+                panic!("cached cell recomputed")
+            })
+        });
+        assert_eq!(bits(&cached), bits(&reference), "threads={threads}");
+
+        let _ = fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn torn_tail_is_recovered_but_corruption_is_fatal() {
+    let cells: Vec<u64> = (0..6).collect();
+    let path = tmp("recovery");
+    let spec = CheckpointSpec::new(&path, "recovery grid v1");
+    let runner = ScenarioRunner::serial();
+
+    let reference: Vec<(u64, f64)> =
+        runner.run_cells_resumable(Some(&spec), 7, &cells, |i, &c| compute(i, c));
+
+    // A SIGKILL mid-append leaves a final line with no newline: the torn
+    // tail is truncated away and its cell recomputed.
+    let intact = fs::read_to_string(&path).unwrap();
+    fs::write(&path, format!("{intact}{{\"kind\":\"cell\",\"index\":5")).unwrap();
+    let resumed: Vec<(u64, f64)> =
+        runner.run_cells_resumable(Some(&spec), 7, &cells, |i, &c| compute(i, c));
+    assert_eq!(bits(&resumed), bits(&reference));
+    assert_eq!(committed_cells(&path).unwrap(), cells.len());
+
+    // A newline-terminated line that does not parse is real corruption,
+    // not a torn tail: hard error.
+    fs::write(&path, format!("{intact}this is not json\n")).unwrap();
+    let boom = catch_unwind(AssertUnwindSafe(|| {
+        let _: Vec<(u64, f64)> =
+            runner.run_cells_resumable(Some(&spec), 7, &cells, |i, &c| compute(i, c));
+    }));
+    assert!(boom.is_err(), "committed garbage must be rejected");
+
+    // The documented escape hatch: delete the manifest, recompute from
+    // scratch, same bytes.
+    fs::remove_file(&path).unwrap();
+    let fresh: Vec<(u64, f64)> =
+        runner.run_cells_resumable(Some(&spec), 7, &cells, |i, &c| compute(i, c));
+    assert_eq!(bits(&fresh), bits(&reference));
+    let _ = fs::remove_file(&path);
+}
+
+/// End-to-end on a real sweep: kill a TPM training run after its first
+/// cells (simulated by truncating the manifest to a prefix, exactly the
+/// on-disk state a killed serial run leaves), resume at a different
+/// thread count, and require byte-identical samples.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy simulation; run in release")]
+fn tpm_training_resumes_byte_identical() {
+    let ssd = SsdConfig::ssd_a();
+    let cfg = TrainingConfig {
+        requests_per_class: 400,
+        ..TrainingConfig::quick()
+    };
+    let n_cells =
+        cfg.iat_means_us.len() * cfg.size_means.len() * cfg.read_mixes.len() * cfg.seeds_per_cell;
+
+    let reference = with_threads(4, || {
+        generate_training_samples_checkpointed(&ssd, &cfg, 42, None)
+    });
+
+    let path = tmp("tpm");
+    let spec = CheckpointSpec::new(&path, "tpm resume test v1");
+    let full = with_threads(1, || {
+        generate_training_samples_checkpointed(&ssd, &cfg, 42, Some(&spec))
+    });
+    assert_eq!(full, reference, "checkpointing must not change results");
+    assert_eq!(committed_cells(&path).unwrap(), n_cells);
+
+    // Keep the header plus the first 3 committed cells — the prefix a
+    // killed serial run leaves behind — then resume in parallel.
+    let text = fs::read_to_string(&path).unwrap();
+    let prefix: String = text.lines().take(1 + 3).map(|l| format!("{l}\n")).collect();
+    fs::write(&path, prefix).unwrap();
+    assert_eq!(committed_cells(&path).unwrap(), 3);
+
+    let resumed = with_threads(4, || {
+        generate_training_samples_checkpointed(&ssd, &cfg, 42, Some(&spec))
+    });
+    assert_eq!(
+        resumed, reference,
+        "resumed training sweep must be byte-identical"
+    );
+    assert_eq!(committed_cells(&path).unwrap(), n_cells);
+    let _ = fs::remove_file(&path);
+}

@@ -5,6 +5,7 @@
 //! `cargo test --release -- --include-ignored`).
 
 use srcsim::net_sim::ClosConfig;
+use srcsim::sim_engine::NullSink;
 use srcsim::ssd_sim::SsdConfig;
 use srcsim::system_sim::config::{
     per_target_traces, spread_trace, Mode, SystemConfig, TopologyKind,
@@ -51,7 +52,7 @@ fn full_system_on_clos_fabric() {
         ..SystemConfig::default()
     };
     let a = micro_assignments(400, 2, 4, 3);
-    let r = run_system(&cfg, &a, None);
+    let r = run_system(&cfg, &a, None, &mut NullSink);
     assert_eq!(r.reads_completed, 400);
     assert_eq!(r.writes_completed, 400);
     assert_eq!(
@@ -76,7 +77,7 @@ fn all_table_ii_devices_run_end_to_end() {
             mode: Mode::DcqcnOnly,
             ..SystemConfig::default()
         };
-        run_system(&cfg, &a, None)
+        run_system(&cfg, &a, None, &mut NullSink)
     };
     let ra = run(SsdConfig::ssd_a());
     let rb = run(SsdConfig::ssd_b());
@@ -121,6 +122,7 @@ fn byte_conservation_both_modes() {
         },
         &a,
         None,
+        &mut NullSink,
     );
     assert_eq!(only.read_bytes, expect_read);
     assert_eq!(only.write_bytes, expect_write);
@@ -137,6 +139,7 @@ fn byte_conservation_both_modes() {
         },
         &a,
         Some(tpm),
+        &mut NullSink,
     );
     assert_eq!(src.read_bytes, expect_read);
     assert_eq!(src.write_bytes, expect_write);
@@ -181,6 +184,7 @@ fn per_target_affinity() {
         },
         &a,
         None,
+        &mut NullSink,
     );
     assert_eq!(r.reads_completed, 50);
     assert_eq!(r.writes_completed, 50);

@@ -163,7 +163,21 @@ ser_signed!(i8, i16, i32, i64, isize);
 macro_rules! ser_float {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
-            fn to_value(&self) -> Value { Value::Float(*self as f64) }
+            fn to_value(&self) -> Value {
+                let f = *self as f64;
+                if f.is_finite() {
+                    Value::Float(f)
+                } else if f.is_nan() {
+                    // JSON has no non-finite numbers; tag them as strings
+                    // so typed round-trips are lossless (upstream serde_json
+                    // would reject them outright).
+                    Value::Str("NaN".into())
+                } else if f > 0.0 {
+                    Value::Str("inf".into())
+                } else {
+                    Value::Str("-inf".into())
+                }
+            }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, Error> {
@@ -171,6 +185,13 @@ macro_rules! ser_float {
                     Value::Float(f) => Ok(f as $t),
                     Value::Int(n) => Ok(n as $t),
                     Value::UInt(n) => Ok(n as $t),
+                    Value::Str(ref s) => match s.as_str() {
+                        "NaN" => Ok(<$t>::NAN),
+                        "inf" => Ok(<$t>::INFINITY),
+                        "-inf" => Ok(<$t>::NEG_INFINITY),
+                        _ => Err(Error::msg(format!(
+                            "expected number, got string `{s}`"))),
+                    },
                     ref other => Err(Error::expected("number", other)),
                 }
             }

@@ -314,6 +314,10 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.b[start..self.i])
             .map_err(|_| Error::msg("invalid number bytes"))?;
+        // Integer-looking tokens that overflow i64/u64 fall back to f64:
+        // Rust's `Display` for f64 never uses exponent notation, so large
+        // floats (|x| ≥ 2^63) serialize as plain digit strings and must
+        // still round-trip through the parser.
         if is_float {
             text.parse::<f64>()
                 .map(Value::Float)
@@ -321,10 +325,12 @@ impl<'a> Parser<'a> {
         } else if text.starts_with('-') {
             text.parse::<i64>()
                 .map(Value::Int)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
                 .map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
         } else {
             text.parse::<u64>()
                 .map(Value::UInt)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
                 .map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
         }
     }
@@ -428,6 +434,21 @@ mod tests {
             &Value::Array(vec![Value::UInt(1), Value::Int(-2), Value::Float(3.5)])
         );
         assert_eq!(v.get("b").unwrap().get("c").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn huge_integer_tokens_fall_back_to_float() {
+        // `Display` for f64 never uses exponent notation, so floats with
+        // |x| >= 2^63 serialize as plain digit strings; parsing must fall
+        // back to f64 instead of failing the i64/u64 conversion, and the
+        // bytes must round-trip exactly (checkpoint digests depend on it).
+        for f in [-6.895523070677849e19_f64, 3.4e20, 1.8446744073709552e19] {
+            let s = to_string(&f).unwrap();
+            assert!(!s.contains(['e', 'E', '.']), "plain digits: {s}");
+            let v = parse_value(&s).unwrap();
+            assert_eq!(v, Value::Float(f));
+            assert_eq!(to_string(&v).unwrap(), s, "byte-stable round trip");
+        }
     }
 
     #[test]
