@@ -16,7 +16,7 @@
 //!
 //! Usage: `fig9_dynamic [quick|full]`
 
-use sim_engine::{FileSink, RingSink};
+use sim_engine::{FileSink, Reduced, Reduction, RingSink};
 use src_bench::{announce_checkpoint, rule, scale_from_args, scale_label};
 use system_sim::experiments::{fig9, fig9_fabric_slice};
 use system_sim::scripted::ScriptedResult;
@@ -142,15 +142,27 @@ fn run_buffered(scale: &system_sim::experiments::Scale) {
 /// Streaming mode (`SRCSIM_TRACE=<path>`): one FileSink spans the
 /// scripted run and the fabric slice, so the file carries the same
 /// merged trace as buffered mode without holding samples in memory.
-/// Series summaries are skipped; counters come from the sink.
+/// Streaming reducers on the sink path recover the series summaries
+/// buffered mode reads from the in-memory report — the applied SSQ
+/// weight changes, the minimum DCQCN rate, and the maximum TXQ
+/// backlog — while the samples flow straight to disk.
 fn run_streaming(scale: &system_sim::experiments::Scale, path: std::path::PathBuf) {
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
         std::fs::create_dir_all(dir).expect("create trace dir");
     }
-    let mut sink = FileSink::create(&path).expect("create trace file");
+    let mut sink = Reduced::new(FileSink::create(&path).expect("create trace file"))
+        .with("ssq", "weight", Reduction::Log)
+        .with("dcqcn", "rate_gbps", Reduction::Min)
+        .with("txq", "backlog_bytes", Reduction::Max);
     let r = fig9(scale, SEED, &mut sink);
 
     print_responses(&r);
+
+    println!("\napplied SSQ weight changes (from the trace):");
+    for &(at, _, w) in sink.log_of("ssq", "weight") {
+        println!("  t={:>7.1} ms  w={}", at.as_ms_f64(), w as u32);
+    }
+
     print_throughput(&r);
 
     eprintln!("\nrunning congested fabric slice for DCQCN/TXQ series ...");
@@ -160,14 +172,24 @@ fn run_streaming(scale: &system_sim::experiments::Scale, path: std::path::PathBu
         "fabric slice ({:.1} ms simulated):",
         slice.makespan.as_ms_f64()
     );
+    println!(
+        "  dcqcn rate samples: {:>6}   min rate: {:.2} Gbps",
+        sink.count_of("dcqcn", "rate_gbps"),
+        sink.value_of("dcqcn", "rate_gbps").unwrap_or(f64::INFINITY)
+    );
+    println!(
+        "  txq backlog samples: {:>5}   max backlog: {:.0} KB",
+        sink.count_of("txq", "backlog_bytes"),
+        sink.value_of("txq", "backlog_bytes").unwrap_or(0.0) / 1024.0
+    );
     print_fabric_counters(
-        sink.counter(("net", 0, "ecn_marked")),
-        sink.counter(("net", 0, "cnps_sent")),
-        sink.counter(("net", 0, "pauses_received")),
-        sink.counter(("txq", 0, "gate_closures")),
+        sink.inner().counter(("net", 0, "ecn_marked")),
+        sink.inner().counter(("net", 0, "cnps_sent")),
+        sink.inner().counter(("net", 0, "pauses_received")),
+        sink.inner().counter(("txq", 0, "gate_closures")),
     );
 
-    let samples = sink.finish().expect("flush trace file");
+    let samples = sink.into_inner().finish().expect("flush trace file");
     println!("\ntrace: {} ({samples} samples, streamed)", path.display());
 }
 

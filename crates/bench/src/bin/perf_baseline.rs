@@ -1,0 +1,221 @@
+//! Perf baseline for the event core and the end-to-end experiments:
+//! the numbers behind the committed `BENCH_PR4.json`.
+//!
+//! Two suites:
+//!
+//! * **Queue hold model** — steady-state `pop` + `schedule` pairs on a
+//!   queue pre-filled to 1k / 64k / 1M pending events, timing-wheel
+//!   [`EventQueue`] vs the binary-heap reference
+//!   [`HeapEventQueue`]. The hold model (pop the earliest event,
+//!   schedule a replacement at a pseudo-random future offset) is the
+//!   classic event-queue benchmark: it measures the amortized cost the
+//!   simulators actually pay, not raw push or pop throughput.
+//! * **End-to-end wall clock** — the Fig. 9 scripted run (with its
+//!   fabric slice) and the Fig. 5 weight-sweep grid, timed as the
+//!   binaries run them. These absorb the queue and the allocation-free
+//!   step plumbing together.
+//!
+//! Usage: `perf_baseline [quick|full] [out.json]` — `quick` shrinks
+//! the hold-op counts and uses quick experiment scales (the CI smoke
+//! job); `full` is what `BENCH_PR4.json` is generated from. The JSON
+//! report is written to `out.json` (default `results/bench_pr4.json`)
+//! and echoed to stdout.
+
+use std::time::Instant;
+
+use serde::Value;
+use sim_engine::{EventQueue, HeapEventQueue, NullSink, SimDuration, SimTime};
+use src_bench::rule;
+use ssd_sim::SsdConfig;
+use system_sim::experiments::{fig5, fig9, fig9_fabric_slice, Scale};
+
+const SEED: u64 = 42;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+/// Deterministic xorshift64 offsets so both queues replay the exact
+/// same schedule.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// One hold-model run: pre-fill `pending` events, then `ops` rounds of
+/// pop-earliest + schedule-replacement. Returns (ns/op, checksum); the
+/// checksum both defeats dead-code elimination and asserts the two
+/// implementations walked the identical event sequence.
+fn hold<Q>(
+    pending: usize,
+    ops: usize,
+    schedule: impl Fn(&mut Q, SimTime, u64),
+    pop: impl Fn(&mut Q) -> Option<(SimTime, u64)>,
+    mut q: Q,
+) -> (f64, u64) {
+    let mut rng = XorShift(0x9e3779b97f4a7c15 ^ pending as u64);
+    // Offsets mix short (collision-prone) and long horizons, like the
+    // simulators: NIC serialization in the hundreds of ps, SSD program
+    // latencies in the hundreds of us.
+    let offset = |rng: &mut XorShift| match rng.next() % 4 {
+        0 => rng.next() % 512,               // sub-slot, collisions
+        1 => rng.next() % 200_000,           // packet scale
+        2 => rng.next() % 600_000_000,       // SSD op scale
+        _ => rng.next() % 4_000_000_000_000, // near the wheel span
+    };
+    let mut now = SimTime::ZERO;
+    for i in 0..pending {
+        let d = offset(&mut rng);
+        schedule(&mut q, now + SimDuration::from_ps(d), i as u64);
+    }
+    let mut checksum = 0u64;
+    let started = Instant::now();
+    for i in 0..ops {
+        let (t, id) = pop(&mut q).expect("queue stays at steady state");
+        now = t;
+        checksum = checksum
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(t.as_ps() ^ id);
+        let d = offset(&mut rng);
+        schedule(&mut q, now + SimDuration::from_ps(d), (pending + i) as u64);
+    }
+    let elapsed = started.elapsed();
+    (elapsed.as_nanos() as f64 / ops as f64, checksum)
+}
+
+fn queue_suite(quick: bool) -> Value {
+    let mut rows = Vec::new();
+    for &pending in &[1_000usize, 64_000, 1_000_000] {
+        let ops = if quick { 200_000 } else { 2_000_000 };
+        let (wheel_ns, wheel_sum) = hold(
+            pending,
+            ops,
+            |q: &mut EventQueue<u64>, t, e| q.schedule(t, e),
+            |q| q.pop(),
+            EventQueue::new(),
+        );
+        let (heap_ns, heap_sum) = hold(
+            pending,
+            ops,
+            |q: &mut HeapEventQueue<u64>, t, e| q.schedule(t, e),
+            |q| q.pop(),
+            HeapEventQueue::new(),
+        );
+        assert_eq!(
+            wheel_sum, heap_sum,
+            "wheel and heap diverged at pending={pending}"
+        );
+        println!(
+            "  pending {:>9}: wheel {:>7.1} ns/op   heap {:>7.1} ns/op   ({:.2}x)",
+            pending,
+            wheel_ns,
+            heap_ns,
+            heap_ns / wheel_ns
+        );
+        rows.push(obj(vec![
+            ("pending", Value::UInt(pending as u64)),
+            ("hold_ops", Value::UInt(ops as u64)),
+            ("wheel_ns_per_op", Value::Float(wheel_ns)),
+            ("heap_ns_per_op", Value::Float(heap_ns)),
+            ("heap_over_wheel", Value::Float(heap_ns / wheel_ns)),
+        ]));
+    }
+    Value::Array(rows)
+}
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let started = Instant::now();
+    f();
+    started.elapsed().as_nanos() as f64 / 1e6
+}
+
+fn end_to_end(quick: bool) -> Value {
+    let fig9_scale = if quick { Scale::quick() } else { Scale::full() };
+    let fig9_ms = time_ms(|| {
+        let mut sink = NullSink;
+        let _ = fig9(&fig9_scale, SEED, &mut sink);
+        let _ = fig9_fabric_slice(&fig9_scale, SEED, &mut sink);
+    });
+    println!(
+        "  fig9 scripted + fabric ({}): {:>9.1} ms",
+        if quick { "quick" } else { "full" },
+        fig9_ms
+    );
+    // Fig. 5 always runs at quick scale: the full grid takes minutes
+    // and adds no information the quick grid doesn't.
+    let fig5_ms = time_ms(|| {
+        let _ = fig5(&SsdConfig::ssd_a(), &Scale::quick(), SEED);
+    });
+    println!("  fig5 weight sweep (quick):   {fig5_ms:>9.1} ms");
+    Value::Array(vec![
+        obj(vec![
+            (
+                "name",
+                Value::Str(
+                    if quick {
+                        "fig9_scripted_quick"
+                    } else {
+                        "fig9_scripted_full"
+                    }
+                    .into(),
+                ),
+            ),
+            ("wall_ms", Value::Float(fig9_ms)),
+        ]),
+        obj(vec![
+            ("name", Value::Str("fig5_quick".into())),
+            ("wall_ms", Value::Float(fig5_ms)),
+        ]),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = !args.iter().any(|a| a == "full");
+    let out = args
+        .iter()
+        .find(|a| a.ends_with(".json"))
+        .cloned()
+        .unwrap_or_else(|| "results/bench_pr4.json".into());
+
+    println!(
+        "perf baseline ({} mode) — event-queue hold model + end-to-end wall clock",
+        if quick { "quick" } else { "full" }
+    );
+    rule();
+    println!("queue hold model (pop earliest + schedule replacement):");
+    let queue = queue_suite(quick);
+    println!("\nend-to-end wall clock:");
+    let e2e = end_to_end(quick);
+
+    let report = obj(vec![
+        ("schema", Value::Str("srcsim-bench-pr4/v1".into())),
+        (
+            "mode",
+            Value::Str(if quick { "quick" } else { "full" }.into()),
+        ),
+        ("queue_hold", queue),
+        ("end_to_end", e2e),
+    ]);
+    let text = serde_json::to_string_pretty(&report).expect("serializable report");
+    if let Some(dir) = std::path::Path::new(&out)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(&out, format!("{text}\n")).expect("write bench report");
+    rule();
+    println!("{text}");
+    println!("\nreport: {out}");
+    println!(
+        "caveat: wall-clock numbers are from whatever machine ran this — \
+         compare only runs from the same host (CI runners are often 1-2 vCPUs)."
+    );
+}

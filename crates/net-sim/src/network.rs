@@ -122,6 +122,16 @@ impl NetStep {
         self.pauses_received.extend(o.pauses_received);
         self.schedule.extend(o.schedule);
     }
+
+    /// Empty the step for reuse, keeping the buffer capacities. Hot
+    /// loops hold one `NetStep` and pass it to [`Network::send_into`] /
+    /// [`Network::handle_into`] instead of allocating per event.
+    pub fn clear(&mut self) {
+        self.deliveries.clear();
+        self.rate_changes.clear();
+        self.pauses_received.clear();
+        self.schedule.clear();
+    }
 }
 
 /// Per-flow sender state at its source host NIC.
@@ -360,6 +370,21 @@ impl Network {
     /// Enqueue `bytes` of application payload on a flow, segmented into
     /// MTU-sized packets; the final packet carries `last_of_msg`.
     pub fn send(&mut self, flow: FlowId, bytes: u64, tag: u64, now: SimTime) -> NetStep {
+        let mut step = NetStep::default();
+        self.send_into(flow, bytes, tag, now, &mut step);
+        step
+    }
+
+    /// Allocation-free variant of [`Network::send`]: appends to a
+    /// caller-owned step instead of returning a fresh one.
+    pub fn send_into(
+        &mut self,
+        flow: FlowId,
+        bytes: u64,
+        tag: u64,
+        now: SimTime,
+        step: &mut NetStep,
+    ) {
         assert!(bytes > 0, "cannot send zero bytes");
         let f = &mut self.flows[flow.0];
         let dst = f.dst;
@@ -380,28 +405,32 @@ impl Network {
             f.queued_bytes += sz;
         }
         let host = f.src;
-        let mut step = NetStep::default();
-        self.kick_nic(host, now, &mut step);
-        step
+        self.kick_nic(host, now, step);
     }
 
     /// Advance on one of the network's own events.
     pub fn handle(&mut self, ev: NetEvent, now: SimTime) -> NetStep {
         let mut step = NetStep::default();
+        self.handle_into(ev, now, &mut step);
+        step
+    }
+
+    /// Allocation-free variant of [`Network::handle`]: appends to a
+    /// caller-owned step instead of returning a fresh one.
+    pub fn handle_into(&mut self, ev: NetEvent, now: SimTime, step: &mut NetStep) {
         match ev {
-            NetEvent::TxDone { link } => self.on_tx_done(link, now, &mut step),
-            NetEvent::Arrive { link } => self.on_arrive(link, now, &mut step),
+            NetEvent::TxDone { link } => self.on_tx_done(link, now, step),
+            NetEvent::Arrive { link } => self.on_arrive(link, now, step),
             NetEvent::NicWakeup { host } => {
                 if let Some(nic) = self.nics[host].as_mut() {
                     nic.wakeup_pending = false;
                 }
-                self.kick_nic(NodeId(host), now, &mut step);
+                self.kick_nic(NodeId(host), now, step);
             }
-            NetEvent::AlphaTimer { flow, gen } => self.on_alpha_timer(flow, gen, now, &mut step),
-            NetEvent::RateTimer { flow, gen } => self.on_rate_timer(flow, gen, now, &mut step),
-            NetEvent::PauseSet { link, paused } => self.on_pause_set(link, paused, now, &mut step),
+            NetEvent::AlphaTimer { flow, gen } => self.on_alpha_timer(flow, gen, now, step),
+            NetEvent::RateTimer { flow, gen } => self.on_rate_timer(flow, gen, now, step),
+            NetEvent::PauseSet { link, paused } => self.on_pause_set(link, paused, now, step),
         }
-        step
     }
 
     // ------------------------------------------------------------------

@@ -48,12 +48,13 @@ pub mod time;
 pub mod token_bucket;
 
 pub use checkpoint::{CheckpointSpec, CHECKPOINT_ENV};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, HeapEventQueue};
 pub use rate::{ByteSize, Rate};
 pub use runner::ScenarioRunner;
 pub use series::TimeBinSeries;
 pub use telemetry::{
-    FileSink, NullSink, ProbeBuffer, RingSink, TelemetryReport, TraceRecord, TraceSink,
+    FileSink, NullSink, ProbeBuffer, Reduced, Reduction, RingSink, TelemetryReport, TraceRecord,
+    TraceSink,
 };
 pub use time::{SimDuration, SimTime};
 pub use token_bucket::TokenBucket;

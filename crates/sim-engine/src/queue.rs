@@ -1,4 +1,42 @@
 //! Time-ordered event queue with deterministic FIFO tie-breaking.
+//!
+//! Two implementations share one contract (nondecreasing pop times,
+//! FIFO among equal timestamps via a monotone sequence number, debug
+//! causality check):
+//!
+//! * [`EventQueue`] — the production queue: a hierarchical timing wheel
+//!   with amortized O(1) schedule/pop, plus a binary-heap calendar
+//!   overflow for timers beyond the wheel horizon. Every simulator's
+//!   event loop drains through this.
+//! * [`HeapEventQueue`] — the original `BinaryHeap` queue, kept as the
+//!   executable reference model: the property tests drive both with the
+//!   same interleavings and require identical pop sequences, and the
+//!   perf suite uses it as the baseline the wheel is measured against.
+//!
+//! # Wheel design
+//!
+//! Time is integer picoseconds ([`SimTime`]). The wheel has
+//! [`LEVELS`] = 7 levels of 64 slots; level `l` slots are `64^l` ps
+//! wide, so one full rotation covers `64^7 = 2^42` ps ≈ 4.4 s of
+//! simulated time relative to the current wheel position — far beyond
+//! any timer the simulators arm (DCQCN timers are µs-scale, SSD erases
+//! ms-scale). Events whose time differs from the wheel position above
+//! bit 42 go to the overflow heap and migrate into the wheel when the
+//! wheel catches up (each event migrates at most once).
+//!
+//! `schedule` picks the level from the highest differing 6-bit group
+//! between the event time and the wheel position (`elapsed`): one XOR,
+//! one `leading_zeros`, one push. `pop` finds the lowest nonempty
+//! level's lowest slot through per-level occupancy bitmaps
+//! (`trailing_zeros`); level-0 slots are one picosecond wide, so a
+//! drained slot is a batch of equal-time events sorted by sequence
+//! number — FIFO for free. Higher-level slots cascade: their events
+//! redistribute to lower levels as the wheel position advances, at most
+//! once per level per event, which gives the amortized O(1) bound.
+//!
+//! Slot vectors, the delivery batch, and the cascade scratch buffer are
+//! all reused across operations, so a warmed-up queue schedules and
+//! pops without allocating.
 
 use crate::time::SimTime;
 use std::cmp::Reverse;
@@ -29,16 +67,46 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Bits per wheel level: 64 slots.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Mask selecting one level's slot index.
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+/// Wheel levels. Level `l` slots are `64^l` ps wide; the whole wheel
+/// spans `2^(6*7) = 2^42` ps (≈ 4.4 s) relative to its position.
+const LEVELS: usize = 7;
+/// Bits covered by the wheel; times differing from `elapsed` at or
+/// above this bit live in the overflow heap.
+const SPAN_BITS: u32 = SLOT_BITS * LEVELS as u32;
+
 /// The central data structure of every simulator in this workspace: a
 /// priority queue of `(SimTime, E)` pairs delivering events in
 /// nondecreasing time order, FIFO among equal timestamps.
 ///
 /// Determinism matters: the simulators seed all their RNGs and rely on
 /// this queue never reordering same-time events, so a run is a pure
-/// function of its configuration and seed.
+/// function of its configuration and seed. The wheel preserves the
+/// [`HeapEventQueue`] pop order exactly (see the module docs and the
+/// property tests).
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// `LEVELS * SLOTS` slot vectors, flattened (`level * 64 + slot`).
+    slots: Box<[Vec<Entry<E>>]>,
+    /// Per-level slot occupancy bitmaps.
+    occupied: [u64; LEVELS],
+    /// Far-future events (beyond the wheel span from `elapsed`).
+    overflow: BinaryHeap<Reverse<Entry<E>>>,
+    /// The drained current-slot batch, sorted descending by
+    /// `(time, seq)` so `pop` takes from the back.
+    deliver: Vec<Entry<E>>,
+    /// Scratch buffer for cascading a higher-level slot.
+    cascade: Vec<Entry<E>>,
+    /// Wheel position: the slot time events are currently delivered
+    /// from. Never exceeds the earliest pending event time.
+    elapsed: u64,
     next_seq: u64,
+    /// Count of pending events across slots, overflow, and batch.
+    len: usize,
     /// Highest timestamp ever popped; used to catch causality violations.
     last_popped: SimTime,
 }
@@ -53,6 +121,217 @@ impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
         EventQueue {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            deliver: Vec::new(),
+            cascade: Vec::new(),
+            elapsed: 0,
+            next_seq: 0,
+            len: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Create an empty queue with pre-allocated capacity. (The wheel's
+    /// slot storage grows where events actually land, so `cap` only
+    /// sizes the delivery batch.)
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut q = Self::new();
+        q.deliver.reserve(cap.min(1 << 16));
+        q
+    }
+
+    /// Wheel level for an event at `t` given the current position:
+    /// the highest 6-bit group where they differ.
+    #[inline]
+    fn level_for(elapsed: u64, t: u64) -> usize {
+        let diff = elapsed ^ t;
+        if diff == 0 {
+            return 0;
+        }
+        ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+    }
+
+    /// Place an entry into the wheel or the overflow heap. `entry.time`
+    /// must be ≥ `elapsed` (callers clamp).
+    #[inline]
+    fn place(&mut self, entry: Entry<E>) {
+        let t = entry.time.0;
+        debug_assert!(t >= self.elapsed);
+        if (t ^ self.elapsed) >> SPAN_BITS != 0 {
+            self.overflow.push(Reverse(entry));
+            return;
+        }
+        let level = Self::level_for(self.elapsed, t);
+        let slot = ((t >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+        self.slots[level * SLOTS + slot].push(entry);
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `at` is earlier than the most recently
+    /// popped timestamp (scheduling into the past breaks causality).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.last_popped,
+            "scheduling into the past: {at:?} < {:?}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        // Clamp for wheel placement only (the entry keeps its time): a
+        // contract-violating past event lands in the current slot and
+        // still pops next, ordered by (time, seq) — matching the heap.
+        let t = SimTime(at.0.max(self.elapsed));
+        if !self.deliver.is_empty() && at.0 <= self.elapsed {
+            // A batch at `elapsed` is mid-delivery; merge by (time, seq)
+            // into the descending-sorted batch so order holds.
+            let entry = Entry {
+                time: at,
+                seq,
+                event,
+            };
+            let pos = self
+                .deliver
+                .partition_point(|e| (e.time, e.seq) > (entry.time, entry.seq));
+            self.deliver.insert(pos, entry);
+            return;
+        }
+        self.place(Entry {
+            time: t,
+            seq,
+            event,
+        });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if let Some(e) = self.deliver.pop() {
+            self.len -= 1;
+            self.last_popped = e.time;
+            return Some((e.time, e.event));
+        }
+        loop {
+            // Pull overflow events that fit the wheel at its current
+            // position (each event migrates at most once).
+            while let Some(Reverse(head)) = self.overflow.peek() {
+                if (head.time.0 ^ self.elapsed) >> SPAN_BITS != 0 {
+                    break;
+                }
+                let Reverse(entry) = self.overflow.pop().expect("peeked");
+                self.place(entry);
+            }
+            let Some(level) = (0..LEVELS).find(|&l| self.occupied[l] != 0) else {
+                // Wheel empty: jump to the overflow's earliest event.
+                let Reverse(head) = self.overflow.peek()?;
+                self.elapsed = head.time.0;
+                continue;
+            };
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            if level == 0 {
+                // One-picosecond slot: a batch of equal-time events.
+                let slot_time = (self.elapsed & !SLOT_MASK) | slot as u64;
+                debug_assert!(slot_time >= self.elapsed);
+                self.elapsed = slot_time;
+                self.occupied[0] &= !(1 << slot);
+                let bucket = &mut self.slots[slot];
+                std::mem::swap(bucket, &mut self.deliver);
+                self.deliver
+                    .sort_unstable_by_key(|e| Reverse((e.time, e.seq)));
+                let e = self.deliver.pop().expect("occupied slot was empty");
+                self.len -= 1;
+                self.last_popped = e.time;
+                return Some((e.time, e.event));
+            }
+            // Cascade: advance to the slot's base time and redistribute
+            // its events to lower levels.
+            let shift = SLOT_BITS * level as u32;
+            let base = ((self.elapsed >> shift >> SLOT_BITS) << SLOT_BITS | slot as u64) << shift;
+            debug_assert!(base >= self.elapsed);
+            self.elapsed = base;
+            self.occupied[level] &= !(1 << slot);
+            let idx = level * SLOTS + slot;
+            std::mem::swap(&mut self.slots[idx], &mut self.cascade);
+            let mut pending = std::mem::take(&mut self.cascade);
+            for entry in pending.drain(..) {
+                self.place(entry);
+            }
+            self.cascade = pending;
+        }
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(e) = self.deliver.last() {
+            return Some(e.time);
+        }
+        if let Some(level) = (0..LEVELS).find(|&l| self.occupied[l] != 0) {
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            if level == 0 {
+                return Some(SimTime((self.elapsed & !SLOT_MASK) | slot as u64));
+            }
+            // Higher-level slots are unordered inside: scan for the min.
+            return self.slots[level * SLOTS + slot]
+                .iter()
+                .map(|e| e.time)
+                .min();
+        }
+        self.overflow.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop all pending events (the wheel position and sequence counter
+    /// are retained, matching the heap queue's `clear`).
+    pub fn clear(&mut self) {
+        for (level, bits) in self.occupied.iter_mut().enumerate() {
+            let mut b = *bits;
+            while b != 0 {
+                let slot = b.trailing_zeros() as usize;
+                b &= b - 1;
+                self.slots[level * SLOTS + slot].clear();
+            }
+            *bits = 0;
+        }
+        self.overflow.clear();
+        self.deliver.clear();
+        self.len = 0;
+    }
+}
+
+/// The original `BinaryHeap` event queue: O(log n) schedule/pop.
+///
+/// Retained as the executable reference model for [`EventQueue`]'s
+/// property tests and as the baseline of the queue micro-benchmarks
+/// (`perf_suite`, BENCH_PR4.json). Not used by any simulator.
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> Default for HeapEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapEventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             last_popped: SimTime::ZERO,
@@ -61,7 +340,7 @@ impl<E> EventQueue<E> {
 
     /// Create an empty queue with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
+        HeapEventQueue {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             last_popped: SimTime::ZERO,
@@ -69,10 +348,6 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedule `event` to fire at absolute time `at`.
-    ///
-    /// # Panics
-    /// In debug builds, panics if `at` is earlier than the most recently
-    /// popped timestamp (scheduling into the past breaks causality).
     pub fn schedule(&mut self, at: SimTime, event: E) {
         debug_assert!(
             at >= self.last_popped,
@@ -176,6 +451,80 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 3);
     }
 
+    #[test]
+    fn same_time_insert_mid_batch_delivers_after_pending() {
+        // Schedule three at t, pop one (batch now mid-delivery), then
+        // schedule a fourth at t: it must pop last (largest seq).
+        let mut q = EventQueue::new();
+        let t = SimTime::from_us(9);
+        for i in 0..3 {
+            q.schedule(t, i);
+        }
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.schedule(t, 3);
+        let rest: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(rest, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn far_future_goes_through_overflow_and_back() {
+        let mut q = EventQueue::new();
+        // Beyond the 2^42 ps wheel span from t=0.
+        let far = SimTime::from_secs(60);
+        let farther = SimTime::from_secs(61);
+        q.schedule(far, "far");
+        q.schedule(farther, "farther");
+        q.schedule(SimTime::from_us(1), "near");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap(), (SimTime::from_us(1), "near"));
+        assert_eq!(q.pop().unwrap(), (far, "far"));
+        // After migrating, nearer events can still be scheduled.
+        q.schedule(SimTime::from_secs(60) + SimDuration::from_us(5), "between");
+        assert_eq!(q.pop().unwrap().1, "between");
+        assert_eq!(q.pop().unwrap(), (farther, "farther"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cascades_across_levels() {
+        // Events spread over several orders of magnitude exercise every
+        // wheel level and the cascade path.
+        let mut q = EventQueue::new();
+        let times: Vec<u64> = (0..20).map(|i| 1u64 << i).chain([0, 63, 64, 65]).collect();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ps(t), i);
+        }
+        let mut sorted: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        sorted.sort();
+        let popped: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_ps(), e))).collect();
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn heap_reference_agrees_on_dense_schedule() {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        // Deterministic pseudo-random times with heavy collisions.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for i in 0..5_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = SimTime::from_ps(x % 4096);
+            wheel.schedule(t, i);
+            heap.schedule(t, i);
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
     proptest::proptest! {
         /// Popped timestamps are nondecreasing and equal-time events keep
         /// their insertion order, for arbitrary schedules.
@@ -199,6 +548,60 @@ mod tests {
             proptest::prop_assert_eq!(popped, times.len());
             // keep SimDuration import used
             let _ = SimDuration::ZERO;
+        }
+
+        /// The wheel agrees with the binary-heap reference model on
+        /// arbitrary push/pop interleavings: heavy same-timestamp
+        /// collisions, offsets spanning every wheel level, and
+        /// far-future times past the 2^42 ps wheel horizon (which
+        /// travel through the overflow heap and migrate back).
+        #[test]
+        fn prop_matches_heap_reference(
+            ops in proptest::collection::vec((0u8..8, 0u64..64), 1..400),
+        ) {
+            let mut wheel = EventQueue::new();
+            let mut heap = HeapEventQueue::new();
+            let mut now = SimTime::ZERO;
+            let mut next_id = 0u64;
+            for &(kind, raw) in &ops {
+                match kind {
+                    // Schedules at now + offset; the offset shape is
+                    // chosen by kind so every wheel regime is hit.
+                    0..=4 => {
+                        let offset = match kind {
+                            // Collision-heavy: offsets 0..4 ps, many
+                            // events land on identical timestamps.
+                            0 | 1 => raw % 4,
+                            // Around slot boundaries of level 0/1.
+                            2 => raw * 64,
+                            // High levels of the wheel.
+                            3 => raw << 36,
+                            // Past the wheel horizon: overflow heap.
+                            _ => (1u64 << 42) + (raw << 30),
+                        };
+                        let t = now + SimDuration::from_ps(offset);
+                        wheel.schedule(t, next_id);
+                        heap.schedule(t, next_id);
+                        next_id += 1;
+                    }
+                    // Pops must agree exactly, including on empty.
+                    _ => {
+                        let (a, b) = (wheel.pop(), heap.pop());
+                        proptest::prop_assert_eq!(a, b);
+                        if let Some((t, _)) = a {
+                            now = t;
+                        }
+                    }
+                }
+            }
+            // Drain both queues in lockstep to the end.
+            loop {
+                let (a, b) = (wheel.pop(), heap.pop());
+                proptest::prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
         }
     }
 }

@@ -414,6 +414,148 @@ impl TraceSink for FileSink {
     }
 }
 
+/// How a [`Reduced`] stream folds the samples matching its
+/// `(component, metric)` pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reduction {
+    /// Keep the smallest value seen.
+    Min,
+    /// Keep the largest value seen.
+    Max,
+    /// Keep the most recent value.
+    Last,
+    /// Keep every sample as `(time, scope, value)` — for sparse streams
+    /// (weight changes, gate transitions) where the whole history is the
+    /// summary. Unbounded: do not attach to a dense stream.
+    Log,
+}
+
+/// One reducer stream inside a [`Reduced`] sink.
+#[derive(Debug)]
+struct ReducedStream {
+    component: &'static str,
+    metric: &'static str,
+    kind: Reduction,
+    count: u64,
+    acc: f64,
+    log: Vec<(SimTime, u64, f64)>,
+}
+
+/// Streaming reducers composable with any [`TraceSink`]: every record
+/// passes through to the inner sink unchanged, while registered
+/// `(component, metric)` streams fold into a min/max/last scalar or a
+/// sample log on the fly. This is how `SRCSIM_TRACE` streaming mode
+/// reports the series summaries (min DCQCN rate, max TXQ backlog, the
+/// applied SSQ weight changes) that buffered mode reads back from the
+/// in-memory [`RingSink`] report, without holding the sample stream in
+/// memory.
+#[derive(Debug)]
+pub struct Reduced<S> {
+    inner: S,
+    streams: Vec<ReducedStream>,
+}
+
+impl<S: TraceSink> Reduced<S> {
+    /// Wrap `inner`; register streams with [`Reduced::with`].
+    pub fn new(inner: S) -> Self {
+        Reduced {
+            inner,
+            streams: Vec::new(),
+        }
+    }
+
+    /// Register a reducer over the `(component, metric)` sample stream
+    /// (all scopes folded together).
+    pub fn with(mut self, component: &'static str, metric: &'static str, kind: Reduction) -> Self {
+        self.streams.push(ReducedStream {
+            component,
+            metric,
+            kind,
+            count: 0,
+            acc: f64::NAN,
+            log: Vec::new(),
+        });
+        self
+    }
+
+    fn stream(&self, component: &str, metric: &str) -> Option<&ReducedStream> {
+        self.streams
+            .iter()
+            .find(|s| s.component == component && s.metric == metric)
+    }
+
+    /// Samples seen on a registered stream (0 for unregistered pairs).
+    pub fn count_of(&self, component: &str, metric: &str) -> u64 {
+        self.stream(component, metric).map_or(0, |s| s.count)
+    }
+
+    /// Folded value of a min/max/last stream; `None` before the first
+    /// sample (and always for [`Reduction::Log`] streams).
+    pub fn value_of(&self, component: &str, metric: &str) -> Option<f64> {
+        self.stream(component, metric)
+            .filter(|s| s.kind != Reduction::Log && s.count > 0)
+            .map(|s| s.acc)
+    }
+
+    /// Collected samples of a [`Reduction::Log`] stream, in record
+    /// order (empty for other kinds and unregistered pairs).
+    pub fn log_of(&self, component: &str, metric: &str) -> &[(SimTime, u64, f64)] {
+        self.stream(component, metric).map_or(&[], |s| &s.log)
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwrap, dropping the reducer state.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: TraceSink> TraceSink for Reduced<S> {
+    fn record(&mut self, rec: TraceRecord) {
+        for s in &mut self.streams {
+            if s.component != rec.component || s.metric != rec.metric {
+                continue;
+            }
+            match s.kind {
+                Reduction::Min => {
+                    s.acc = if s.count == 0 {
+                        rec.value
+                    } else {
+                        s.acc.min(rec.value)
+                    }
+                }
+                Reduction::Max => {
+                    s.acc = if s.count == 0 {
+                        rec.value
+                    } else {
+                        s.acc.max(rec.value)
+                    }
+                }
+                Reduction::Last => s.acc = rec.value,
+                Reduction::Log => s.log.push((rec.at, rec.scope, rec.value)),
+            }
+            s.count += 1;
+        }
+        self.inner.record(rec);
+    }
+
+    fn count(&mut self, key: MetricKey, delta: u64) {
+        self.inner.count(key, delta);
+    }
+
+    fn gauge(&mut self, key: MetricKey, value: f64) {
+        self.inner.gauge(key, value);
+    }
+
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,6 +658,83 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         assert_eq!(lines, 5);
         assert_eq!(got, expected, "FileSink must emit the RingSink schema");
+    }
+
+    #[test]
+    fn reducers_fold_and_pass_through() {
+        let mut sink = Reduced::new(RingSink::new(16))
+            .with("dcqcn", "rate_gbps", Reduction::Min)
+            .with("dcqcn", "rate_gbps_max", Reduction::Max)
+            .with("ssq", "weight", Reduction::Log)
+            .with("dcqcn", "alpha", Reduction::Last);
+        sink.record(rec(10, 1, 40.0));
+        sink.record(rec(20, 2, 12.5));
+        sink.record(rec(30, 1, 25.0));
+        sink.record(TraceRecord {
+            at: SimTime(40),
+            component: "ssq",
+            scope: 0,
+            metric: "weight",
+            value: 4.0,
+        });
+        sink.record(TraceRecord {
+            at: SimTime(50),
+            component: "ssq",
+            scope: 0,
+            metric: "weight",
+            value: 2.0,
+        });
+        sink.record(TraceRecord {
+            at: SimTime(60),
+            component: "dcqcn",
+            scope: 1,
+            metric: "alpha",
+            value: 0.5,
+        });
+        sink.count(("net", 0, "cnps_sent"), 3);
+        assert_eq!(sink.count_of("dcqcn", "rate_gbps"), 3);
+        assert_eq!(sink.value_of("dcqcn", "rate_gbps"), Some(12.5));
+        assert_eq!(sink.value_of("dcqcn", "alpha"), Some(0.5));
+        assert_eq!(sink.value_of("ssq", "weight"), None, "log has no scalar");
+        assert_eq!(
+            sink.log_of("ssq", "weight"),
+            &[(SimTime(40), 0, 4.0), (SimTime(50), 0, 2.0)]
+        );
+        assert_eq!(sink.value_of("txq", "backlog_bytes"), None);
+        // Everything reached the inner sink untouched.
+        let rep = sink.into_inner().into_report();
+        assert_eq!(rep.records.len(), 6);
+        assert_eq!(rep.counter(("net", 0, "cnps_sent")), 3);
+    }
+
+    #[test]
+    fn reduced_file_sink_bytes_unchanged() {
+        // Wrapping a FileSink in reducers must not perturb the trace.
+        let feed = |sink: &mut dyn TraceSink| {
+            sink.record(rec(1_000, 0, 39.25));
+            sink.record(rec(2_000, 1, 12.5));
+            sink.count(("txq", 0, "gate_closures"), 4);
+            sink.gauge(("ssq", 1, "weight"), 2.0);
+        };
+        let dir = std::env::temp_dir();
+        let plain_path = dir.join(format!("srcsim_reduced_a_{}.jsonl", std::process::id()));
+        let wrapped_path = dir.join(format!("srcsim_reduced_b_{}.jsonl", std::process::id()));
+        let mut plain = FileSink::create(&plain_path).expect("create");
+        feed(&mut plain);
+        plain.finish().expect("finish");
+        let mut wrapped = Reduced::new(FileSink::create(&wrapped_path).expect("create")).with(
+            "dcqcn",
+            "rate_gbps",
+            Reduction::Min,
+        );
+        feed(&mut wrapped);
+        assert_eq!(wrapped.value_of("dcqcn", "rate_gbps"), Some(12.5));
+        wrapped.into_inner().finish().expect("finish");
+        let a = std::fs::read_to_string(&plain_path).expect("read");
+        let b = std::fs::read_to_string(&wrapped_path).expect("read");
+        let _ = std::fs::remove_file(&plain_path);
+        let _ = std::fs::remove_file(&wrapped_path);
+        assert_eq!(a, b, "reducers must be invisible to the stream");
     }
 
     #[test]

@@ -83,10 +83,13 @@ pub struct SsdStep {
 }
 
 impl SsdStep {
-    fn merge(&mut self, other: SsdStep) {
-        self.completions.extend(other.completions);
-        self.releases.extend(other.releases);
-        self.schedule.extend(other.schedule);
+    /// Empty the step for reuse, keeping the buffer capacities. Hot
+    /// loops hold one `SsdStep` and pass it to the `*_into` entry
+    /// points instead of allocating a fresh step per event.
+    pub fn clear(&mut self) {
+        self.completions.clear();
+        self.releases.clear();
+        self.schedule.clear();
     }
 }
 
@@ -293,6 +296,17 @@ impl Ssd {
     /// # Panics
     /// Panics if a command with the same id is already in flight.
     pub fn submit(&mut self, cmd: SsdCommand, now: SimTime) -> SsdStep {
+        let mut step = SsdStep::default();
+        self.submit_into(cmd, now, &mut step);
+        step
+    }
+
+    /// Allocation-free variant of [`Ssd::submit`]: appends to a
+    /// caller-owned step instead of returning a fresh one.
+    ///
+    /// # Panics
+    /// Panics if a command with the same id is already in flight.
+    pub fn submit_into(&mut self, cmd: SsdCommand, now: SimTime, step: &mut SsdStep) {
         // Page span from the byte range: an unaligned request crosses one
         // more page than size alone suggests.
         let first_byte = cmd.lba * workload::request::SECTOR_BYTES;
@@ -310,7 +324,6 @@ impl Ssd {
         );
         assert!(prev.is_none(), "duplicate in-flight command id {}", cmd.id);
 
-        let mut step = SsdStep::default();
         let first_lpn = cmd.lba * workload::request::SECTOR_BYTES / self.cfg.page.as_bytes();
         for p in 0..pages {
             let lpn = first_lpn + p;
@@ -322,7 +335,7 @@ impl Ssd {
                         cmd: cmd.id,
                         extra_mapping_read: miss,
                     });
-                    step.merge(self.kick_chip(chip, now));
+                    self.kick_chip(chip, now, step);
                 }
                 IoType::Write => {
                     // The FTL allocates the physical page (striping
@@ -340,33 +353,39 @@ impl Ssd {
                         chip,
                         extra_mapping_read: miss,
                     });
-                    step.merge(self.kick_channel(channel, now));
+                    self.kick_channel(channel, now, step);
                     if let Some(work) = gc {
-                        step.merge(self.enqueue_gc(work, now));
+                        self.enqueue_gc(work, now, step);
                     }
                 }
             }
         }
-        step
     }
 
     /// Advance the model on one of its own events.
     pub fn handle(&mut self, ev: SsdEvent, now: SimTime) -> SsdStep {
+        let mut step = SsdStep::default();
+        self.handle_into(ev, now, &mut step);
+        step
+    }
+
+    /// Allocation-free variant of [`Ssd::handle`]: appends to a
+    /// caller-owned step instead of returning a fresh one.
+    pub fn handle_into(&mut self, ev: SsdEvent, now: SimTime, step: &mut SsdStep) {
         match ev {
-            SsdEvent::ChipDone { chip } => self.on_chip_done(chip, now),
-            SsdEvent::ChannelDone { channel } => self.on_channel_done(channel, now),
+            SsdEvent::ChipDone { chip } => self.on_chip_done(chip, now, step),
+            SsdEvent::ChannelDone { channel } => self.on_channel_done(channel, now, step),
         }
     }
 
     /// Start the next queued job on an idle chip.
-    fn kick_chip(&mut self, chip: usize, now: SimTime) -> SsdStep {
-        let mut step = SsdStep::default();
+    fn kick_chip(&mut self, chip: usize, now: SimTime, step: &mut SsdStep) {
         let st = &mut self.chips[chip];
         if st.busy {
-            return step;
+            return;
         }
         let Some(job) = st.queue.pop_front() else {
-            return step;
+            return;
         };
         st.busy = true;
         st.busy_since = Some(now);
@@ -405,18 +424,16 @@ impl Ssd {
             ChipJob::Erase => self.cfg.erase_latency,
         };
         step.schedule.push((now + dur, SsdEvent::ChipDone { chip }));
-        step
     }
 
     /// Start the next queued transfer on an idle channel.
-    fn kick_channel(&mut self, channel: usize, now: SimTime) -> SsdStep {
-        let mut step = SsdStep::default();
+    fn kick_channel(&mut self, channel: usize, now: SimTime, step: &mut SsdStep) {
         let st = &mut self.channels[channel];
         if st.busy {
-            return step;
+            return;
         }
         let Some(job) = st.queue.pop_front() else {
-            return step;
+            return;
         };
         st.busy = true;
         st.busy_since = Some(now);
@@ -424,10 +441,9 @@ impl Ssd {
         let dur = self.cfg.page_transfer_time();
         step.schedule
             .push((now + dur, SsdEvent::ChannelDone { channel }));
-        step
     }
 
-    fn on_chip_done(&mut self, chip: usize, now: SimTime) -> SsdStep {
+    fn on_chip_done(&mut self, chip: usize, now: SimTime, step: &mut SsdStep) {
         let job = {
             let st = &mut self.chips[chip];
             st.busy = false;
@@ -436,7 +452,6 @@ impl Ssd {
             }
             st.in_service.take().expect("chip done without service")
         };
-        let mut step = SsdStep::default();
         match job {
             ChipJob::CellRead { cmd, .. } => {
                 // Page read from cells; move it over the bus.
@@ -444,15 +459,15 @@ impl Ssd {
                 self.channels[channel]
                     .queue
                     .push_back(BusJob::ReadOut { cmd });
-                step.merge(self.kick_channel(channel, now));
+                self.kick_channel(channel, now, step);
             }
             ChipJob::ProgramSync { cmd, .. } => {
-                step.merge(self.complete_host_page(cmd, now));
-                step.merge(self.complete_work_page(cmd));
+                self.complete_host_page(cmd, now, step);
+                self.complete_work_page(cmd, step);
             }
             ChipJob::ProgramDestage { cmd, bytes, .. } => {
                 self.cache.release(bytes);
-                step.merge(self.complete_work_page(cmd));
+                self.complete_work_page(cmd, step);
             }
             ChipJob::GcCopy => {
                 self.stats.gc_copies += 1;
@@ -461,11 +476,10 @@ impl Ssd {
                 self.stats.erases += 1;
             }
         }
-        step.merge(self.kick_chip(chip, now));
-        step
+        self.kick_chip(chip, now, step);
     }
 
-    fn on_channel_done(&mut self, channel: usize, now: SimTime) -> SsdStep {
+    fn on_channel_done(&mut self, channel: usize, now: SimTime, step: &mut SsdStep) {
         let job = {
             let st = &mut self.channels[channel];
             st.busy = false;
@@ -474,11 +488,10 @@ impl Ssd {
             }
             st.in_service.take().expect("channel done without service")
         };
-        let mut step = SsdStep::default();
         match job {
             BusJob::ReadOut { cmd } => {
-                step.merge(self.complete_host_page(cmd, now));
-                step.merge(self.complete_work_page(cmd));
+                self.complete_host_page(cmd, now, step);
+                self.complete_work_page(cmd, step);
             }
             BusJob::WriteIn {
                 cmd,
@@ -491,7 +504,7 @@ impl Ssd {
                     // program destages in the background, freeing the
                     // cache space and the device slot when it lands.
                     self.stats.cached_writes += 1;
-                    step.merge(self.complete_host_page(cmd, now));
+                    self.complete_host_page(cmd, now, step);
                     self.chips[chip].queue.push_back(ChipJob::ProgramDestage {
                         cmd,
                         bytes: page_bytes,
@@ -505,29 +518,25 @@ impl Ssd {
                         extra_mapping_read,
                     });
                 }
-                step.merge(self.kick_chip(chip, now));
+                self.kick_chip(chip, now, step);
             }
         }
-        step.merge(self.kick_channel(channel, now));
-        step
+        self.kick_channel(channel, now, step);
     }
 
     /// Turn owed GC work into timed chip jobs: one read+program per
     /// migrated valid page, then the block erase.
-    fn enqueue_gc(&mut self, work: crate::ftl::GcWork, now: SimTime) -> SsdStep {
-        let mut step = SsdStep::default();
+    fn enqueue_gc(&mut self, work: crate::ftl::GcWork, now: SimTime, step: &mut SsdStep) {
         for _ in 0..work.moved_pages {
             self.chips[work.chip].queue.push_back(ChipJob::GcCopy);
         }
         self.chips[work.chip].queue.push_back(ChipJob::Erase);
-        step.merge(self.kick_chip(work.chip, now));
-        step
+        self.kick_chip(work.chip, now, step);
     }
 
     /// Account one host-visible page of `cmd`; emits the completion when
     /// all pages arrived.
-    fn complete_host_page(&mut self, cmd: u64, now: SimTime) -> SsdStep {
-        let mut step = SsdStep::default();
+    fn complete_host_page(&mut self, cmd: u64, now: SimTime, step: &mut SsdStep) {
         let st = self
             .commands
             .get_mut(&cmd)
@@ -554,13 +563,11 @@ impl Ssd {
             });
             self.gc_entry(cmd);
         }
-        step
     }
 
     /// Account one page of flash-level work of `cmd`; emits the slot
     /// release when all work finished.
-    fn complete_work_page(&mut self, cmd: u64) -> SsdStep {
-        let mut step = SsdStep::default();
+    fn complete_work_page(&mut self, cmd: u64, step: &mut SsdStep) {
         let st = self
             .commands
             .get_mut(&cmd)
@@ -571,7 +578,6 @@ impl Ssd {
             step.releases.push(CommandRelease { id: cmd, op: st.op });
             self.gc_entry(cmd);
         }
-        step
     }
 
     /// Remove the command-table entry once both host completion and slot

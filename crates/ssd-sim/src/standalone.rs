@@ -7,7 +7,7 @@
 //! crate.
 
 use crate::config::SsdConfig;
-use crate::ssd::{Ssd, SsdCommand, SsdEvent, SsdStats};
+use crate::ssd::{Ssd, SsdCommand, SsdEvent, SsdStats, SsdStep};
 use sim_engine::{EventQueue, SimTime};
 use std::collections::VecDeque;
 
@@ -26,9 +26,12 @@ pub fn run_closed_loop(
     let mut now = SimTime::ZERO;
     let mut last_completion = SimTime::ZERO;
 
+    let mut step = SsdStep::default();
+
     let feed = |ssd: &mut Ssd,
                 q: &mut EventQueue<SsdEvent>,
                 pending: &mut VecDeque<SsdCommand>,
+                step: &mut SsdStep,
                 completed: &mut usize,
                 last: &mut SimTime,
                 now: SimTime| {
@@ -36,12 +39,13 @@ pub fn run_closed_loop(
             let Some(cmd) = pending.pop_front() else {
                 break;
             };
-            let step = ssd.submit(cmd, now);
-            for c in step.completions {
+            step.clear();
+            ssd.submit_into(cmd, now, step);
+            for c in &step.completions {
                 *completed += 1;
                 *last = c.at;
             }
-            for (t, e) in step.schedule {
+            for &(t, e) in &step.schedule {
                 q.schedule(t, e);
             }
         }
@@ -51,6 +55,7 @@ pub fn run_closed_loop(
         &mut ssd,
         &mut q,
         &mut pending,
+        &mut step,
         &mut completed,
         &mut last_completion,
         now,
@@ -60,18 +65,20 @@ pub fn run_closed_loop(
             panic!("event queue drained with {completed}/{total} commands done");
         };
         now = t;
-        let step = ssd.handle(ev, now);
-        for c in step.completions {
+        step.clear();
+        ssd.handle_into(ev, now, &mut step);
+        for c in &step.completions {
             completed += 1;
             last_completion = c.at;
         }
-        for (t2, e2) in step.schedule {
+        for &(t2, e2) in &step.schedule {
             q.schedule(t2, e2);
         }
         feed(
             &mut ssd,
             &mut q,
             &mut pending,
+            &mut step,
             &mut completed,
             &mut last_completion,
             now,

@@ -134,9 +134,17 @@ impl StorageNode {
     /// request was absorbed into an existing command, it will produce no
     /// separate completion.
     pub fn submit(&mut self, req: Request, now: SimTime) -> SsdStep {
+        let mut step = SsdStep::default();
+        self.submit_into(req, now, &mut step);
+        step
+    }
+
+    /// Allocation-free variant of [`StorageNode::submit`]: appends to a
+    /// caller-owned step instead of returning a fresh one.
+    pub fn submit_into(&mut self, req: Request, now: SimTime, step: &mut SsdStep) {
         let merged = self.disc.enqueue_or_merge(req);
         self.merged += merged as u64;
-        self.pump(now)
+        self.pump_into(now, step);
     }
 
     /// Requests absorbed by merging so far.
@@ -149,19 +157,35 @@ impl StorageNode {
     /// (flash work finished), not on host completions — cached writes
     /// complete early but keep their slot until the destage lands.
     pub fn on_ssd_event(&mut self, ev: SsdEvent, now: SimTime) -> SsdStep {
-        let mut step = self.ssd.handle(ev, now);
-        for r in &step.releases {
-            self.disc.on_complete(r.op);
-        }
-        step.merge_from(self.pump(now));
+        let mut step = SsdStep::default();
+        self.on_ssd_event_into(ev, now, &mut step);
         step
+    }
+
+    /// Allocation-free variant of [`StorageNode::on_ssd_event`]: appends
+    /// to a caller-owned step instead of returning a fresh one.
+    pub fn on_ssd_event_into(&mut self, ev: SsdEvent, now: SimTime, step: &mut SsdStep) {
+        let rel_start = step.releases.len();
+        self.ssd.handle_into(ev, now, step);
+        for i in rel_start..step.releases.len() {
+            self.disc.on_complete(step.releases[i].op);
+        }
+        self.pump_into(now, step);
     }
 
     /// Move fetchable commands into the SSD, honoring the read gate.
     pub fn pump(&mut self, now: SimTime) -> SsdStep {
         let mut step = SsdStep::default();
+        self.pump_into(now, &mut step);
+        step
+    }
+
+    /// Allocation-free variant of [`StorageNode::pump`]: appends to a
+    /// caller-owned step instead of returning a fresh one.
+    pub fn pump_into(&mut self, now: SimTime, step: &mut SsdStep) {
         while let Some(cmd) = self.disc.fetch_gated(self.read_gate_open) {
-            let s = self.ssd.submit(
+            let (n_compl, n_rel) = (step.completions.len(), step.releases.len());
+            self.ssd.submit_into(
                 SsdCommand {
                     id: cmd.id,
                     op: cmd.op,
@@ -169,9 +193,9 @@ impl StorageNode {
                     size: cmd.size,
                 },
                 now,
+                step,
             );
-            debug_assert!(s.completions.is_empty() && s.releases.is_empty());
-            step.merge_from(s);
+            debug_assert!(step.completions.len() == n_compl && step.releases.len() == n_rel);
         }
         if self.probes.is_enabled() {
             for d in self.disc.drain_decisions() {
@@ -184,7 +208,6 @@ impl StorageNode {
                 }
             }
         }
-        step
     }
 
     /// Open or close the read gate (transmit-queue backpressure). The

@@ -93,6 +93,7 @@ fn run_trace_impl(
     let mut q: EventQueue<Ev> = EventQueue::new();
     let mut report = NodeReport::new(BIN);
     let mut submit_time: HashMap<u64, SimTime> = HashMap::new();
+    let mut step = ssd_sim::SsdStep::default();
 
     for (i, r) in trace.requests().iter().enumerate() {
         q.schedule(r.arrival, Ev::Arrival(i));
@@ -107,13 +108,14 @@ fn run_trace_impl(
                 break;
             }
         }
-        let step = match ev {
+        step.clear();
+        match ev {
             Ev::Arrival(i) => {
                 let r = trace.requests()[i];
                 submit_time.insert(r.id, now);
-                node.submit(r, now)
+                node.submit_into(r, now, &mut step);
             }
-            Ev::Ssd(e) => node.on_ssd_event(e, now),
+            Ev::Ssd(e) => node.on_ssd_event_into(e, now, &mut step),
             Ev::SetWeight(w) => {
                 node.set_weight_ratio(w);
                 report.weight_changes.push((now, w));
@@ -126,7 +128,7 @@ fn run_trace_impl(
                         value: w as f64,
                     });
                 }
-                node.pump(now)
+                node.pump_into(now, &mut step);
             }
         };
         if tracing {
@@ -159,7 +161,7 @@ fn run_trace_impl(
             }
             report.makespan = report.makespan.max(c.at.since(SimTime::ZERO));
         }
-        for (t, e) in step.schedule {
+        for &(t, e) in &step.schedule {
             q.schedule(t, Ev::Ssd(e));
         }
     }

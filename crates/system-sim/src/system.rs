@@ -3,7 +3,7 @@
 
 use crate::config::{Assignment, CcChoice, Mode, SystemConfig, TargetSelection, TopologyKind};
 use crate::report::SystemReport;
-use fabric::{decode_tag, InitiatorProto, MsgKind, TargetProto, TxqPolicy, WireSend};
+use fabric::{decode_tag, InitiatorProto, MsgKind, TargetProto, TxqPolicy};
 use net_sim::network::{NetEvent, NetStep, Network};
 use net_sim::topology::{build_clos, build_star, NodeId};
 use net_sim::FlowId;
@@ -185,18 +185,23 @@ pub fn run_system(
     let tgt_host_index: HashMap<NodeId, usize> =
         tgt_hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
 
-    // Helper: execute a wire send and fold the NetStep into the queue.
-    let exec_send = |net: &mut Network, ws: WireSend, now: SimTime| -> NetStep {
-        net.send(ws.flow, ws.bytes, ws.tag, now)
-    };
+    // Reusable scratch buffers for the hot loop: each event triggers at
+    // most one network step (`net_step`); sends issued while folding
+    // storage completions go through `io_step`; `ssd_scheds` keeps its
+    // LIFO processing order while `ssd_pool` recycles the drained step
+    // buffers, so the steady state allocates nothing per event.
+    let mut net_step = NetStep::default();
+    let mut io_step = NetStep::default();
+    let mut ssd_scheds: Vec<(usize, ssd_sim::SsdStep)> = Vec::new();
+    let mut ssd_pool: Vec<ssd_sim::SsdStep> = Vec::new();
+    let mut notified: Vec<usize> = Vec::new();
 
     while let Some((now, ev)) = q.pop() {
         if finished >= total {
             break;
         }
-        // Collect network steps triggered during this event.
-        let mut net_steps: Vec<NetStep> = Vec::new();
-        let mut ssd_scheds: Vec<(usize, ssd_sim::SsdStep)> = Vec::new();
+        net_step.clear();
+        debug_assert!(ssd_scheds.is_empty());
 
         match ev {
             Ev::Issue(i) => {
@@ -224,13 +229,14 @@ pub fn run_system(
                 actual_target[a.request.id as usize] = target;
                 let ws =
                     initiators[a.initiator].issue(&a.request, out_flows[a.initiator][target], now);
-                net_steps.push(exec_send(&mut net, ws, now));
+                net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut net_step);
             }
             Ev::Net(nev) => {
-                net_steps.push(net.handle(nev, now));
+                net.handle_into(nev, now, &mut net_step);
             }
             Ev::Ssd { target, ev } => {
-                let step = targets[target].node.on_ssd_event(ev, now);
+                let mut step = ssd_pool.pop().unwrap_or_default();
+                targets[target].node.on_ssd_event_into(ev, now, &mut step);
                 ssd_scheds.push((target, step));
             }
             Ev::Background { src } => {
@@ -243,12 +249,13 @@ pub fn run_system(
                     // topped up (so the link stays contended at whatever
                     // rate DCQCN allows) without unbounded backlog.
                     if net.flow_backlog_bytes(bg_flows[src]) < 4 * bg.bytes_per_burst {
-                        net_steps.push(net.send(
+                        net.send_into(
                             bg_flows[src],
                             bg.bytes_per_burst,
                             u64::MAX - src as u64, // tag unused for background
                             now,
-                        ));
+                            &mut net_step,
+                        );
                     }
                     let next = now + bg.burst_interval;
                     if next < bg.stop {
@@ -260,9 +267,9 @@ pub fn run_system(
 
         // Process network outputs (may cascade into storage submissions,
         // which in turn produce more sends).
-        let mut pending = net_steps;
-        while let Some(step) = pending.pop() {
-            for (t, e) in step.schedule {
+        {
+            let step = &net_step;
+            for &(t, e) in &step.schedule {
                 q.schedule(t, Ev::Net(e));
             }
             for &host in &step.pauses_received {
@@ -273,7 +280,7 @@ pub fn run_system(
             }
             // SRC: congestion notifications from inbound-flow rate
             // changes, aggregated per target.
-            let mut notified: Vec<usize> = Vec::new();
+            notified.clear();
             for (flow, rate) in &step.rate_changes {
                 if let Some(FlowRole::Inbound { target }) = flow_roles.get(flow) {
                     report.min_inbound_rate_gbps =
@@ -283,7 +290,7 @@ pub fn run_system(
                     }
                 }
             }
-            for t_idx in notified {
+            for &t_idx in &notified {
                 let demanded_bps: u64 = targets[t_idx]
                     .in_flows
                     .iter()
@@ -307,12 +314,13 @@ pub fn run_system(
                 if let Some(src) = t.src.as_mut() {
                     if let Some(w) = src.on_congestion_notification(demanded, now) {
                         t.node.set_weight_ratio(w);
-                        let step = t.node.pump(now);
-                        ssd_scheds.push((t_idx, step));
+                        let mut s = ssd_pool.pop().unwrap_or_default();
+                        t.node.pump_into(now, &mut s);
+                        ssd_scheds.push((t_idx, s));
                     }
                 }
             }
-            for d in step.deliveries {
+            for d in &step.deliveries {
                 if matches!(flow_roles.get(&d.flow), Some(FlowRole::Background)) {
                     continue;
                 }
@@ -331,8 +339,9 @@ pub fn run_system(
                         let sub =
                             t.proto
                                 .on_command(kind, &a.request, t.in_flows[a.initiator], now);
-                        let step = t.node.submit(sub.request, now);
-                        ssd_scheds.push((tgt_idx, step));
+                        let mut s = ssd_pool.pop().unwrap_or_default();
+                        t.node.submit_into(sub.request, now, &mut s);
+                        ssd_scheds.push((tgt_idx, s));
                     }
                     MsgKind::ReadData => {
                         let c = initiators[a.initiator].on_inbound(kind, req_id, now);
@@ -352,8 +361,7 @@ pub fn run_system(
 
         // Fold storage-side schedules and new completions that appeared
         // while pumping.
-        let mut ssd_pending = ssd_scheds;
-        while let Some((t_idx, step)) = ssd_pending.pop() {
+        while let Some((t_idx, mut step)) = ssd_scheds.pop() {
             for c in &step.completions {
                 if c.op == IoType::Write {
                     report.writes_completed += 1;
@@ -363,15 +371,16 @@ pub fn run_system(
                     report.write_latency_us.push(now.since(issued).as_us_f64());
                 }
                 let ws = targets[t_idx].proto.on_storage_completion(c.id, now);
-                let net_step = exec_send(&mut net, ws, now);
-                for (t, e) in net_step.schedule {
+                io_step.clear();
+                net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut io_step);
+                for &(t, e) in &io_step.schedule {
                     q.schedule(t, Ev::Net(e));
                 }
                 // (Sends here can't complete requests or change rates
                 // synchronously; deliveries come back as events.)
-                debug_assert!(net_step.deliveries.is_empty());
+                debug_assert!(io_step.deliveries.is_empty());
             }
-            for (t, e) in step.schedule {
+            for &(t, e) in &step.schedule {
                 q.schedule(
                     t,
                     Ev::Ssd {
@@ -380,6 +389,8 @@ pub fn run_system(
                     },
                 );
             }
+            step.clear();
+            ssd_pool.push(step);
         }
 
         // TXQ backpressure: observe every target's NIC backlog and open/
@@ -400,7 +411,8 @@ pub fn run_system(
                 }
                 t.node.set_read_gate(open);
                 if open {
-                    let step = t.node.pump(now);
+                    let mut step = ssd_pool.pop().unwrap_or_default();
+                    t.node.pump_into(now, &mut step);
                     for c in &step.completions {
                         if c.op == IoType::Write {
                             report.writes_completed += 1;
@@ -410,12 +422,13 @@ pub fn run_system(
                             report.write_latency_us.push(now.since(issued).as_us_f64());
                         }
                         let ws = t.proto.on_storage_completion(c.id, now);
-                        let net_step = net.send(ws.flow, ws.bytes, ws.tag, now);
-                        for (tt, e) in net_step.schedule {
+                        io_step.clear();
+                        net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut io_step);
+                        for &(tt, e) in &io_step.schedule {
                             q.schedule(tt, Ev::Net(e));
                         }
                     }
-                    for (tt, e) in step.schedule {
+                    for &(tt, e) in &step.schedule {
                         q.schedule(
                             tt,
                             Ev::Ssd {
@@ -424,6 +437,8 @@ pub fn run_system(
                             },
                         );
                     }
+                    step.clear();
+                    ssd_pool.push(step);
                 } else {
                     report.gate_closures.push((now, t_idx));
                 }

@@ -1,0 +1,68 @@
+//! Golden-trace regression anchor for the Fig. 9 scripted run.
+//!
+//! `tests/fixtures/fig9_trace_quick_seed42.jsonl` is the JSON-lines
+//! telemetry trace the `fig9_dynamic` binary writes in quick mode at
+//! seed 42 — the scripted convergence run merged with the congested
+//! fabric slice, exactly as `run_buffered` assembles it. The fixture
+//! was captured from a verified run and is byte-identical in both
+//! sink modes (buffered `RingSink` and streaming `FileSink`).
+//!
+//! Any change to event ordering — the timing-wheel event queue, the
+//! allocation-free step plumbing, scheduler chunking — that perturbs
+//! the simulation shows up here as a byte diff, turning "determinism
+//! preserved" from a claim into a test.
+
+use srcsim::sim_engine::runner::with_threads;
+use srcsim::sim_engine::RingSink;
+use srcsim::system_sim::experiments::{fig9, fig9_fabric_slice, Scale};
+
+const SEED: u64 = 42;
+const FIXTURE: &str = include_str!("fixtures/fig9_trace_quick_seed42.jsonl");
+
+/// Reproduce the exact trace `fig9_dynamic` writes in buffered quick
+/// mode: scripted run and fabric slice into RingSinks, reports merged,
+/// serialized as JSON lines.
+fn quick_trace() -> String {
+    let scale = Scale::quick();
+    let mut sink = RingSink::new(1 << 20);
+    let _ = fig9(&scale, SEED, &mut sink);
+    let mut rep = sink.into_report();
+    let mut fabric_sink = RingSink::new(1 << 20);
+    let _ = fig9_fabric_slice(&scale, SEED, &mut fabric_sink);
+    rep.merge(fabric_sink.into_report());
+    rep.to_json_lines()
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy simulation; run in release")]
+fn fig9_quick_trace_matches_committed_fixture() {
+    let got = with_threads(1, quick_trace);
+    if got != FIXTURE {
+        // A full diff of 600 KB is useless in a test log; report the
+        // first divergent line instead.
+        let line = got
+            .lines()
+            .zip(FIXTURE.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1);
+        panic!(
+            "fig9 quick trace diverged from the committed fixture \
+             ({} vs {} lines, first differing line: {:?})",
+            got.lines().count(),
+            FIXTURE.lines().count(),
+            line
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy simulation; run in release")]
+fn fig9_quick_trace_identical_at_four_threads() {
+    // The scripted run is single-threaded today, but the contract is
+    // thread-count independence of every committed artifact.
+    let got = with_threads(4, quick_trace);
+    assert!(
+        got == FIXTURE,
+        "fig9 quick trace at threads=4 diverged from the fixture"
+    );
+}

@@ -110,16 +110,25 @@ where
     if threads <= 1 {
         return (0..n).map(f).collect();
     }
+    // Chunked claims: each cursor bump grabs a run of indices instead of
+    // one, cutting contention on the shared counter for large grids.
+    // `threads * 4` chunks per thread on average keeps dynamic load
+    // balancing (an unlucky thread gives up at most one chunk of slack).
+    // Results are still written by index, so chunking cannot change the
+    // output.
+    let chunk = (n / (threads * 4)).max(1);
     let cursor = AtomicUsize::new(0);
     let worker = || {
         IN_WORKER.with(|c| c.set(true));
         let mut got: Vec<(usize, T)> = Vec::new();
         loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
                 break;
             }
-            got.push((i, f(i)));
+            for i in start..(start + chunk).min(n) {
+                got.push((i, f(i)));
+            }
         }
         got
     };
@@ -264,5 +273,21 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<u8> = with_threads(4, || run_indexed(0, |_| 0u8));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunked_matches_serial_across_sizes() {
+        // Sizes around the chunking boundaries: n < threads (chunk
+        // clamps to 1), n not divisible by threads * 4, and n large
+        // enough for multi-element chunks. The parallel result must be
+        // exactly the serial map at every size and thread count.
+        let cell = |i: usize| (i as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ i as u64;
+        for n in [1, 2, 3, 7, 16, 33, 100, 257, 1024] {
+            let serial: Vec<u64> = (0..n).map(cell).collect();
+            for threads in [2, 3, 4, 8] {
+                let par = with_threads(threads, || run_indexed(n, cell));
+                assert_eq!(par, serial, "n={n} threads={threads}");
+            }
+        }
     }
 }
