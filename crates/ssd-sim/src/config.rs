@@ -10,7 +10,7 @@ use sim_engine::{ByteSize, SimDuration};
 /// MQSim-style internals we add (documented in DESIGN.md) and are chosen
 /// so peak device throughput lands in the 10–13 Gbps range the paper's
 /// figures show.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SsdConfig {
     /// Device queue depth: maximum commands fetched concurrently.
     pub queue_depth: usize,
@@ -103,6 +103,33 @@ impl SsdConfig {
             pages_per_block: 256,
             gc_free_blocks: 2,
             erase_latency: SimDuration::from_ms(2),
+        }
+    }
+
+    /// The Table II model this configuration matches (`"ssd_a"`,
+    /// `"ssd_b"`, `"ssd_c"`), or `"custom"` for anything else. Used to
+    /// label per-device results and telemetry in heterogeneous fleets.
+    pub fn model_name(&self) -> &'static str {
+        if *self == Self::ssd_a() {
+            "ssd_a"
+        } else if *self == Self::ssd_b() {
+            "ssd_b"
+        } else if *self == Self::ssd_c() {
+            "ssd_c"
+        } else {
+            "custom"
+        }
+    }
+
+    /// Static telemetry metric name tagging a Target's `ssd` gauge
+    /// stream with its device model (see DESIGN.md "Heterogeneous
+    /// fleets").
+    pub fn model_metric(&self) -> &'static str {
+        match self.model_name() {
+            "ssd_a" => "model_ssd_a",
+            "ssd_b" => "model_ssd_b",
+            "ssd_c" => "model_ssd_c",
+            _ => "model_custom",
         }
     }
 

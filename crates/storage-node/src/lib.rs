@@ -30,8 +30,6 @@ pub mod sweep;
 
 pub use node::{DisciplineKind, NodeConfig, StorageNode};
 pub use report::NodeReport;
-#[allow(deprecated)]
-pub use runner::run_trace_windowed_with_schedule_traced;
 pub use runner::{
     run_trace, run_trace_windowed, run_trace_windowed_with_schedule, run_trace_with_schedule,
 };

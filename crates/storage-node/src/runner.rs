@@ -51,21 +51,6 @@ pub fn run_trace_windowed_with_schedule(
     run_trace_impl(cfg, trace, weight_schedule, Some(trace.span()), sink)
 }
 
-/// Deprecated alias for [`run_trace_windowed_with_schedule`], which now
-/// takes the sink directly.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `run_trace_windowed_with_schedule` — it takes the sink directly"
-)]
-pub fn run_trace_windowed_with_schedule_traced(
-    cfg: &NodeConfig,
-    trace: &Trace,
-    weight_schedule: &[(SimTime, u32)],
-    sink: &mut dyn TraceSink,
-) -> NodeReport {
-    run_trace_windowed_with_schedule(cfg, trace, weight_schedule, sink)
-}
-
 /// Run a trace, applying `(time, weight)` changes as they come due
 /// (scripted version of SRC's dynamic adjustment, for device-level
 /// experiments).

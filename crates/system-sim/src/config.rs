@@ -112,8 +112,12 @@ pub struct SystemConfig {
     pub n_initiators: usize,
     /// Number of Target hosts.
     pub n_targets: usize,
-    /// SSD model on every Target.
-    pub ssd: SsdConfig,
+    /// SSD model per Target. A single-element vector is the homogeneous
+    /// shorthand: that one device model applies to every Target. A
+    /// longer vector must have exactly `n_targets` entries, giving each
+    /// Target its own device (heterogeneous fleets; see DESIGN.md
+    /// "Heterogeneous fleets").
+    pub ssds: Vec<SsdConfig>,
     /// Baseline vs SRC.
     pub mode: Mode,
     /// DCQCN parameters (also carries the switch ECN thresholds).
@@ -140,7 +144,7 @@ impl Default for SystemConfig {
             topology: TopologyKind::default(),
             n_initiators: 1,
             n_targets: 2,
-            ssd: SsdConfig::ssd_a(),
+            ssds: vec![SsdConfig::ssd_a()],
             mode: Mode::DcqcnOnly,
             dcqcn: DcqcnParams::default(),
             pfc: PfcParams::default(),
@@ -159,13 +163,54 @@ impl SystemConfig {
     pub fn builder() -> SystemConfigBuilder {
         SystemConfigBuilder {
             cfg: SystemConfig::default(),
+            fleet_explicit: false,
         }
     }
 
     /// Builder starting from this configuration — the idiom for mode
     /// variants of a shared base (`base.to_builder().mode(…).build()`).
     pub fn to_builder(&self) -> SystemConfigBuilder {
-        SystemConfigBuilder { cfg: self.clone() }
+        SystemConfigBuilder {
+            fleet_explicit: self.ssds.len() > 1,
+            cfg: self.clone(),
+        }
+    }
+
+    /// The device model serving Target `t` — `ssds[t]`, or the single
+    /// shared entry under the homogeneous shorthand.
+    ///
+    /// # Panics
+    /// Panics when `t >= n_targets` or the fleet shape is invalid (see
+    /// [`SystemConfig::validate_fleet`]).
+    pub fn ssd_for(&self, t: usize) -> &SsdConfig {
+        assert!(t < self.n_targets, "target {t} out of {}", self.n_targets);
+        self.validate_fleet();
+        if self.ssds.len() == 1 {
+            &self.ssds[0]
+        } else {
+            &self.ssds[t]
+        }
+    }
+
+    /// Check the fleet shape: `ssds` must hold either one entry (the
+    /// homogeneous shorthand) or exactly one entry per Target.
+    ///
+    /// # Panics
+    /// Panics on any other length.
+    pub fn validate_fleet(&self) {
+        assert!(
+            self.ssds.len() == 1 || self.ssds.len() == self.n_targets,
+            "ssds holds {} device configs for {} targets (expected 1 or {})",
+            self.ssds.len(),
+            self.n_targets,
+            self.n_targets
+        );
+        assert!(!self.ssds.is_empty(), "ssds must not be empty");
+    }
+
+    /// True when the Targets do not all run the same device model.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.ssds.len() > 1 && self.ssds.iter().any(|s| *s != self.ssds[0])
     }
 }
 
@@ -182,6 +227,11 @@ impl SystemConfig {
 #[derive(Clone, Debug)]
 pub struct SystemConfigBuilder {
     cfg: SystemConfig,
+    /// Set once the fleet is given explicitly (`ssds` /
+    /// `ssd_for_target`), after which [`SystemConfigBuilder::build`]
+    /// demands exactly `n_targets` entries. The `ssd` shorthand keeps a
+    /// single broadcast entry instead.
+    fleet_explicit: bool,
 }
 
 macro_rules! builder_setters {
@@ -204,8 +254,6 @@ impl SystemConfigBuilder {
         n_initiators: usize,
         /// Number of Target hosts.
         n_targets: usize,
-        /// SSD model on every Target.
-        ssd: SsdConfig,
         /// Baseline vs SRC.
         mode: Mode,
         /// DCQCN parameters (also carries the switch ECN thresholds).
@@ -226,8 +274,60 @@ impl SystemConfigBuilder {
         cc: CcChoice,
     }
 
+    /// SSD model on every Target (the homogeneous shorthand: one entry
+    /// broadcast across the fleet, whatever `n_targets` ends up being).
+    pub fn ssd(mut self, ssd: SsdConfig) -> Self {
+        self.cfg.ssds = vec![ssd];
+        self.fleet_explicit = false;
+        self
+    }
+
+    /// Explicit per-Target device fleet. [`SystemConfigBuilder::build`]
+    /// rejects the configuration unless `ssds.len() == n_targets`.
+    pub fn ssds(mut self, ssds: Vec<SsdConfig>) -> Self {
+        self.cfg.ssds = ssds;
+        self.fleet_explicit = true;
+        self
+    }
+
+    /// Override the device on Target `t` only. Set `n_targets` first:
+    /// the current fleet (or homogeneous shorthand) is materialized to
+    /// `n_targets` entries before the override lands.
+    ///
+    /// # Panics
+    /// Panics when `t >= n_targets`, or when an explicit fleet of the
+    /// wrong length was set earlier.
+    pub fn ssd_for_target(mut self, t: usize, ssd: SsdConfig) -> Self {
+        let n = self.cfg.n_targets;
+        assert!(t < n, "target {t} out of {n} (set n_targets first)");
+        if self.cfg.ssds.len() != n {
+            assert!(
+                !self.fleet_explicit && self.cfg.ssds.len() == 1,
+                "explicit fleet has {} entries for {n} targets",
+                self.cfg.ssds.len()
+            );
+            self.cfg.ssds = vec![self.cfg.ssds[0].clone(); n];
+        }
+        self.cfg.ssds[t] = ssd;
+        self.fleet_explicit = true;
+        self
+    }
+
     /// Finish, yielding the configuration.
+    ///
+    /// # Panics
+    /// Panics when an explicit fleet (`ssds` / `ssd_for_target`) does
+    /// not hold exactly `n_targets` entries.
     pub fn build(self) -> SystemConfig {
+        if self.fleet_explicit {
+            assert!(
+                self.cfg.ssds.len() == self.cfg.n_targets,
+                "ssds holds {} device configs for {} targets",
+                self.cfg.ssds.len(),
+                self.cfg.n_targets
+            );
+        }
+        self.cfg.validate_fleet();
         self.cfg
     }
 }

@@ -7,7 +7,7 @@ use crate::config::{
 };
 use crate::report::SystemReport;
 use crate::scripted::{fig9_events, run_scripted, ScriptedResult};
-use crate::system::run_system;
+use crate::system::{run_system, run_system_fleet};
 use ml::Dataset;
 use serde::{Deserialize, Serialize};
 use sim_engine::runner::join;
@@ -331,22 +331,6 @@ pub fn fig7_fig8(
     }
 }
 
-/// Deprecated alias for [`fig7_fig8`], which now takes the sinks
-/// directly.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `fig7_fig8` — it takes the sinks directly"
-)]
-pub fn fig7_fig8_traced(
-    ssd: &SsdConfig,
-    scale: &Scale,
-    tpm: Arc<ThroughputPredictionModel>,
-    seed: u64,
-    sinks: (&mut dyn TraceSink, &mut dyn TraceSink),
-) -> Fig7Result {
-    fig7_fig8(ssd, scale, tpm, seed, sinks)
-}
-
 // ----------------------------------------------------------------------
 // Fig. 9 — dynamic control convergence on SSD-B
 
@@ -376,12 +360,6 @@ pub fn fig9(scale: &Scale, seed: u64, sink: &mut dyn TraceSink) -> ScriptedResul
     let spacing = SimDuration::from_ms(((span_ms / 5.0).max(2.0)) as u64);
     let events = fig9_events(baseline, SimTime::ZERO + spacing, spacing);
     run_scripted(&ssd, &trace, &events, tpm, &SrcConfig::default(), sink)
-}
-
-/// Deprecated alias for [`fig9`], which now takes the sink directly.
-#[deprecated(since = "0.4.0", note = "use `fig9` — it takes the sink directly")]
-pub fn fig9_traced(scale: &Scale, seed: u64, sink: &mut dyn TraceSink) -> ScriptedResult {
-    fig9(scale, seed, sink)
 }
 
 /// Companion fabric slice for the Fig. 9 trace: the scripted convergence
@@ -621,7 +599,25 @@ pub fn extension_distribution(
     tpm: Arc<ThroughputPredictionModel>,
     seed: u64,
 ) -> Vec<DistributionRow> {
-    let n_targets = 4;
+    let ssds = vec![ssd.clone(); 4];
+    let tpms = vec![tpm; 4];
+    extension_distribution_fleet(&ssds, scale, &tpms, seed)
+}
+
+/// [`extension_distribution`] on an arbitrary device fleet: one
+/// [`SsdConfig`] and one (device-matched) TPM per Target. On a
+/// heterogeneous fleet the least-loaded margin over static assignment
+/// is structural — static round-robin feeds the slow and fast devices
+/// equally, so the fast devices starve while the slow ones back up —
+/// rather than the bimodal noise the homogeneous 4:1 grid shows.
+pub fn extension_distribution_fleet(
+    ssds: &[SsdConfig],
+    scale: &Scale,
+    tpms: &[Arc<ThroughputPredictionModel>],
+    seed: u64,
+) -> Vec<DistributionRow> {
+    let n_targets = ssds.len();
+    assert_eq!(tpms.len(), n_targets, "one TPM per target");
     let total_requests = scale.requests_per_target * n_targets;
     let trace = generate_micro(
         &MicroConfig {
@@ -645,13 +641,13 @@ pub fn extension_distribution(
         let cfg = SystemConfig::builder()
             .n_initiators(1)
             .n_targets(n_targets)
-            .ssd(ssd.clone())
+            .ssds(ssds.to_vec())
             .mode(Mode::DcqcnSrc)
             .background(paper_background(&assignments))
             .pfc(paper_pfc())
             .target_selection(policy)
             .build();
-        let r = run_system(&cfg, &assignments, Some(tpm.clone()), &mut NullSink);
+        let r = run_system_fleet(&cfg, &assignments, Some(tpms), &mut NullSink);
         DistributionRow {
             policy: label.to_string(),
             aggregated_gbps: r.aggregated_tput().as_gbps_f64(),
@@ -710,4 +706,171 @@ pub fn extension_timely(
         dcqcn_only,
         dcqcn_src,
     }
+}
+
+// ----------------------------------------------------------------------
+// Extension: heterogeneous device fleets
+
+/// Per-device lane of a heterogeneous in-cast cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceLane {
+    /// Target index in the fleet.
+    pub target: usize,
+    /// Device model name ("ssd_a", "ssd_b", ...).
+    pub model: String,
+    /// DCQCN-only mean throughput of this device over the makespan, Gbps.
+    pub only_gbps: f64,
+    /// DCQCN-SRC mean throughput of this device over the makespan, Gbps.
+    pub src_gbps: f64,
+}
+
+/// One cell of the heterogeneous in-cast sweep: a Table IV-style row
+/// plus a per-device breakdown.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HeterogeneousRow {
+    /// Ratio label, e.g. "2:1".
+    pub ratio: String,
+    /// DCQCN-only aggregated throughput, Gbps.
+    pub only_gbps: f64,
+    /// DCQCN-SRC aggregated throughput, Gbps.
+    pub src_gbps: f64,
+    /// Improvement of SRC over the baseline, percent.
+    pub improvement_pct: f64,
+    /// Per-device throughput split, in target order.
+    pub lanes: Vec<DeviceLane>,
+}
+
+/// Alternating SSD-A / SSD-B fleet of `n_targets` devices (even targets
+/// get the high-capacity SSD-A, odd ones the low-latency SSD-B).
+pub fn ab_fleet(n_targets: usize) -> Vec<SsdConfig> {
+    (0..n_targets)
+        .map(|t| {
+            if t % 2 == 0 {
+                SsdConfig::ssd_a()
+            } else {
+                SsdConfig::ssd_b()
+            }
+        })
+        .collect()
+}
+
+/// Train one TPM per device in `ssds`, reusing a single trained model
+/// per distinct device config (the paper trains per device, not per
+/// Target instance).
+pub fn train_fleet_tpms(
+    ssds: &[SsdConfig],
+    scale: &Scale,
+    seed: u64,
+) -> Vec<Arc<ThroughputPredictionModel>> {
+    let mut trained: Vec<(SsdConfig, Arc<ThroughputPredictionModel>)> = Vec::new();
+    ssds.iter()
+        .map(|ssd| {
+            if let Some((_, tpm)) = trained.iter().find(|(s, _)| s == ssd) {
+                return tpm.clone();
+            }
+            let tpm = train_tpm(ssd, scale, seed);
+            trained.push((ssd.clone(), tpm.clone()));
+            tpm
+        })
+        .collect()
+}
+
+/// The Table IV in-cast sweep on a heterogeneous fleet: an alternating
+/// SSD-A/SSD-B mix swept over the same 2:1, 3:1, 4:1, 4:4 ratios, with
+/// per-device TPMs so each Target's SRC weight decisions use its own
+/// device's predicted throughput. `tpm_a`/`tpm_b` must be trained on
+/// SSD-A/SSD-B respectively (see [`train_tpm`]).
+///
+/// The grid is checkpointable (`SRCSIM_CHECKPOINT_DIR`) and runs on the
+/// scenario pool like the homogeneous Table IV.
+pub fn ext_heterogeneous(
+    scale: &Scale,
+    tpm_a: Arc<ThroughputPredictionModel>,
+    tpm_b: Arc<ThroughputPredictionModel>,
+    seed: u64,
+) -> Vec<HeterogeneousRow> {
+    let ratios: [(usize, usize); 4] = [(2, 1), (3, 1), (4, 1), (4, 4)];
+    let ckpt = CheckpointSpec::from_env(
+        "ext_heterogeneous",
+        &format!("ext_heterogeneous scale={scale:?} seed={seed}"),
+    );
+    ScenarioRunner::from_env().run_cells_resumable(
+        ckpt.as_ref(),
+        seed,
+        &ratios,
+        |_, &(n_targets, n_initiators)| {
+            let ssds = ab_fleet(n_targets);
+            let tpms: Vec<Arc<ThroughputPredictionModel>> = ssds
+                .iter()
+                .map(|s| {
+                    if *s == SsdConfig::ssd_a() {
+                        tpm_a.clone()
+                    } else {
+                        tpm_b.clone()
+                    }
+                })
+                .collect();
+            let total_requests = scale.requests_per_target * n_targets;
+            let trace = generate_micro(
+                &MicroConfig {
+                    // Same offered load as Table IV: ~38 Gbps of reads.
+                    read_iat_mean_us: 9.2,
+                    write_iat_mean_us: 9.2,
+                    read_size_mean: 44_000.0,
+                    write_size_mean: 23_000.0,
+                    read_count: total_requests,
+                    write_count: total_requests,
+                    ..MicroConfig::default()
+                },
+                seed,
+            );
+            let assignments = spread_trace(&trace, n_initiators, n_targets);
+            let base = SystemConfig::builder()
+                .n_initiators(n_initiators)
+                .n_targets(n_targets)
+                .ssds(ssds.clone())
+                .background(paper_background(&assignments))
+                .pfc(paper_pfc())
+                .build();
+            let (only, src) = join(
+                || {
+                    run_system_fleet(
+                        &base.to_builder().mode(Mode::DcqcnOnly).build(),
+                        &assignments,
+                        None,
+                        &mut NullSink,
+                    )
+                },
+                || {
+                    run_system_fleet(
+                        &base.to_builder().mode(Mode::DcqcnSrc).build(),
+                        &assignments,
+                        Some(&tpms),
+                        &mut NullSink,
+                    )
+                },
+            );
+            let only_gbps = only.aggregated_tput().as_gbps_f64();
+            let src_gbps = src.aggregated_tput().as_gbps_f64();
+            let lanes = (0..n_targets)
+                .map(|t| DeviceLane {
+                    target: t,
+                    model: ssds[t].model_name().to_string(),
+                    only_gbps: only.per_target[t].mean_gbps(only.makespan),
+                    src_gbps: src.per_target[t].mean_gbps(src.makespan),
+                })
+                .collect();
+            HeterogeneousRow {
+                ratio: format!("{n_targets}:{n_initiators}"),
+                only_gbps,
+                src_gbps,
+                improvement_pct: if only_gbps > 0.0 {
+                    (src_gbps - only_gbps) / only_gbps * 100.0
+                } else {
+                    0.0
+                },
+                lanes,
+            }
+        },
+    )
 }

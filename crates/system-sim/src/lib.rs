@@ -25,6 +25,4 @@ pub mod system;
 
 pub use config::{Mode, SystemConfig, SystemConfigBuilder, TopologyKind};
 pub use report::SystemReport;
-pub use system::run_system;
-#[allow(deprecated)]
-pub use system::run_system_traced;
+pub use system::{run_system, run_system_fleet};

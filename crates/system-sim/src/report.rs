@@ -8,6 +8,33 @@ use src_core::controller::Decision;
 /// Trim fraction applied to summary rates (paper Sec. IV-B).
 pub const TRIM_FRAC: f64 = 0.10;
 
+/// Per-Target (per-device) completion totals — what heterogeneous-fleet
+/// experiments report alongside the aggregate (reads are counted at the
+/// Initiator against the Target that served them, writes at the Target).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TargetTotals {
+    /// Completed read requests served by this Target.
+    pub reads_completed: u64,
+    /// Completed write requests at this Target.
+    pub writes_completed: u64,
+    /// Read bytes served by this Target.
+    pub read_bytes: u64,
+    /// Write bytes completed at this Target.
+    pub write_bytes: u64,
+}
+
+impl TargetTotals {
+    /// Mean aggregate (read + write) throughput of this Target over the
+    /// run's makespan.
+    pub fn mean_gbps(&self, makespan: SimDuration) -> f64 {
+        let secs = makespan.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        (self.read_bytes + self.write_bytes) as f64 * 8.0 / secs / 1e9
+    }
+}
+
 /// Metrics from one full-system run.
 ///
 /// Serializable so checkpointed sweeps (`fig10`, Table IV) can cache
@@ -38,6 +65,9 @@ pub struct SystemReport {
     pub pauses_total: u64,
     /// Per-target SRC weight decisions (empty in DCQCN-only mode).
     pub decisions: Vec<Vec<Decision>>,
+    /// Per-Target completion totals (indexed by Target; see
+    /// [`TargetTotals`]).
+    pub per_target: Vec<TargetTotals>,
     /// Time of the last completion.
     pub makespan: SimDuration,
     /// Times at which each Target's fetch gate closed (TXQ full).
@@ -66,6 +96,7 @@ impl SystemReport {
             write_bytes: 0,
             pauses_total: 0,
             decisions: vec![Vec::new(); n_targets],
+            per_target: vec![TargetTotals::default(); n_targets],
             makespan: SimDuration::ZERO,
             gate_closures: Vec::new(),
             ecn_marked: 0,

@@ -83,23 +83,6 @@ pub fn run_scripted(
     }
 }
 
-/// Deprecated alias for [`run_scripted`], which now takes the sink
-/// directly.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `run_scripted` — it takes the sink directly"
-)]
-pub fn run_scripted_traced(
-    ssd: &ssd_sim::SsdConfig,
-    trace: &Trace,
-    events: &[CongestionEvent],
-    tpm: Arc<ThroughputPredictionModel>,
-    src_cfg: &SrcConfig,
-    sink: &mut dyn TraceSink,
-) -> ScriptedResult {
-    run_scripted(ssd, trace, events, tpm, src_cfg, sink)
-}
-
 /// Measure, for each event, how long the per-ms read throughput takes to
 /// settle: the first bin after the event that is within 25 % of the
 /// median read rate over the post-event steady window.

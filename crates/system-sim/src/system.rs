@@ -55,7 +55,9 @@ struct TargetState {
 const SAMPLE_BIN: SimDuration = SimDuration(1_000_000_000);
 
 /// Run one full-system simulation over the given request assignments.
-/// `tpm` must be provided in [`Mode::DcqcnSrc`].
+/// `tpm` must be provided in [`Mode::DcqcnSrc`]; every Target's SRC
+/// controller shares it, which is correct whenever the fleet is
+/// homogeneous (the TPM is trained per device model).
 ///
 /// This is the single sink-polymorphic entry point: telemetry — DCQCN
 /// per-flow rate/alpha and RP-stage transitions, CNP traffic, TXQ
@@ -68,13 +70,73 @@ const SAMPLE_BIN: SimDuration = SimDuration(1_000_000_000);
 ///
 /// # Panics
 /// Panics on inconsistent configuration (SRC mode without a TPM, more
-/// hosts requested than the topology provides).
+/// hosts requested than the topology provides, a `ssds` fleet whose
+/// length matches neither 1 nor `n_targets`).
 pub fn run_system(
     cfg: &SystemConfig,
     assignments: &[Assignment],
     tpm: Option<Arc<ThroughputPredictionModel>>,
     sink: &mut dyn TraceSink,
 ) -> SystemReport {
+    run_system_inner(cfg, assignments, TpmAssignment::Shared(tpm), sink)
+}
+
+/// Which TPM serves each Target's SRC controller.
+enum TpmAssignment<'a> {
+    /// One model shared by every Target (homogeneous fleets).
+    Shared(Option<Arc<ThroughputPredictionModel>>),
+    /// `tpms[t]` serves Target `t` (heterogeneous fleets: each model is
+    /// trained on that Target's own device).
+    PerTarget(&'a [Arc<ThroughputPredictionModel>]),
+}
+
+impl TpmAssignment<'_> {
+    fn for_target(&self, t: usize) -> Option<Arc<ThroughputPredictionModel>> {
+        match self {
+            TpmAssignment::Shared(tpm) => tpm.clone(),
+            TpmAssignment::PerTarget(tpms) => Some(tpms[t].clone()),
+        }
+    }
+}
+
+/// [`run_system`] for heterogeneous fleets: `tpms[t]` (trained on
+/// Target `t`'s own device, see
+/// [`crate::experiments::train_tpm`]) drives Target `t`'s SRC weight
+/// decisions, so each Target's controller inverts the throughput
+/// surface of the device it actually serves. With every `ssds` entry
+/// (and TPM) equal this is byte-identical to [`run_system`].
+///
+/// # Panics
+/// In addition to [`run_system`]'s panics, panics in
+/// [`Mode::DcqcnSrc`] when `tpms` is `None` or holds fewer models than
+/// `n_targets`.
+pub fn run_system_fleet(
+    cfg: &SystemConfig,
+    assignments: &[Assignment],
+    tpms: Option<&[Arc<ThroughputPredictionModel>]>,
+    sink: &mut dyn TraceSink,
+) -> SystemReport {
+    match tpms {
+        Some(tpms) => {
+            assert!(
+                tpms.len() >= cfg.n_targets,
+                "{} TPMs for {} targets",
+                tpms.len(),
+                cfg.n_targets
+            );
+            run_system_inner(cfg, assignments, TpmAssignment::PerTarget(tpms), sink)
+        }
+        None => run_system_inner(cfg, assignments, TpmAssignment::Shared(None), sink),
+    }
+}
+
+fn run_system_inner(
+    cfg: &SystemConfig,
+    assignments: &[Assignment],
+    tpms: TpmAssignment<'_>,
+    sink: &mut dyn TraceSink,
+) -> SystemReport {
+    cfg.validate_fleet();
     let tracing = sink.enabled();
     let n_bg = cfg.background.as_ref().map_or(0, |b| b.n_sources);
     let n_hosts = cfg.n_initiators + cfg.n_targets + n_bg;
@@ -109,7 +171,9 @@ pub fn run_system(
         let src = match cfg.mode {
             Mode::DcqcnOnly => None,
             Mode::DcqcnSrc => {
-                let tpm = tpm.clone().expect("DcqcnSrc mode requires a trained TPM");
+                let tpm = tpms
+                    .for_target(t_idx)
+                    .expect("DcqcnSrc mode requires a trained TPM");
                 Some(SrcController::new(tpm, cfg.src.clone()))
             }
         };
@@ -125,7 +189,7 @@ pub fn run_system(
         targets.push(TargetState {
             host: th,
             node: StorageNode::new(&NodeConfig {
-                ssd: cfg.ssd.clone(),
+                ssd: cfg.ssd_for(t_idx).clone(),
                 discipline,
                 merge_cap: None,
             }),
@@ -145,6 +209,21 @@ pub fn run_system(
             t.node.set_telemetry(true, t_idx as u64);
             if let Some(src) = t.src.as_mut() {
                 src.set_telemetry(true, t_idx as u64);
+            }
+        }
+        // Heterogeneous fleets tag each Target's `ssd` gauge stream with
+        // its device model up front, so per-device series can be told
+        // apart in the trace. Homogeneous runs skip this — their traces
+        // (including the committed fig9 fixture) stay byte-identical.
+        if cfg.is_heterogeneous() {
+            for t_idx in 0..cfg.n_targets {
+                sink.record(TraceRecord {
+                    at: SimTime::ZERO,
+                    component: "ssd",
+                    scope: t_idx as u64,
+                    metric: cfg.ssd_for(t_idx).model_metric(),
+                    value: 1.0,
+                });
             }
         }
     }
@@ -347,6 +426,8 @@ pub fn run_system(
                         let c = initiators[a.initiator].on_inbound(kind, req_id, now);
                         report.reads_completed += 1;
                         report.read_bytes += c.size;
+                        report.per_target[tgt_idx].reads_completed += 1;
+                        report.per_target[tgt_idx].read_bytes += c.size;
                         report.read_series.add(now, c.size as f64);
                         report.read_latency_us.push(now.since(c.issued).as_us_f64());
                         finished += 1;
@@ -366,6 +447,8 @@ pub fn run_system(
                 if c.op == IoType::Write {
                     report.writes_completed += 1;
                     report.write_bytes += c.size;
+                    report.per_target[t_idx].writes_completed += 1;
+                    report.per_target[t_idx].write_bytes += c.size;
                     report.write_series.add(now, c.size as f64);
                     let issued = assignments[c.id as usize].request.arrival;
                     report.write_latency_us.push(now.since(issued).as_us_f64());
@@ -417,6 +500,8 @@ pub fn run_system(
                         if c.op == IoType::Write {
                             report.writes_completed += 1;
                             report.write_bytes += c.size;
+                            report.per_target[t_idx].writes_completed += 1;
+                            report.per_target[t_idx].write_bytes += c.size;
                             report.write_series.add(now, c.size as f64);
                             let issued = assignments[c.id as usize].request.arrival;
                             report.write_latency_us.push(now.since(issued).as_us_f64());
@@ -525,21 +610,6 @@ pub fn run_system(
         sink.count(("sys", 0, "writes_completed"), report.writes_completed);
     }
     report
-}
-
-/// Deprecated alias for [`run_system`], which now takes the sink
-/// directly.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `run_system` — it takes the sink directly"
-)]
-pub fn run_system_traced(
-    cfg: &SystemConfig,
-    assignments: &[Assignment],
-    tpm: Option<Arc<ThroughputPredictionModel>>,
-    sink: &mut dyn TraceSink,
-) -> SystemReport {
-    run_system(cfg, assignments, tpm, sink)
 }
 
 #[cfg(test)]

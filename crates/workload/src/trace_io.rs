@@ -98,6 +98,15 @@ pub fn read_csv<R: BufRead>(reader: R) -> Result<Trace, ParseError> {
                 message: "timestamp must be nonnegative".into(),
             });
         }
+        if let Some(extra) = parts.next() {
+            return Err(ParseError {
+                line: lineno,
+                message: format!(
+                    "unexpected extra field after size: {:?} (expected timestamp,op,lba,size)",
+                    extra.trim()
+                ),
+            });
+        }
         requests.push(Request {
             id: requests.len() as u64,
             op,
@@ -140,7 +149,7 @@ pub fn fit_profiles(trace: &Trace) -> (Option<StreamProfile>, Option<StreamProfi
             iat_mean_us: s.iat_mean_us,
             iat_scv: s.iat_scv.max(0.05),
             size_mean: s.size_mean,
-            size_scv: s.size_scv,
+            size_scv: s.size_scv.max(0.05),
         })
     };
     (fit(IoType::Read), fit(IoType::Write))
@@ -194,6 +203,21 @@ mod tests {
     }
 
     #[test]
+    fn rejects_surplus_trailing_fields() {
+        let err = read_csv(Cursor::new("1.0,R,1,4096,99")).unwrap_err();
+        assert_eq!(err.line, 1);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("extra field") && msg.contains("99"),
+            "error should name the surplus field: {msg}"
+        );
+        // A trailing comma is also a surplus (empty) field.
+        let err = read_csv(Cursor::new("2.0,R,1,4096\n1.0,W,2,512,")).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("extra field"), "{err}");
+    }
+
+    #[test]
     fn csv_round_trip() {
         let t = generate_micro(
             &MicroConfig {
@@ -235,6 +259,32 @@ mod tests {
             r.iat_scv
         );
         assert!((w.size_mean - cfg.write.size_mean).abs() / cfg.write.size_mean < 0.1);
+    }
+
+    #[test]
+    fn fit_profiles_clamps_constant_size_scv() {
+        // All requests the same size: the sample size SCV is 0, which
+        // the MMPP generator cannot consume — it must be clamped to the
+        // same floor as the IAT SCV.
+        let requests: Vec<Request> = (0..100)
+            .map(|i| Request {
+                id: i,
+                op: if i % 2 == 0 {
+                    IoType::Read
+                } else {
+                    IoType::Write
+                },
+                lba: i * 8,
+                size: 4096,
+                arrival: SimTime::ZERO + SimDuration::from_us_f64(10.0 + 7.3 * i as f64),
+            })
+            .collect();
+        let t = Trace::from_requests(requests);
+        let (r, w) = fit_profiles(&t);
+        let r = r.expect("read profile");
+        let w = w.expect("write profile");
+        assert!(r.size_scv >= 0.05, "clamped: {}", r.size_scv);
+        assert!(w.size_scv >= 0.05, "clamped: {}", w.size_scv);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! The heterogeneous-fleet contract: a homogeneous `ssds` vector is
+//! bit-for-bit the legacy single-`ssd` configuration, the fleet sweep
+//! is deterministic across executor thread counts, and the builder
+//! rejects malformed fleets.
+//!
+//! The heavy grids are ignored in debug builds (run
+//! `cargo test --release -- --include-ignored`).
+
+use srcsim::sim_engine::runner::with_threads;
+use srcsim::sim_engine::NullSink;
+use srcsim::ssd_sim::SsdConfig;
+use srcsim::system_sim::config::{spread_trace, Mode, SystemConfig};
+use srcsim::system_sim::experiments::{
+    ext_heterogeneous, paper_background, paper_pfc, train_tpm, Scale, TrainKnob,
+};
+use srcsim::system_sim::{run_system, run_system_fleet, SystemReport};
+use srcsim::workload::micro::{generate_micro, MicroConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn quick() -> Scale {
+    Scale {
+        requests_per_target: 600,
+        train: TrainKnob::Quick,
+    }
+}
+
+fn report_bits(r: &SystemReport) -> String {
+    serde_json::to_string(r).expect("report serializes")
+}
+
+/// A homogeneous `ssds` vector through [`run_system_fleet`] must
+/// reproduce the legacy broadcast-singleton [`run_system`] outputs
+/// bit-for-bit, in both modes, on the Table IV and Fig. 10 style grids.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy simulation; run in release")]
+fn homogeneous_fleet_matches_single_ssd_bitwise() {
+    let ssd = SsdConfig::ssd_a();
+    let tpm = train_tpm(&ssd, &quick(), 42);
+    // (label, micro config, n_initiators, n_targets)
+    let cells = [
+        (
+            "table4-4:1",
+            MicroConfig {
+                read_iat_mean_us: 9.2,
+                write_iat_mean_us: 9.2,
+                read_size_mean: 44_000.0,
+                write_size_mean: 23_000.0,
+                read_count: 600 * 4,
+                write_count: 600 * 4,
+                ..MicroConfig::default()
+            },
+            1usize,
+            4usize,
+        ),
+        (
+            "fig10-heavy-2:1",
+            MicroConfig {
+                read_count: 600 * 2,
+                write_count: 600 * 2,
+                ..MicroConfig::heavy()
+            },
+            1,
+            2,
+        ),
+    ];
+    for (label, micro, n_init, n_tgt) in cells {
+        let trace = generate_micro(&micro, 31);
+        let assignments = spread_trace(&trace, n_init, n_tgt);
+        let legacy_base = SystemConfig::builder()
+            .n_initiators(n_init)
+            .n_targets(n_tgt)
+            .ssd(ssd.clone())
+            .background(paper_background(&assignments))
+            .pfc(paper_pfc())
+            .build();
+        let fleet_base = legacy_base
+            .to_builder()
+            .ssds(vec![ssd.clone(); n_tgt])
+            .build();
+        let tpms: Vec<_> = (0..n_tgt).map(|_| tpm.clone()).collect();
+        for mode in [Mode::DcqcnOnly, Mode::DcqcnSrc] {
+            let legacy = run_system(
+                &legacy_base.to_builder().mode(mode.clone()).build(),
+                &assignments,
+                (mode == Mode::DcqcnSrc).then(|| tpm.clone()),
+                &mut NullSink,
+            );
+            let fleet = run_system_fleet(
+                &fleet_base.to_builder().mode(mode.clone()).build(),
+                &assignments,
+                (mode == Mode::DcqcnSrc).then_some(&tpms[..]),
+                &mut NullSink,
+            );
+            assert_eq!(
+                report_bits(&legacy),
+                report_bits(&fleet),
+                "{label} {mode:?}: homogeneous fleet diverged from single-ssd run"
+            );
+        }
+    }
+}
+
+/// The heterogeneous in-cast sweep must produce identical rows at
+/// executor threads 1 and 4 (the [`ScenarioRunner`] determinism
+/// contract extends to fleet cells).
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy simulation; run in release")]
+fn ext_heterogeneous_identical_serial_and_parallel() {
+    let tpm_a = train_tpm(&SsdConfig::ssd_a(), &quick(), 42);
+    let tpm_b = train_tpm(&SsdConfig::ssd_b(), &quick(), 42);
+    let serial = with_threads(1, || {
+        ext_heterogeneous(&quick(), tpm_a.clone(), tpm_b.clone(), 17)
+    });
+    let parallel = with_threads(4, || {
+        ext_heterogeneous(&quick(), tpm_a.clone(), tpm_b.clone(), 17)
+    });
+    assert_eq!(serial.len(), 4);
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "fleet sweep must not depend on executor thread count"
+    );
+}
+
+/// An explicit fleet whose length disagrees with `n_targets` is a
+/// configuration bug and must fail at `build()`, whichever order the
+/// setters ran in; the one-element broadcast shorthand stays valid.
+#[test]
+fn builder_rejects_fleet_size_mismatch() {
+    let a = SsdConfig::ssd_a();
+    let b = SsdConfig::ssd_b();
+
+    let too_short = catch_unwind(AssertUnwindSafe(|| {
+        SystemConfig::builder()
+            .n_targets(3)
+            .ssds(vec![a.clone(), b.clone()])
+            .build()
+    }));
+    assert!(too_short.is_err(), "2 ssds for 3 targets must panic");
+
+    let too_long = catch_unwind(AssertUnwindSafe(|| {
+        SystemConfig::builder()
+            .ssds(vec![a.clone(), b.clone(), a.clone()])
+            .n_targets(2)
+            .build()
+    }));
+    assert!(too_long.is_err(), "3 ssds for 2 targets must panic");
+
+    let empty = catch_unwind(AssertUnwindSafe(|| {
+        SystemConfig::builder().ssds(Vec::new()).build()
+    }));
+    assert!(empty.is_err(), "empty fleet must panic");
+
+    // The shorthand and a matching explicit fleet both build, in either
+    // setter order.
+    let shorthand = SystemConfig::builder().ssd(b.clone()).n_targets(4).build();
+    assert_eq!(shorthand.ssd_for(3), &b);
+    let explicit = SystemConfig::builder()
+        .n_targets(2)
+        .ssds(vec![a.clone(), b.clone()])
+        .build();
+    assert_eq!(explicit.ssd_for(0), &a);
+    assert_eq!(explicit.ssd_for(1), &b);
+    assert!(explicit.is_heterogeneous());
+    assert!(!shorthand.is_heterogeneous());
+
+    // Per-target override on top of the shorthand materializes a fleet.
+    let patched = SystemConfig::builder()
+        .n_targets(3)
+        .ssd(a.clone())
+        .ssd_for_target(1, b.clone())
+        .build();
+    assert_eq!(patched.ssd_for(0), &a);
+    assert_eq!(patched.ssd_for(1), &b);
+    assert_eq!(patched.ssd_for(2), &a);
+}

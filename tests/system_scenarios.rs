@@ -73,7 +73,7 @@ fn all_table_ii_devices_run_end_to_end() {
     let a = micro_assignments(500, 1, 2, 5);
     let run = |ssd: SsdConfig| {
         let cfg = SystemConfig {
-            ssd,
+            ssds: vec![ssd],
             mode: Mode::DcqcnOnly,
             ..SystemConfig::default()
         };
