@@ -1,0 +1,135 @@
+//! Extension experiment: the Table IV in-cast sweep driven by a
+//! *replayed* recording instead of the synthetic generators. A
+//! fio-style JSON-lines trace is parsed into a [`ReplaySpec`], a TPM is
+//! trained from profiles *fitted to the recording* (the paper's
+//! fit-then-generate methodology closed over the replay), and the
+//! recording is spread over Targets:Initiators of 2:1, 3:1, 4:1 and
+//! 4:4 with DCQCN-only vs DCQCN-SRC in every cell.
+//!
+//! With `SRCSIM_CHECKPOINT=<prefix>` the TPM training grid and the
+//! in-cast sweep commit completed cells to
+//! `<prefix>.tpm_replay.<tag>.ckpt.jsonl` and
+//! `<prefix>.ext_replay.<tag>.ckpt.jsonl`; a killed run resumes from
+//! the last committed cell on re-invocation.
+//!
+//! With `SRCSIM_TRACE=<prefix>` an extra traced 4:1 DCQCN-SRC replay
+//! cell streams its runtime telemetry to `<prefix>.replay_4to1_src.jsonl`.
+//!
+//! Usage: `ext_replay [quick|full] [trace.jsonl]`
+//! (default trace: the committed `tests/fixtures/replay_incast_seed2026.jsonl`)
+
+use std::fs::File;
+use std::io::BufReader;
+
+use sim_engine::FileSink;
+use src_bench::{announce_checkpoint, rule, scale_from_args, scale_label};
+use src_core::ThroughputPredictionModel;
+use ssd_sim::SsdConfig;
+use std::sync::Arc;
+use system_sim::config::{Mode, SystemConfig};
+use system_sim::experiments::{ext_replay, paper_pfc, train_tpm};
+use system_sim::run_system_workload;
+use workload::source::{ReplaySpec, WorkloadSource, WorkloadSpec};
+use workload::trace_io::{read_fio_jsonl, FioReadOptions};
+
+const SEED: u64 = 47;
+
+fn default_fixture() -> String {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/replay_incast_seed2026.jsonl"
+    )
+    .to_string()
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let path = std::env::args().nth(2).unwrap_or_else(default_fixture);
+    println!(
+        "Extension — in-cast sweep replaying {path} ({})",
+        scale_label(&scale)
+    );
+    rule();
+    announce_checkpoint();
+    if let Some(prefix) = std::env::var_os("SRCSIM_TRACE") {
+        eprintln!(
+            "tracing the 4:1 DCQCN-SRC replay cell to {}.replay_4to1_src.jsonl",
+            prefix.to_string_lossy()
+        );
+    }
+
+    let file = File::open(&path).unwrap_or_else(|e| panic!("open {path}: {e}"));
+    let trace = read_fio_jsonl(BufReader::new(file), &FioReadOptions::default())
+        .unwrap_or_else(|e| panic!("{path}: {e}"));
+    let mut replay = ReplaySpec::new(&path, trace);
+    if scale.requests_per_target < 1_000 {
+        // Quick scale: replay a prefix of the recording.
+        replay = replay.truncate(scale.requests_per_target * 4);
+    }
+    println!(
+        "recording: {} requests over {:.1} ms; replaying {} \
+         (~{:.1} Gbps offered reads)",
+        replay.trace.len(),
+        replay.trace.span().as_ms_f64(),
+        replay.label(),
+        replay.offered_read_load_bps().unwrap_or(0.0) / 1e9,
+    );
+
+    let ssd = SsdConfig::ssd_a();
+    eprintln!("fitting profiles to the recording and training a TPM ...");
+    let tpm = match ThroughputPredictionModel::train_for_replay(
+        &ssd,
+        &replay.trace,
+        &scale.training_config(),
+        42,
+    ) {
+        Some(m) => Arc::new(m),
+        None => {
+            eprintln!("recording too small to fit profiles; training on the micro grid");
+            train_tpm(&ssd, &scale, 42)
+        }
+    };
+
+    let rows = ext_replay(&ssd, &replay, tpm.clone(), SEED);
+    println!("{:<6} {:>12} {:>12} {:>8}", "ratio", "only", "src", "gain");
+    for r in &rows {
+        println!(
+            "{:<6} {:>9.2} Gbps {:>7.2} Gbps {:>+7.1}%",
+            r.ratio, r.only_gbps, r.src_gbps, r.improvement_pct
+        );
+    }
+    rule();
+
+    if let Some(prefix) = std::env::var_os("SRCSIM_TRACE") {
+        let prefix = prefix.to_string_lossy().into_owned();
+        let out = format!("{prefix}.replay_4to1_src.jsonl");
+        if let Some(dir) = std::path::Path::new(&out)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir).expect("create trace dir");
+        }
+        eprintln!("tracing the 4:1 DCQCN-SRC replay cell -> {out} ...");
+        let spec = WorkloadSpec::Replay(replay.clone());
+        let cfg = SystemConfig::builder()
+            .n_initiators(1)
+            .n_targets(4)
+            .ssd(ssd.clone())
+            .mode(Mode::DcqcnSrc)
+            .workload(spec)
+            .pfc(paper_pfc())
+            .build();
+        let mut sink = FileSink::create(&out).expect("create trace file");
+        let _ = run_system_workload(&cfg, SEED, Some(tpm), &mut sink);
+        let samples = sink.samples_written();
+        sink.finish().expect("flush trace file");
+        println!("trace: {out} ({samples} samples)");
+        rule();
+    }
+
+    println!(
+        "finding: SRC's weight control carries over from synthetic generators to\n\
+         replayed recordings — the TPM fitted to the recording's own per-class\n\
+         profiles steers SSQ weights through the same in-cast sweep."
+    );
+}

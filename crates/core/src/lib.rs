@@ -41,4 +41,4 @@ pub use algorithm::{predict_weight_ratio, CongestionEvent, CongestionKind};
 pub use controller::{SrcConfig, SrcController};
 pub use monitor::WorkloadMonitor;
 pub use reactive::{RateController, ReactiveConfig, ReactiveController, TpmRateController};
-pub use tpm::{ThroughputPredictionModel, TrainingConfig};
+pub use tpm::{replay_training_samples, ThroughputPredictionModel, TrainingConfig};

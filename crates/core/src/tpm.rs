@@ -7,9 +7,13 @@ use ml::{Dataset, ModelKind, RandomForest, RandomForestParams, Regressor};
 use serde::{Deserialize, Serialize};
 use sim_engine::{CheckpointSpec, ScenarioRunner};
 use ssd_sim::SsdConfig;
-use storage_node::{weight_sweep, SweepPoint};
+use storage_node::{weight_sweep, weight_sweep_source, SweepPoint};
 use workload::micro::{generate_micro, MicroConfig};
-use workload::WorkloadFeatures;
+use workload::source::WorkloadSpec;
+use workload::spatial::LbaModel;
+use workload::synthetic::{StreamProfile, SyntheticConfig};
+use workload::trace_io::fit_profiles;
+use workload::{IoType, Trace, WorkloadFeatures};
 
 /// A trained TPM: a random forest mapping `(Ch, w)` to
 /// `[TPUT_R, TPUT_W]` in Gbps.
@@ -140,6 +144,78 @@ pub fn generate_training_samples_checkpointed(
         .collect()
 }
 
+/// TPM training samples from a *recorded* workload: the paper's
+/// fit-then-generate methodology (Sec. IV-A) closed over a replayed
+/// trace instead of a SNIA download. Per-class `(mean, SCV)` profiles
+/// are fitted to the recording ([`fit_profiles`]); MMPP workloads
+/// generated from the fitted profiles — with inter-arrival means scaled
+/// across the grid's intensity ratios so the forest sees the
+/// operating-point dependence, and the recording's read/write mix
+/// preserved — are swept over the weight grid to produce `(Ch, w)`
+/// samples. Returns `None` when either I/O class has too few requests
+/// to fit a profile.
+///
+/// Checkpointable like [`generate_training_samples`] (manifest label
+/// `tpm_replay`).
+pub fn replay_training_samples(
+    ssd: &SsdConfig,
+    trace: &Trace,
+    cfg: &TrainingConfig,
+    seed: u64,
+) -> Option<Vec<SweepPoint>> {
+    let (Some(read), Some(write)) = fit_profiles(trace) else {
+        return None;
+    };
+    // Preserve the recording's read/write request mix in the generated
+    // workloads — it is part of the `Ch` features the TPM consumes.
+    let reads = trace.class_stats(IoType::Read).count as f64;
+    let writes = trace.class_stats(IoType::Write).count as f64;
+    let read_frac = reads / (reads + writes);
+    let total = 2 * cfg.requests_per_class;
+    let read_count = (((total as f64) * read_frac).round() as usize).clamp(1, total - 1);
+
+    // Intensity diversity: scale both fitted inter-arrival means by the
+    // grid's ratios relative to its densest point.
+    let base_iat = cfg
+        .iat_means_us
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let mut combos: Vec<(f64, usize)> = Vec::new();
+    for &iat in &cfg.iat_means_us {
+        for k in 0..cfg.seeds_per_cell.max(1) {
+            combos.push((iat / base_iat, k));
+        }
+    }
+    let ckpt = CheckpointSpec::from_env(
+        "tpm_replay",
+        &format!("tpm_replay ssd={ssd:?} read={read:?} write={write:?} cfg={cfg:?} seed={seed}"),
+    );
+    Some(
+        ScenarioRunner::from_env()
+            .run_cells_resumable(ckpt.as_ref(), seed, &combos, |i, &(scale, _k)| {
+                let spec = WorkloadSpec::Synthetic(SyntheticConfig {
+                    read: StreamProfile {
+                        iat_mean_us: read.iat_mean_us * scale,
+                        ..read
+                    },
+                    write: StreamProfile {
+                        iat_mean_us: write.iat_mean_us * scale,
+                        ..write
+                    },
+                    read_count,
+                    write_count: total - read_count,
+                    lba_space_sectors: 1 << 22,
+                    lba_model: LbaModel::Uniform,
+                });
+                weight_sweep_source(ssd, &spec, seed.wrapping_add(i as u64), &cfg.weights)
+            })
+            .into_iter()
+            .flatten()
+            .collect(),
+    )
+}
+
 /// Assemble sweep points into an ML dataset.
 pub fn samples_to_dataset(samples: &[SweepPoint]) -> Dataset {
     let x = samples.iter().map(|s| s.x()).collect();
@@ -168,6 +244,24 @@ impl ThroughputPredictionModel {
     pub fn train_for_device(ssd: &SsdConfig, cfg: &TrainingConfig, seed: u64) -> Self {
         let samples = generate_training_samples(ssd, cfg, seed);
         Self::train(&samples_to_dataset(&samples), cfg.n_trees, seed)
+    }
+
+    /// End-to-end from a *recorded* workload: fit the replayed trace's
+    /// per-class profiles, sweep workloads regenerated from them, then
+    /// train ([`replay_training_samples`]). `None` when the trace is too
+    /// small to fit profiles for both I/O classes.
+    pub fn train_for_replay(
+        ssd: &SsdConfig,
+        trace: &Trace,
+        cfg: &TrainingConfig,
+        seed: u64,
+    ) -> Option<Self> {
+        let samples = replay_training_samples(ssd, trace, cfg, seed)?;
+        Some(Self::train(
+            &samples_to_dataset(&samples),
+            cfg.n_trees,
+            seed,
+        ))
     }
 
     /// Predict `(TPUT_R, TPUT_W)` in Gbps for workload `ch` under weight

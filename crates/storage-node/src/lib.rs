@@ -33,4 +33,4 @@ pub use report::NodeReport;
 pub use runner::{
     run_trace, run_trace_windowed, run_trace_windowed_with_schedule, run_trace_with_schedule,
 };
-pub use sweep::{weight_sweep, SweepPoint};
+pub use sweep::{weight_sweep, weight_sweep_source, SweepPoint};

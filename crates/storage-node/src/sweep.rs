@@ -5,6 +5,7 @@ use crate::runner::run_trace_windowed;
 use serde::{Deserialize, Serialize};
 use sim_engine::ScenarioRunner;
 use ssd_sim::SsdConfig;
+use workload::source::WorkloadSource;
 use workload::{extract_features, Trace, WorkloadFeatures};
 
 /// One point of a weight sweep: the measured read/write throughput of a
@@ -41,6 +42,19 @@ pub fn weight_sweep(ssd: &SsdConfig, trace: &Trace, weights: &[u32]) -> Vec<Swee
             features,
         }
     })
+}
+
+/// [`weight_sweep`] on a workload source: the source resolves to its
+/// trace with `seed` first (bit-identical to generating the trace by
+/// hand and calling [`weight_sweep`]). This is the seam replayed
+/// recordings use to enter the Fig. 5 sweep machinery.
+pub fn weight_sweep_source<S: WorkloadSource + ?Sized>(
+    ssd: &SsdConfig,
+    source: &S,
+    seed: u64,
+    weights: &[u32],
+) -> Vec<SweepPoint> {
+    weight_sweep(ssd, &source.generate(seed), weights)
 }
 
 impl SweepPoint {

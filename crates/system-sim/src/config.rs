@@ -5,6 +5,8 @@ use serde::{Deserialize, Serialize};
 use sim_engine::{Rate, SimDuration, SimTime};
 use src_core::SrcConfig;
 use ssd_sim::SsdConfig;
+use workload::micro::MicroConfig;
+use workload::source::{WorkloadSource, WorkloadSpec};
 use workload::{Request, Trace};
 
 /// Which fabric shape to build.
@@ -118,6 +120,13 @@ pub struct SystemConfig {
     /// Target its own device (heterogeneous fleets; see DESIGN.md
     /// "Heterogeneous fleets").
     pub ssds: Vec<SsdConfig>,
+    /// Workload source per Target, mirroring the `ssds` shape: a
+    /// single-element vector is the homogeneous shorthand (one spec
+    /// drives the whole system through [`spread_source`]), while an
+    /// `n_targets`-length vector gives each Target its own source
+    /// (resolved through [`per_target_sources`], each Target seeded
+    /// with `seed + t`). See [`SystemConfig::assignments`].
+    pub workloads: Vec<WorkloadSpec>,
     /// Baseline vs SRC.
     pub mode: Mode,
     /// DCQCN parameters (also carries the switch ECN thresholds).
@@ -145,6 +154,7 @@ impl Default for SystemConfig {
             n_initiators: 1,
             n_targets: 2,
             ssds: vec![SsdConfig::ssd_a()],
+            workloads: vec![WorkloadSpec::Micro(MicroConfig::default())],
             mode: Mode::DcqcnOnly,
             dcqcn: DcqcnParams::default(),
             pfc: PfcParams::default(),
@@ -164,6 +174,7 @@ impl SystemConfig {
         SystemConfigBuilder {
             cfg: SystemConfig::default(),
             fleet_explicit: false,
+            workloads_explicit: false,
         }
     }
 
@@ -172,6 +183,7 @@ impl SystemConfig {
     pub fn to_builder(&self) -> SystemConfigBuilder {
         SystemConfigBuilder {
             fleet_explicit: self.ssds.len() > 1,
+            workloads_explicit: self.workloads.len() > 1,
             cfg: self.clone(),
         }
     }
@@ -212,6 +224,58 @@ impl SystemConfig {
     pub fn is_heterogeneous(&self) -> bool {
         self.ssds.len() > 1 && self.ssds.iter().any(|s| *s != self.ssds[0])
     }
+
+    /// The workload source driving Target `t` — `workloads[t]`, or the
+    /// single shared entry under the homogeneous shorthand.
+    ///
+    /// # Panics
+    /// Panics when `t >= n_targets` or the workloads shape is invalid
+    /// (see [`SystemConfig::validate_workloads`]).
+    pub fn workload_for(&self, t: usize) -> &WorkloadSpec {
+        assert!(t < self.n_targets, "target {t} out of {}", self.n_targets);
+        self.validate_workloads();
+        if self.workloads.len() == 1 {
+            &self.workloads[0]
+        } else {
+            &self.workloads[t]
+        }
+    }
+
+    /// Check the workloads shape: `workloads` must hold either one entry
+    /// (the homogeneous shorthand) or exactly one entry per Target.
+    ///
+    /// # Panics
+    /// Panics on any other length.
+    pub fn validate_workloads(&self) {
+        assert!(
+            self.workloads.len() == 1 || self.workloads.len() == self.n_targets,
+            "workloads holds {} specs for {} targets (expected 1 or {})",
+            self.workloads.len(),
+            self.n_targets,
+            self.n_targets
+        );
+        assert!(!self.workloads.is_empty(), "workloads must not be empty");
+    }
+
+    /// Resolve the configured workload sources into the assignment list
+    /// for one simulation, deterministically from `seed`.
+    ///
+    /// * Homogeneous shorthand (one spec): the spec generates a single
+    ///   trace with `seed` and [`spread_source`] fans it out across all
+    ///   initiators and targets — exactly the legacy
+    ///   `generate(cfg, seed)` + [`spread_trace`] call sequence.
+    /// * Per-Target specs: each Target `t` generates its own trace with
+    ///   seed `seed + t` and [`per_target_sources`] interleaves them —
+    ///   exactly the legacy per-target `generate(cfg, seed + t)` +
+    ///   [`per_target_traces`] sequence.
+    pub fn assignments(&self, seed: u64) -> Vec<Assignment> {
+        self.validate_workloads();
+        if self.workloads.len() == 1 {
+            spread_source(&self.workloads[0], seed, self.n_initiators, self.n_targets)
+        } else {
+            per_target_sources(&self.workloads, seed, self.n_initiators)
+        }
+    }
 }
 
 /// Fluent builder for [`SystemConfig`]; every setter has the field's
@@ -232,6 +296,9 @@ pub struct SystemConfigBuilder {
     /// demands exactly `n_targets` entries. The `ssd` shorthand keeps a
     /// single broadcast entry instead.
     fleet_explicit: bool,
+    /// Same latch for the workloads vector (`workloads` /
+    /// `workload_for_target` vs the `workload` broadcast shorthand).
+    workloads_explicit: bool,
 }
 
 macro_rules! builder_setters {
@@ -313,11 +380,53 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Workload source on every Target (the homogeneous shorthand: one
+    /// spec broadcast across the system, whatever `n_targets` ends up
+    /// being).
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.cfg.workloads = vec![spec];
+        self.workloads_explicit = false;
+        self
+    }
+
+    /// Explicit per-Target workload sources.
+    /// [`SystemConfigBuilder::build`] rejects the configuration unless
+    /// `workloads.len() == n_targets`.
+    pub fn workloads(mut self, specs: Vec<WorkloadSpec>) -> Self {
+        self.cfg.workloads = specs;
+        self.workloads_explicit = true;
+        self
+    }
+
+    /// Override the workload on Target `t` only. Set `n_targets` first:
+    /// the current specs (or homogeneous shorthand) are materialized to
+    /// `n_targets` entries before the override lands.
+    ///
+    /// # Panics
+    /// Panics when `t >= n_targets`, or when an explicit workloads
+    /// vector of the wrong length was set earlier.
+    pub fn workload_for_target(mut self, t: usize, spec: WorkloadSpec) -> Self {
+        let n = self.cfg.n_targets;
+        assert!(t < n, "target {t} out of {n} (set n_targets first)");
+        if self.cfg.workloads.len() != n {
+            assert!(
+                !self.workloads_explicit && self.cfg.workloads.len() == 1,
+                "explicit workloads vector has {} entries for {n} targets",
+                self.cfg.workloads.len()
+            );
+            self.cfg.workloads = vec![self.cfg.workloads[0].clone(); n];
+        }
+        self.cfg.workloads[t] = spec;
+        self.workloads_explicit = true;
+        self
+    }
+
     /// Finish, yielding the configuration.
     ///
     /// # Panics
-    /// Panics when an explicit fleet (`ssds` / `ssd_for_target`) does
-    /// not hold exactly `n_targets` entries.
+    /// Panics when an explicit fleet (`ssds` / `ssd_for_target`) or an
+    /// explicit workloads vector (`workloads` / `workload_for_target`)
+    /// does not hold exactly `n_targets` entries.
     pub fn build(self) -> SystemConfig {
         if self.fleet_explicit {
             assert!(
@@ -327,7 +436,16 @@ impl SystemConfigBuilder {
                 self.cfg.n_targets
             );
         }
+        if self.workloads_explicit {
+            assert!(
+                self.cfg.workloads.len() == self.cfg.n_targets,
+                "workloads holds {} specs for {} targets",
+                self.cfg.workloads.len(),
+                self.cfg.n_targets
+            );
+        }
         self.cfg.validate_fleet();
+        self.cfg.validate_workloads();
         self.cfg
     }
 }
@@ -364,6 +482,39 @@ pub fn spread_trace(trace: &Trace, n_initiators: usize, n_targets: usize) -> Vec
         .collect()
 }
 
+/// Resolve one workload source into a system-wide assignment list: the
+/// source generates a single trace with `seed` and [`spread_trace`] fans
+/// it out. This is the source-consuming form of the legacy
+/// `generate(cfg, seed)` + `spread_trace(..)` call sequence and produces
+/// bit-identical assignments to it.
+pub fn spread_source<S: WorkloadSource + ?Sized>(
+    source: &S,
+    seed: u64,
+    n_initiators: usize,
+    n_targets: usize,
+) -> Vec<Assignment> {
+    spread_trace(&source.generate(seed), n_initiators, n_targets)
+}
+
+/// Resolve per-Target workload sources into an assignment list: Target
+/// `t` generates its own trace with seed `seed + t` (the workspace's
+/// per-target seeding convention) and [`per_target_traces`] interleaves
+/// them. Bit-identical to the legacy per-target
+/// `generate(cfg, seed.wrapping_add(t))` + `per_target_traces(..)`
+/// sequence.
+pub fn per_target_sources<S: WorkloadSource>(
+    sources: &[S],
+    seed: u64,
+    n_initiators: usize,
+) -> Vec<Assignment> {
+    let traces: Vec<Trace> = sources
+        .iter()
+        .enumerate()
+        .map(|(t, s)| s.generate(seed.wrapping_add(t as u64)))
+        .collect();
+    per_target_traces(&traces, n_initiators)
+}
+
 /// Build one trace per target (each target gets its own workload, as in
 /// Sec. IV-D: "each Target processes 5,000 read and 5,000 write
 /// requests") and interleave them into a single assignment list with
@@ -391,7 +542,8 @@ pub fn per_target_traces(traces: &[Trace], n_initiators: usize) -> Vec<Assignmen
 #[cfg(test)]
 mod tests {
     use super::*;
-    use workload::micro::{generate_micro, MicroConfig};
+    use workload::micro::generate_micro;
+    use workload::synthetic::{generate_synthetic, SyntheticConfig};
 
     #[test]
     fn spread_covers_all_pairs() {
@@ -445,5 +597,105 @@ mod tests {
         assert!(a
             .windows(2)
             .all(|w| w[0].request.arrival <= w[1].request.arrival));
+    }
+
+    fn same_assignments(a: &[Assignment], b: &[Assignment]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                (x.initiator, x.target, x.request) == (y.initiator, y.target, y.request)
+            })
+    }
+
+    /// The source-consuming helpers and `SystemConfig::assignments` must
+    /// reproduce the legacy generate-then-assign call sequences
+    /// bit-for-bit — the whole refactor rests on this equivalence.
+    #[test]
+    fn assignments_match_legacy_call_sequences() {
+        let mc = MicroConfig {
+            read_count: 40,
+            write_count: 40,
+            ..MicroConfig::default()
+        };
+        // Homogeneous shorthand == generate + spread_trace.
+        let cfg = SystemConfig::builder()
+            .n_initiators(2)
+            .n_targets(3)
+            .workload(WorkloadSpec::Micro(mc.clone()))
+            .build();
+        let legacy = spread_trace(&generate_micro(&mc, 9), 2, 3);
+        assert!(same_assignments(&cfg.assignments(9), &legacy));
+        assert!(same_assignments(&spread_source(&mc, 9, 2, 3), &legacy));
+
+        // Per-target specs == per-target generate(seed + t) +
+        // per_target_traces (the fig7/fig10 convention).
+        let sc = SyntheticConfig::vdi(30, 30);
+        let cfg = SystemConfig::builder()
+            .n_initiators(1)
+            .n_targets(2)
+            .workloads(vec![
+                WorkloadSpec::Synthetic(sc.clone()),
+                WorkloadSpec::Synthetic(sc.clone()),
+            ])
+            .build();
+        let traces: Vec<Trace> = (0..2u64)
+            .map(|t| generate_synthetic(&sc, 7u64.wrapping_add(t)))
+            .collect();
+        let legacy = per_target_traces(&traces, 1);
+        assert!(same_assignments(&cfg.assignments(7), &legacy));
+    }
+
+    #[test]
+    fn workload_builder_shapes() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let micro = WorkloadSpec::Micro(MicroConfig::default());
+        let synth = WorkloadSpec::Synthetic(SyntheticConfig::vdi(5, 5));
+
+        // Broadcast shorthand applies to every target.
+        let cfg = SystemConfig::builder()
+            .n_targets(4)
+            .workload(synth.clone())
+            .build();
+        assert!(matches!(cfg.workload_for(3), WorkloadSpec::Synthetic(_)));
+
+        // Per-target override materializes the vector.
+        let cfg = SystemConfig::builder()
+            .n_targets(3)
+            .workload(micro.clone())
+            .workload_for_target(1, synth.clone())
+            .build();
+        assert!(matches!(cfg.workload_for(0), WorkloadSpec::Micro(_)));
+        assert!(matches!(cfg.workload_for(1), WorkloadSpec::Synthetic(_)));
+        assert!(matches!(cfg.workload_for(2), WorkloadSpec::Micro(_)));
+
+        // Length mismatches fail at build(), in either setter order.
+        let too_short = catch_unwind(AssertUnwindSafe(|| {
+            SystemConfig::builder()
+                .n_targets(3)
+                .workloads(vec![micro.clone(), synth.clone()])
+                .build()
+        }));
+        assert!(too_short.is_err(), "2 specs for 3 targets must panic");
+        let too_long = catch_unwind(AssertUnwindSafe(|| {
+            SystemConfig::builder()
+                .workloads(vec![micro.clone(), synth.clone(), micro.clone()])
+                .n_targets(2)
+                .build()
+        }));
+        assert!(too_long.is_err(), "3 specs for 2 targets must panic");
+        let empty = catch_unwind(AssertUnwindSafe(|| {
+            SystemConfig::builder().workloads(Vec::new()).build()
+        }));
+        assert!(empty.is_err(), "empty workloads must panic");
+
+        // to_builder round-trips the explicit flag.
+        let cfg = SystemConfig::builder()
+            .n_targets(2)
+            .workloads(vec![micro.clone(), synth.clone()])
+            .build();
+        let grown = catch_unwind(AssertUnwindSafe(|| cfg.to_builder().n_targets(3).build()));
+        assert!(
+            grown.is_err(),
+            "stale 2-spec vector for 3 targets must panic"
+        );
     }
 }

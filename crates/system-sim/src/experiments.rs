@@ -3,7 +3,7 @@
 //! scale and assert the qualitative shapes.
 
 use crate::config::{
-    per_target_traces, spread_trace, BackgroundTraffic, Mode, SystemConfig, TargetSelection,
+    per_target_sources, spread_source, BackgroundTraffic, Mode, SystemConfig, TargetSelection,
 };
 use crate::report::SystemReport;
 use crate::scripted::{fig9_events, run_scripted, ScriptedResult};
@@ -20,9 +20,9 @@ use src_core::SrcConfig;
 use ssd_sim::SsdConfig;
 use std::sync::Arc;
 use storage_node::{weight_sweep, SweepPoint};
-use workload::micro::{generate_micro, MicroConfig};
-use workload::synthetic::{generate_synthetic, ScvQuadrant, SyntheticConfig};
-use workload::Trace;
+use workload::micro::MicroConfig;
+use workload::source::{ReplaySpec, WorkloadSource, WorkloadSpec};
+use workload::synthetic::{ScvQuadrant, SyntheticConfig};
 
 /// Scale knob: `full()` reproduces the paper's sizes; `quick()` keeps CI
 /// runtimes in seconds.
@@ -106,18 +106,16 @@ pub fn fig5(ssd: &SsdConfig, scale: &Scale, seed: u64) -> Vec<Fig5Cell> {
         seed,
         &cells,
         |_, &(i, j, iat, size)| {
-            let trace = generate_micro(
-                &MicroConfig {
-                    read_iat_mean_us: iat,
-                    write_iat_mean_us: iat,
-                    read_size_mean: size,
-                    write_size_mean: size,
-                    read_count: cfg.requests_per_class,
-                    write_count: cfg.requests_per_class,
-                    ..MicroConfig::default()
-                },
-                seed.wrapping_add((i * 16 + j) as u64),
-            );
+            let spec = WorkloadSpec::Micro(MicroConfig {
+                read_iat_mean_us: iat,
+                write_iat_mean_us: iat,
+                read_size_mean: size,
+                write_size_mean: size,
+                read_count: cfg.requests_per_class,
+                write_count: cfg.requests_per_class,
+                ..MicroConfig::default()
+            });
+            let trace = spec.generate(seed.wrapping_add((i * 16 + j) as u64));
             Fig5Cell {
                 iat_us: iat,
                 size_bytes: size,
@@ -182,15 +180,15 @@ pub fn table3(ssd: &SsdConfig, scale: &Scale, seed: u64) -> Vec<(&'static str, f
         &cells,
         |_, &(qi, q, k, iat, size)| {
             let p = q.profile(iat, size);
-            let sc = SyntheticConfig {
+            let spec = WorkloadSpec::Synthetic(SyntheticConfig {
                 read: p,
                 write: p,
                 read_count: cfg.requests_per_class,
                 write_count: cfg.requests_per_class,
                 lba_space_sectors: 1 << 22,
                 lba_model: workload::spatial::LbaModel::Uniform,
-            };
-            let trace = generate_synthetic(&sc, seed.wrapping_add((qi * 31 + k) as u64));
+            });
+            let trace = spec.generate(seed.wrapping_add((qi * 31 + k) as u64));
             weight_sweep(ssd, &trace, &cfg.weights)
         },
     );
@@ -301,10 +299,8 @@ pub fn fig7_fig8(
     let mut vdi = SyntheticConfig::vdi(n, n);
     vdi.read.iat_mean_us = 20.0;
     vdi.write.iat_mean_us = 20.0;
-    let traces: Vec<Trace> = (0..2)
-        .map(|t| generate_synthetic(&vdi, seed.wrapping_add(t)))
-        .collect();
-    let assignments = per_target_traces(&traces, 1);
+    let specs = vec![WorkloadSpec::Synthetic(vdi); 2];
+    let assignments = per_target_sources(&specs, seed, 1);
     // Congestion (paper Fig. 7: heavy from the start, relieved around
     // 70 % of the timeline): enough competing traffic that the Targets'
     // DCQCN share falls below the SSDs' read output — only then does
@@ -313,6 +309,7 @@ pub fn fig7_fig8(
         .n_initiators(1)
         .n_targets(2)
         .ssd(ssd.clone())
+        .workloads(specs)
         .background(paper_background(&assignments))
         .pfc(paper_pfc())
         .build();
@@ -342,18 +339,16 @@ pub fn fig9(scale: &Scale, seed: u64, sink: &mut dyn TraceSink) -> ScriptedResul
     let tpm = train_tpm(&ssd, scale, seed);
     // Sustained heavy workload so the weight knob has authority.
     let n = scale.requests_per_target * 8;
-    let trace = generate_micro(
-        &MicroConfig {
-            read_iat_mean_us: 10.0,
-            write_iat_mean_us: 10.0,
-            read_size_mean: 40_000.0,
-            write_size_mean: 40_000.0,
-            read_count: n,
-            write_count: n,
-            ..MicroConfig::default()
-        },
-        seed,
-    );
+    let trace = WorkloadSpec::Micro(MicroConfig {
+        read_iat_mean_us: 10.0,
+        write_iat_mean_us: 10.0,
+        read_size_mean: 40_000.0,
+        write_size_mean: 40_000.0,
+        read_count: n,
+        write_count: n,
+        ..MicroConfig::default()
+    })
+    .generate(seed);
     // Baseline read throughput at w = 1 sets the event scale.
     let baseline = weight_sweep(&ssd, &trace, &[1])[0].read_gbps;
     let span_ms = trace.span().as_ms_f64();
@@ -369,23 +364,21 @@ pub fn fig9(scale: &Scale, seed: u64, sink: &mut dyn TraceSink) -> ScriptedResul
 pub fn fig9_fabric_slice(scale: &Scale, seed: u64, sink: &mut dyn TraceSink) -> SystemReport {
     let ssd = SsdConfig::ssd_b();
     let n = (scale.requests_per_target / 2).max(150);
-    let trace = generate_micro(
-        &MicroConfig {
-            read_iat_mean_us: 10.0,
-            write_iat_mean_us: 10.0,
-            read_size_mean: 40_000.0,
-            write_size_mean: 40_000.0,
-            read_count: n,
-            write_count: n,
-            ..MicroConfig::default()
-        },
-        seed,
-    );
-    let assignments = spread_trace(&trace, 1, 2);
+    let spec = WorkloadSpec::Micro(MicroConfig {
+        read_iat_mean_us: 10.0,
+        write_iat_mean_us: 10.0,
+        read_size_mean: 40_000.0,
+        write_size_mean: 40_000.0,
+        read_count: n,
+        write_count: n,
+        ..MicroConfig::default()
+    });
+    let assignments = spread_source(&spec, seed, 1, 2);
     let cfg = SystemConfig::builder()
         .n_initiators(1)
         .n_targets(2)
         .ssd(ssd)
+        .workload(spec)
         .background(paper_background(&assignments))
         .pfc(paper_pfc())
         .build();
@@ -402,16 +395,13 @@ pub fn fig10(
     tpm: Arc<ThroughputPredictionModel>,
     seed: u64,
 ) -> Vec<(&'static str, SystemReport, SystemReport)> {
-    let mk = |mc: MicroConfig, s: u64| {
+    let mk = |mc: MicroConfig| {
         let n = scale.requests_per_target;
-        generate_micro(
-            &MicroConfig {
-                read_count: n,
-                write_count: n,
-                ..mc
-            },
-            s,
-        )
+        WorkloadSpec::Micro(MicroConfig {
+            read_count: n,
+            write_count: n,
+            ..mc
+        })
     };
     // Intensity classes scaled to this reproduction's device (our SSD
     // model runs at a few Gbps per class where the paper's MQSim config
@@ -444,12 +434,13 @@ pub fn fig10(
         seed,
         &classes,
         |_, (_, mc)| {
-            let traces = vec![mk(mc.clone(), seed), mk(mc.clone(), seed + 1)];
-            let assignments = per_target_traces(&traces, 1);
+            let specs = vec![mk(mc.clone()); 2];
+            let assignments = per_target_sources(&specs, seed, 1);
             let base = SystemConfig::builder()
                 .n_initiators(1)
                 .n_targets(2)
                 .ssd(ssd.clone())
+                .workloads(specs)
                 .background(paper_background(&assignments))
                 .pfc(paper_pfc())
                 .build();
@@ -496,6 +487,23 @@ pub struct IncastRow {
     pub improvement_pct: f64,
 }
 
+/// The Table IV in-cast workload: one heavy micro stream (~38 Gbps of
+/// reads: 44 KB every 9.2 µs) sized for `n_targets` Targets. Shared by
+/// the homogeneous ([`table4`]), fleet ([`ext_heterogeneous`],
+/// [`extension_distribution_fleet`]) and traced-bin in-cast sweeps.
+pub fn incast_spec(scale: &Scale, n_targets: usize) -> WorkloadSpec {
+    let total_requests = scale.requests_per_target * n_targets;
+    WorkloadSpec::Micro(MicroConfig {
+        read_iat_mean_us: 9.2,
+        write_iat_mean_us: 9.2,
+        read_size_mean: 44_000.0,
+        write_size_mean: 23_000.0,
+        read_count: total_requests,
+        write_count: total_requests,
+        ..MicroConfig::default()
+    })
+}
+
 /// Run the in-cast sweep: Targets:Initiators of 2:1, 3:1, 4:1 and 4:4
 /// with (approximately) the same total offered traffic.
 pub fn table4(
@@ -518,25 +526,13 @@ pub fn table4(
         |_, &(n_targets, n_initiators)| {
             // Fixed total read load ≈ 38 Gbps: one heavy stream split
             // across all targets.
-            let total_requests = scale.requests_per_target * n_targets;
-            let trace = generate_micro(
-                &MicroConfig {
-                    // 44 KB / 9.2 µs ≈ 38 Gbps of read load in total.
-                    read_iat_mean_us: 9.2,
-                    write_iat_mean_us: 9.2,
-                    read_size_mean: 44_000.0,
-                    write_size_mean: 23_000.0,
-                    read_count: total_requests,
-                    write_count: total_requests,
-                    ..MicroConfig::default()
-                },
-                seed,
-            );
-            let assignments = spread_trace(&trace, n_initiators, n_targets);
+            let spec = incast_spec(scale, n_targets);
+            let assignments = spread_source(&spec, seed, n_initiators, n_targets);
             let base = SystemConfig::builder()
                 .n_initiators(n_initiators)
                 .n_targets(n_targets)
                 .ssd(ssd.clone())
+                .workload(spec)
                 .background(paper_background(&assignments))
                 .pfc(paper_pfc())
                 .build();
@@ -618,20 +614,8 @@ pub fn extension_distribution_fleet(
 ) -> Vec<DistributionRow> {
     let n_targets = ssds.len();
     assert_eq!(tpms.len(), n_targets, "one TPM per target");
-    let total_requests = scale.requests_per_target * n_targets;
-    let trace = generate_micro(
-        &MicroConfig {
-            read_iat_mean_us: 9.2,
-            write_iat_mean_us: 9.2,
-            read_size_mean: 44_000.0,
-            write_size_mean: 23_000.0,
-            read_count: total_requests,
-            write_count: total_requests,
-            ..MicroConfig::default()
-        },
-        seed,
-    );
-    let assignments = spread_trace(&trace, 1, n_targets);
+    let spec = incast_spec(scale, n_targets);
+    let assignments = spread_source(&spec, seed, 1, n_targets);
     let policies = [
         ("static", TargetSelection::Static),
         ("least-loaded", TargetSelection::LeastLoaded),
@@ -642,6 +626,7 @@ pub fn extension_distribution_fleet(
             .n_initiators(1)
             .n_targets(n_targets)
             .ssds(ssds.to_vec())
+            .workload(spec.clone())
             .mode(Mode::DcqcnSrc)
             .background(paper_background(&assignments))
             .pfc(paper_pfc())
@@ -672,14 +657,13 @@ pub fn extension_timely(
     let mut vdi = SyntheticConfig::vdi(n, n);
     vdi.read.iat_mean_us = 20.0;
     vdi.write.iat_mean_us = 20.0;
-    let traces: Vec<Trace> = (0..2)
-        .map(|t| generate_synthetic(&vdi, seed.wrapping_add(t)))
-        .collect();
-    let assignments = per_target_traces(&traces, 1);
+    let specs = vec![WorkloadSpec::Synthetic(vdi); 2];
+    let assignments = per_target_sources(&specs, seed, 1);
     let base = SystemConfig::builder()
         .n_initiators(1)
         .n_targets(2)
         .ssd(ssd.clone())
+        .workloads(specs)
         .background(paper_background(&assignments))
         .pfc(paper_pfc())
         .cc(crate::config::CcChoice::Timely)
@@ -810,25 +794,14 @@ pub fn ext_heterogeneous(
                     }
                 })
                 .collect();
-            let total_requests = scale.requests_per_target * n_targets;
-            let trace = generate_micro(
-                &MicroConfig {
-                    // Same offered load as Table IV: ~38 Gbps of reads.
-                    read_iat_mean_us: 9.2,
-                    write_iat_mean_us: 9.2,
-                    read_size_mean: 44_000.0,
-                    write_size_mean: 23_000.0,
-                    read_count: total_requests,
-                    write_count: total_requests,
-                    ..MicroConfig::default()
-                },
-                seed,
-            );
-            let assignments = spread_trace(&trace, n_initiators, n_targets);
+            // Same offered load as Table IV: ~38 Gbps of reads.
+            let spec = incast_spec(scale, n_targets);
+            let assignments = spread_source(&spec, seed, n_initiators, n_targets);
             let base = SystemConfig::builder()
                 .n_initiators(n_initiators)
                 .n_targets(n_targets)
                 .ssds(ssds.clone())
+                .workload(spec)
                 .background(paper_background(&assignments))
                 .pfc(paper_pfc())
                 .build();
@@ -870,6 +843,97 @@ pub fn ext_heterogeneous(
                     0.0
                 },
                 lanes,
+            }
+        },
+    )
+}
+
+// ----------------------------------------------------------------------
+// Extension: trace-driven replay through the in-cast sweep
+
+/// Fingerprint binding an `ext_replay` checkpoint manifest to its
+/// inputs. The replayed trace itself is summarized by its label, length
+/// and span — enough to invalidate the manifest when the recording or
+/// the rescaling knobs change.
+pub fn ext_replay_fingerprint(ssd: &SsdConfig, replay: &ReplaySpec, seed: u64) -> String {
+    format!(
+        "ext_replay ssd={ssd:?} replay={} len={} span_ps={} seed={seed}",
+        replay.label(),
+        replay.trace.len(),
+        replay.trace.span().as_ps(),
+    )
+}
+
+/// The Table IV in-cast sweep driven by a *replayed* trace instead of
+/// the synthetic generators: the recording (with its rescaling knobs)
+/// is spread over Targets:Initiators of 2:1, 3:1, 4:1 and 4:4, with
+/// DCQCN-only vs DCQCN-SRC in every cell. Checkpointable via
+/// `SRCSIM_CHECKPOINT` like the other sweeps.
+pub fn ext_replay(
+    ssd: &SsdConfig,
+    replay: &ReplaySpec,
+    tpm: Arc<ThroughputPredictionModel>,
+    seed: u64,
+) -> Vec<IncastRow> {
+    let ckpt = CheckpointSpec::from_env("ext_replay", &ext_replay_fingerprint(ssd, replay, seed));
+    ext_replay_checkpointed(ssd, replay, tpm, seed, ckpt.as_ref())
+}
+
+/// [`ext_replay`] with an explicit checkpoint (env-independent), for
+/// harnesses that manage their own manifests.
+pub fn ext_replay_checkpointed(
+    ssd: &SsdConfig,
+    replay: &ReplaySpec,
+    tpm: Arc<ThroughputPredictionModel>,
+    seed: u64,
+    ckpt: Option<&CheckpointSpec>,
+) -> Vec<IncastRow> {
+    let ratios: [(usize, usize); 4] = [(2, 1), (3, 1), (4, 1), (4, 4)];
+    let spec = WorkloadSpec::Replay(replay.clone());
+    ScenarioRunner::from_env().run_cells_resumable(
+        ckpt,
+        seed,
+        &ratios,
+        |_, &(n_targets, n_initiators)| {
+            // Replay ignores the seed; the spread is what varies by cell.
+            let assignments = spread_source(&spec, seed, n_initiators, n_targets);
+            let base = SystemConfig::builder()
+                .n_initiators(n_initiators)
+                .n_targets(n_targets)
+                .ssd(ssd.clone())
+                .workload(spec.clone())
+                .background(paper_background(&assignments))
+                .pfc(paper_pfc())
+                .build();
+            let (only, src) = join(
+                || {
+                    run_system(
+                        &base.to_builder().mode(Mode::DcqcnOnly).build(),
+                        &assignments,
+                        None,
+                        &mut NullSink,
+                    )
+                },
+                || {
+                    run_system(
+                        &base.to_builder().mode(Mode::DcqcnSrc).build(),
+                        &assignments,
+                        Some(tpm.clone()),
+                        &mut NullSink,
+                    )
+                },
+            );
+            let only_gbps = only.aggregated_tput().as_gbps_f64();
+            let src_gbps = src.aggregated_tput().as_gbps_f64();
+            IncastRow {
+                ratio: format!("{n_targets}:{n_initiators}"),
+                src_gbps,
+                only_gbps,
+                improvement_pct: if only_gbps > 0.0 {
+                    (src_gbps - only_gbps) / only_gbps * 100.0
+                } else {
+                    0.0
+                },
             }
         },
     )

@@ -25,4 +25,4 @@ pub mod system;
 
 pub use config::{Mode, SystemConfig, SystemConfigBuilder, TopologyKind};
 pub use report::SystemReport;
-pub use system::{run_system, run_system_fleet};
+pub use system::{run_system, run_system_fleet, run_system_workload};

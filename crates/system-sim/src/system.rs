@@ -81,6 +81,21 @@ pub fn run_system(
     run_system_inner(cfg, assignments, TpmAssignment::Shared(tpm), sink)
 }
 
+/// [`run_system`] driven by the configuration's own workload sources:
+/// `cfg.workloads` resolves to the assignment list via
+/// [`SystemConfig::assignments`] with `seed`, then the run proceeds as
+/// usual. The declarative entry point for spec-driven harnesses — a
+/// config plus a seed is a complete, serializable experiment.
+pub fn run_system_workload(
+    cfg: &SystemConfig,
+    seed: u64,
+    tpm: Option<Arc<ThroughputPredictionModel>>,
+    sink: &mut dyn TraceSink,
+) -> SystemReport {
+    let assignments = cfg.assignments(seed);
+    run_system(cfg, &assignments, tpm, sink)
+}
+
 /// Which TPM serves each Target's SRC controller.
 enum TpmAssignment<'a> {
     /// One model shared by every Target (homogeneous fleets).

@@ -32,6 +32,7 @@ pub mod features;
 pub mod micro;
 pub mod mmpp;
 pub mod request;
+pub mod source;
 pub mod spatial;
 pub mod synthetic;
 pub mod trace;
@@ -39,4 +40,5 @@ pub mod trace_io;
 
 pub use features::{extract_features, WorkloadFeatures};
 pub use request::{IoType, Request};
+pub use source::{ReplaySpec, WorkloadSource, WorkloadSpec};
 pub use trace::Trace;

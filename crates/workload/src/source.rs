@@ -1,0 +1,389 @@
+//! Unified workload sources: every trace producer in the workspace
+//! behind one seeded, deterministic interface.
+//!
+//! Historically each experiment hard-wired a generator call
+//! (`generate_micro(..)`, `generate_synthetic(..)`, or a pre-built
+//! [`Trace`]). [`WorkloadSource`] is the seam that makes the producer a
+//! value: a [`WorkloadSpec`] is serializable configuration that resolves
+//! to a trace only when handed a seed, so sweep engines, checkpoints and
+//! config files can all carry *which workload* without carrying the
+//! requests themselves. The [`WorkloadSpec::Replay`] variant feeds a
+//! recorded trace (see [`crate::trace_io::read_fio_jsonl`]) through the
+//! exact same seam, with rescaling knobs so one recording can sweep load
+//! levels.
+
+use crate::micro::{generate_micro, MicroConfig};
+use crate::request::{IoType, Request};
+use crate::synthetic::{generate_synthetic, SyntheticConfig};
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+use sim_engine::SimTime;
+
+/// A deterministic trace producer.
+///
+/// The contract mirrors the generators it unifies: `generate` must be a
+/// pure function of `self` and `seed` (byte-identical traces on repeated
+/// calls), and sources that replay recorded data simply ignore the seed.
+pub trait WorkloadSource {
+    /// Produce the trace for `seed`.
+    fn generate(&self, seed: u64) -> Trace;
+
+    /// Short human-readable label for banners, manifests and reports.
+    fn label(&self) -> String;
+
+    /// Offered read load in bits per second when statically known from
+    /// the configuration (the paper's "traffic load": mean size / mean
+    /// inter-arrival time). `None` when it can only be measured from a
+    /// generated trace.
+    fn offered_read_load_bps(&self) -> Option<f64>;
+}
+
+impl WorkloadSource for MicroConfig {
+    fn generate(&self, seed: u64) -> Trace {
+        generate_micro(self, seed)
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "micro(iat={}us,size={}B,n={}+{})",
+            self.read_iat_mean_us, self.read_size_mean, self.read_count, self.write_count
+        )
+    }
+
+    fn offered_read_load_bps(&self) -> Option<f64> {
+        Some(self.read_load_bps())
+    }
+}
+
+impl WorkloadSource for SyntheticConfig {
+    fn generate(&self, seed: u64) -> Trace {
+        generate_synthetic(self, seed)
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "synthetic(iat={}us,size={}B,scv={}/{},n={}+{})",
+            self.read.iat_mean_us,
+            self.read.size_mean,
+            self.read.size_scv,
+            self.read.iat_scv,
+            self.read_count,
+            self.write_count
+        )
+    }
+
+    fn offered_read_load_bps(&self) -> Option<f64> {
+        Some(self.read.size_mean * 8.0 / (self.read.iat_mean_us * 1e-6))
+    }
+}
+
+/// Raw passthrough: a pre-built trace is its own source (seed ignored).
+impl WorkloadSource for Trace {
+    fn generate(&self, _seed: u64) -> Trace {
+        self.clone()
+    }
+
+    fn label(&self) -> String {
+        format!("fixed({} requests)", self.len())
+    }
+
+    fn offered_read_load_bps(&self) -> Option<f64> {
+        Some(self.offered_load_bps(IoType::Read))
+    }
+}
+
+/// A recorded trace replayed through the workload seam, with the two
+/// knobs that let one recording sweep operating points:
+///
+/// * **time rescaling** — every arrival timestamp is multiplied by
+///   `time_scale`, so `0.5` doubles the offered load and `2.0` halves
+///   it while preserving the recording's burst structure;
+/// * **LBA remapping** — request addresses are folded into a target
+///   device's `[0, lba_space_sectors)` address space (wrap-around
+///   modulo, end-clamped), so a recording taken on a larger device
+///   replays on a smaller simulated one.
+///
+/// Replay is deterministic and seed-independent: the same spec always
+/// yields the same trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplaySpec {
+    /// Where the recording came from (file name, trace id) — used in
+    /// labels and checkpoint fingerprints.
+    pub source: String,
+    /// The recorded trace, as parsed (see
+    /// [`crate::trace_io::read_fio_jsonl`]).
+    pub trace: Trace,
+    /// Arrival-timestamp multiplier (> 0). 1.0 replays in recorded time.
+    pub time_scale: f64,
+    /// Fold LBAs into this address space (sectors) when set.
+    pub lba_space_sectors: Option<u64>,
+    /// Replay only the first N requests when set (quick modes).
+    pub max_requests: Option<usize>,
+}
+
+impl ReplaySpec {
+    /// Replay `trace` verbatim.
+    pub fn new(source: impl Into<String>, trace: Trace) -> Self {
+        ReplaySpec {
+            source: source.into(),
+            trace,
+            time_scale: 1.0,
+            lba_space_sectors: None,
+            max_requests: None,
+        }
+    }
+
+    /// Set the arrival-timestamp multiplier.
+    ///
+    /// # Panics
+    /// Panics unless `scale` is finite and positive.
+    pub fn time_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "time_scale must be positive, got {scale}"
+        );
+        self.time_scale = scale;
+        self
+    }
+
+    /// Fold LBAs into `[0, sectors)`.
+    ///
+    /// # Panics
+    /// Panics when `sectors` is zero.
+    pub fn remap_lba(mut self, sectors: u64) -> Self {
+        assert!(sectors > 0, "LBA space must be nonempty");
+        self.lba_space_sectors = Some(sectors);
+        self
+    }
+
+    /// Replay only the first `n` requests of the recording.
+    pub fn truncate(mut self, n: usize) -> Self {
+        self.max_requests = Some(n);
+        self
+    }
+}
+
+impl WorkloadSource for ReplaySpec {
+    fn generate(&self, _seed: u64) -> Trace {
+        let mut requests: Vec<Request> = self.trace.requests().to_vec();
+        if let Some(n) = self.max_requests {
+            requests.truncate(n);
+        }
+        for r in requests.iter_mut() {
+            if self.time_scale != 1.0 {
+                let ps = (r.arrival.as_ps() as f64 * self.time_scale).round();
+                r.arrival = SimTime::from_ps(ps as u64);
+            }
+            if let Some(space) = self.lba_space_sectors {
+                let sectors = r.sectors().min(space);
+                // Wrap into the device, then clamp so the request still
+                // ends inside it.
+                r.lba = (r.lba % space).min(space - sectors);
+            }
+        }
+        // Rescaling preserves arrival order (monotone map), but rounding
+        // can create ties; `from_requests` re-sorts by `(arrival, id)`
+        // so the result is canonical either way.
+        Trace::from_requests(requests)
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "replay({}, {} requests, x{} time{})",
+            self.source,
+            self.max_requests
+                .map_or(self.trace.len(), |n| n.min(self.trace.len())),
+            self.time_scale,
+            match self.lba_space_sectors {
+                Some(s) => format!(", lba%{s}"),
+                None => String::new(),
+            }
+        )
+    }
+
+    fn offered_read_load_bps(&self) -> Option<f64> {
+        // Time rescaling divides the load; truncation changes the window
+        // the statistics are taken over, so measure the actual replay.
+        Some(self.generate(0).offered_load_bps(IoType::Read))
+    }
+}
+
+/// Serializable description of a workload: which producer, with which
+/// configuration. The system stack carries specs (see
+/// `system_sim::SystemConfig::workloads`) and resolves them to traces
+/// per sweep cell with the cell's seed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// Exponential micro generator ([`crate::micro`]).
+    Micro(MicroConfig),
+    /// MMPP synthetic generator ([`crate::synthetic`]).
+    Synthetic(SyntheticConfig),
+    /// A pre-built trace passed through unchanged.
+    Fixed(Trace),
+    /// A recorded trace replayed with rescaling knobs.
+    Replay(ReplaySpec),
+}
+
+impl WorkloadSource for WorkloadSpec {
+    fn generate(&self, seed: u64) -> Trace {
+        match self {
+            WorkloadSpec::Micro(cfg) => cfg.generate(seed),
+            WorkloadSpec::Synthetic(cfg) => cfg.generate(seed),
+            WorkloadSpec::Fixed(trace) => trace.generate(seed),
+            WorkloadSpec::Replay(spec) => spec.generate(seed),
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Micro(cfg) => cfg.label(),
+            WorkloadSpec::Synthetic(cfg) => cfg.label(),
+            WorkloadSpec::Fixed(trace) => WorkloadSource::label(trace),
+            WorkloadSpec::Replay(spec) => spec.label(),
+        }
+    }
+
+    fn offered_read_load_bps(&self) -> Option<f64> {
+        match self {
+            WorkloadSpec::Micro(cfg) => cfg.offered_read_load_bps(),
+            WorkloadSpec::Synthetic(cfg) => cfg.offered_read_load_bps(),
+            WorkloadSpec::Fixed(trace) => trace.offered_read_load_bps(),
+            WorkloadSpec::Replay(spec) => spec.offered_read_load_bps(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::SECTOR_BYTES;
+
+    fn mk(id: u64, at_us: u64, lba: u64, size: u64) -> Request {
+        Request {
+            id,
+            op: IoType::Read,
+            lba,
+            size,
+            arrival: SimTime::from_us(at_us),
+        }
+    }
+
+    #[test]
+    fn micro_spec_matches_direct_generator() {
+        let cfg = MicroConfig {
+            read_count: 50,
+            write_count: 50,
+            ..MicroConfig::default()
+        };
+        let spec = WorkloadSpec::Micro(cfg.clone());
+        assert_eq!(
+            spec.generate(9).requests(),
+            generate_micro(&cfg, 9).requests()
+        );
+        assert_eq!(spec.offered_read_load_bps(), Some(cfg.read_load_bps()));
+    }
+
+    #[test]
+    fn synthetic_spec_matches_direct_generator() {
+        let cfg = SyntheticConfig::vdi(80, 40);
+        let spec = WorkloadSpec::Synthetic(cfg.clone());
+        assert_eq!(
+            spec.generate(5).requests(),
+            generate_synthetic(&cfg, 5).requests()
+        );
+    }
+
+    #[test]
+    fn fixed_spec_ignores_seed() {
+        let t = Trace::from_requests(vec![mk(0, 10, 0, 4096), mk(1, 20, 8, 8192)]);
+        let spec = WorkloadSpec::Fixed(t.clone());
+        assert_eq!(spec.generate(1).requests(), t.requests());
+        assert_eq!(spec.generate(999).requests(), t.requests());
+    }
+
+    #[test]
+    fn replay_time_rescaling_scales_arrivals_and_load() {
+        let t = Trace::from_requests((0..100).map(|i| mk(i, 10 * i, i * 8, 40_000)).collect());
+        let base_load = t.offered_load_bps(IoType::Read);
+        let spec = ReplaySpec::new("test", t).time_scale(0.5);
+        let replayed = spec.generate(0);
+        // Arrivals halved -> load doubled.
+        assert_eq!(replayed.requests()[10].arrival, SimTime::from_us(50));
+        let load = replayed.offered_load_bps(IoType::Read);
+        assert!((load - 2.0 * base_load).abs() / base_load < 1e-9, "{load}");
+        assert_eq!(spec.offered_read_load_bps(), Some(load));
+    }
+
+    #[test]
+    fn replay_lba_remap_fits_device() {
+        let space = 1 << 10;
+        let t = Trace::from_requests(vec![
+            mk(0, 0, 5, 4096),
+            mk(1, 10, (1 << 20) + 3, 8192),
+            // Wraps to the very end of the space: must be end-clamped.
+            mk(2, 20, space - 1, 4 * SECTOR_BYTES),
+        ]);
+        let spec = ReplaySpec::new("test", t).remap_lba(space);
+        for r in spec.generate(0).requests() {
+            assert!(r.lba_end() <= space, "request escapes the device: {r:?}");
+        }
+        // In-range LBAs are untouched.
+        assert_eq!(spec.generate(0).requests()[0].lba, 5);
+    }
+
+    #[test]
+    fn replay_truncation_takes_prefix() {
+        let t = Trace::from_requests((0..10).map(|i| mk(i, i, i, 4096)).collect());
+        let spec = ReplaySpec::new("test", t).truncate(4);
+        let r = spec.generate(0);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.span(), SimTime::from_us(3));
+        assert!(spec.label().contains("4 requests"), "{}", spec.label());
+    }
+
+    #[test]
+    fn replay_is_seed_independent_and_deterministic() {
+        let t = Trace::from_requests((0..20).map(|i| mk(i, 3 * i, i, 8192)).collect());
+        let spec = ReplaySpec::new("test", t).time_scale(1.7);
+        assert_eq!(spec.generate(1).requests(), spec.generate(42).requests());
+    }
+
+    #[test]
+    #[should_panic(expected = "time_scale must be positive")]
+    fn replay_rejects_nonpositive_scale() {
+        let _ = ReplaySpec::new("x", Trace::new()).time_scale(0.0);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = WorkloadSpec::Replay(
+            ReplaySpec::new(
+                "fixture.jsonl",
+                Trace::from_requests(vec![mk(0, 1, 2, 4096)]),
+            )
+            .time_scale(2.0)
+            .remap_lba(1 << 20),
+        );
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.generate(0).requests(), spec.generate(0).requests());
+        assert_eq!(back.label(), spec.label());
+        let micro = WorkloadSpec::Micro(MicroConfig::default());
+        let back: WorkloadSpec =
+            serde_json::from_str(&serde_json::to_string(&micro).unwrap()).unwrap();
+        assert_eq!(back.generate(3).requests(), micro.generate(3).requests());
+    }
+
+    #[test]
+    fn labels_name_the_producer() {
+        assert!(WorkloadSpec::Micro(MicroConfig::default())
+            .label()
+            .starts_with("micro("));
+        assert!(WorkloadSpec::Synthetic(SyntheticConfig::vdi(1, 1))
+            .label()
+            .starts_with("synthetic("));
+        assert!(WorkloadSpec::Fixed(Trace::new())
+            .label()
+            .starts_with("fixed("));
+    }
+}

@@ -202,6 +202,37 @@ mod tests {
     }
 
     #[test]
+    fn merge_reassigns_ids_monotonically_for_overlapping_id_spaces() {
+        // A replayed recording and a generated trace both number their
+        // requests from 0. Merging must restore the documented "unique,
+        // monotonically increasing id" invariant — interleaved arrival
+        // order, no duplicate ids, ids dense in 0..n.
+        let replayed = Trace::from_requests(vec![
+            mk(0, IoType::Read, 5, 4096),
+            mk(1, IoType::Read, 25, 4096),
+            mk(2, IoType::Read, 45, 4096),
+        ]);
+        let synthetic = Trace::from_requests(vec![
+            mk(0, IoType::Write, 15, 8192),
+            mk(1, IoType::Write, 35, 8192),
+        ]);
+        let m = replayed.merge(synthetic);
+        let ids: Vec<u64> = m.requests().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        for pair in m.requests().windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+            assert!(pair[0].id < pair[1].id);
+        }
+        // Merge in the other direction preserves the invariant too.
+        let t = Trace::from_requests(vec![mk(7, IoType::Read, 100, 4096)])
+            .merge(Trace::from_requests(vec![mk(7, IoType::Write, 1, 4096)]));
+        assert_eq!(
+            t.requests().iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
     fn class_stats_basic() {
         // Reads at 0, 10, 20 us with sizes 4K, 8K, 4K.
         let t = Trace::from_requests(vec![

@@ -8,10 +8,17 @@
 //! workspace, and extract the fitted statistics the synthetic generator
 //! needs (the paper's methodology: fit an MMPP to the real trace's
 //! moments, then generate).
+//!
+//! [`read_fio_jsonl`] additionally accepts the JSON-lines shape emitted
+//! by fio's log hooks and blktrace converters: one object per line with
+//! a microsecond timestamp, an op, a byte offset and a byte length.
+//! Parsed traces plug into the sweep engine through
+//! [`crate::source::ReplaySpec`].
 
-use crate::request::{IoType, Request};
+use crate::request::{IoType, Request, SECTOR_BYTES};
 use crate::synthetic::StreamProfile;
 use crate::trace::Trace;
+use serde::Value;
 use sim_engine::{SimDuration, SimTime};
 use std::io::{BufRead, Write};
 
@@ -128,6 +135,169 @@ pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
             r.arrival.as_us_f64(),
             if r.op.is_read() { "R" } else { "W" },
             r.lba,
+            r.size
+        )?;
+    }
+    Ok(())
+}
+
+/// Options for [`read_fio_jsonl`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FioReadOptions {
+    /// Accept records whose timestamps go backwards by sorting the trace
+    /// on arrival after parsing (request ids are reassigned in arrival
+    /// order). Off by default: replayed traces drive a discrete-event
+    /// simulation, so a timestamp that moves backwards is almost always
+    /// a corrupt or mis-converted recording and is reported as a
+    /// [`ParseError`] naming the offending line.
+    pub sort_by_arrival: bool,
+}
+
+fn fio_field<'a>(v: &'a Value, lineno: usize, name: &str) -> Result<&'a Value, ParseError> {
+    v.get(name).ok_or_else(|| ParseError {
+        line: lineno,
+        message: format!("missing field `{name}`"),
+    })
+}
+
+fn fio_f64(v: &Value, lineno: usize, name: &str) -> Result<f64, ParseError> {
+    match fio_field(v, lineno, name)? {
+        Value::UInt(n) => Ok(*n as f64),
+        Value::Int(n) => Ok(*n as f64),
+        Value::Float(f) => Ok(*f),
+        other => Err(ParseError {
+            line: lineno,
+            message: format!("field `{name}`: expected a number, got {}", other.kind()),
+        }),
+    }
+}
+
+fn fio_u64(v: &Value, lineno: usize, name: &str) -> Result<u64, ParseError> {
+    match fio_field(v, lineno, name)? {
+        Value::UInt(n) => Ok(*n),
+        Value::Int(n) if *n >= 0 => Ok(*n as u64),
+        other => Err(ParseError {
+            line: lineno,
+            message: format!(
+                "field `{name}`: expected a nonnegative integer, got {}",
+                other.kind()
+            ),
+        }),
+    }
+}
+
+/// Read a fio/blktrace-style JSON-lines trace: one JSON object per line,
+/// blank lines and `#` comments skipped. Recognized fields (all
+/// required):
+///
+/// * `ts_us` — arrival timestamp in microseconds (nonnegative number,
+///   non-decreasing across records unless
+///   [`FioReadOptions::sort_by_arrival`] is set);
+/// * `op` — `"R"`/`"W"`/`"read"`/`"write"` (case-insensitive) or the
+///   blktrace numeric convention `0` (read) / `1` (write);
+/// * `offset` — byte offset on the device (converted to 4 KiB-sector
+///   LBAs; sub-sector offsets round down);
+/// * `len` — transfer length in bytes (positive).
+///
+/// Request ids are assigned in arrival order; validation failures name
+/// the line and field.
+pub fn read_fio_jsonl<R: BufRead>(
+    reader: R,
+    options: &FioReadOptions,
+) -> Result<Trace, ParseError> {
+    let mut requests = Vec::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut out_of_order = false;
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.map_err(|e| ParseError {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let record = serde_json::parse_value(trimmed).map_err(|e| ParseError {
+            line: lineno,
+            message: format!("bad JSON record: {e}"),
+        })?;
+        if record.as_object().is_none() {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("expected a JSON object, got {}", record.kind()),
+            });
+        }
+        let ts = fio_f64(&record, lineno, "ts_us")?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(ParseError {
+                line: lineno,
+                message: format!(
+                    "field `ts_us`: timestamp must be finite and nonnegative, got {ts}"
+                ),
+            });
+        }
+        if ts < last_ts {
+            if options.sort_by_arrival {
+                out_of_order = true;
+            } else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!(
+                        "field `ts_us`: timestamp goes backwards ({ts} after {last_ts}); \
+                         enable FioReadOptions::sort_by_arrival to accept out-of-order records"
+                    ),
+                });
+            }
+        }
+        last_ts = last_ts.max(ts);
+        let op = match fio_field(&record, lineno, "op")? {
+            Value::Str(s) => parse_op(s),
+            Value::UInt(0) | Value::Int(0) => Some(IoType::Read),
+            Value::UInt(1) | Value::Int(1) => Some(IoType::Write),
+            _ => None,
+        }
+        .ok_or_else(|| ParseError {
+            line: lineno,
+            message: "field `op`: must be R/W/read/write/0/1".into(),
+        })?;
+        let offset = fio_u64(&record, lineno, "offset")?;
+        let len = fio_u64(&record, lineno, "len")?;
+        if len == 0 {
+            return Err(ParseError {
+                line: lineno,
+                message: "field `len`: length must be positive".into(),
+            });
+        }
+        requests.push(Request {
+            id: requests.len() as u64,
+            op,
+            lba: offset / SECTOR_BYTES,
+            size: len,
+            arrival: SimTime::ZERO + SimDuration::from_us_f64(ts),
+        });
+    }
+    let trace = Trace::from_requests(requests);
+    // The sorted recovery path reorders records, leaving file-order ids
+    // non-monotone; merging with the empty trace reassigns them.
+    Ok(if out_of_order {
+        trace.merge(Trace::new())
+    } else {
+        trace
+    })
+}
+
+/// Write a trace in the fio JSON-lines shape read by [`read_fio_jsonl`]
+/// (timestamps keep 3 decimals of µs, matching [`write_csv`], so the two
+/// formats parse back to identical traces).
+pub fn write_fio_jsonl<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
+    for r in trace.requests() {
+        writeln!(
+            w,
+            "{{\"ts_us\":{:.3},\"op\":\"{}\",\"offset\":{},\"len\":{}}}",
+            r.arrival.as_us_f64(),
+            if r.op.is_read() { "R" } else { "W" },
+            r.lba * SECTOR_BYTES,
             r.size
         )?;
     }
@@ -285,6 +455,180 @@ mod tests {
         let w = w.expect("write profile");
         assert!(r.size_scv >= 0.05, "clamped: {}", r.size_scv);
         assert!(w.size_scv >= 0.05, "clamped: {}", w.size_scv);
+    }
+
+    #[test]
+    fn parses_well_formed_fio_jsonl() {
+        let data = r#"# exported by fio-to-jsonl
+{"ts_us": 10.5, "op": "R", "offset": 409600, "len": 4096}
+
+{"ts_us": 20, "op": "write", "offset": 8192, "len": 8192}
+{"ts_us": 30.25, "op": 1, "offset": 4097, "len": 16384}
+"#;
+        let t = read_fio_jsonl(Cursor::new(data), &FioReadOptions::default()).unwrap();
+        assert_eq!(t.len(), 3);
+        let r = t.requests();
+        assert_eq!(r[0].op, IoType::Read);
+        assert_eq!(r[0].lba, 100); // 409600 bytes / 4096
+        assert_eq!(r[1].op, IoType::Write);
+        assert_eq!(r[1].lba, 2);
+        assert_eq!(r[2].lba, 1); // sub-sector offset rounds down
+        assert!((r[2].arrival.as_us_f64() - 30.25).abs() < 1e-9);
+        assert_eq!(r.iter().map(|q| q.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fio_rejects_invalid_records_naming_line_and_field() {
+        let cases = [
+            (
+                r#"{"ts_us": 1, "op": "R", "offset": 0, "len": 0}"#,
+                1,
+                "`len`",
+            ),
+            (
+                r#"{"ts_us": -2, "op": "R", "offset": 0, "len": 512}"#,
+                1,
+                "`ts_us`",
+            ),
+            (
+                r#"{"ts_us": 1, "op": "X", "offset": 0, "len": 512}"#,
+                1,
+                "`op`",
+            ),
+            (r#"{"ts_us": 1, "op": "R", "len": 512}"#, 1, "`offset`"),
+            (
+                r#"{"ts_us": 1, "op": "R", "offset": -4, "len": 512}"#,
+                1,
+                "`offset`",
+            ),
+            (
+                r#"{"ts_us": "soon", "op": "R", "offset": 0, "len": 512}"#,
+                1,
+                "`ts_us`",
+            ),
+            (
+                "{\"ts_us\":1,\"op\":\"R\",\"offset\":0,\"len\":512}\n[1,2]",
+                2,
+                "object",
+            ),
+            ("not json at all", 1, "JSON"),
+        ];
+        for (data, line, needle) in cases {
+            let err = read_fio_jsonl(Cursor::new(data), &FioReadOptions::default()).unwrap_err();
+            assert_eq!(err.line, line, "case {data}");
+            assert!(
+                err.to_string().contains(needle),
+                "case {data}: error should mention {needle}, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn fio_rejects_backwards_timestamps_and_offers_recovery() {
+        let data = "\
+{\"ts_us\": 30, \"op\": \"R\", \"offset\": 0, \"len\": 512}
+{\"ts_us\": 10, \"op\": \"W\", \"offset\": 4096, \"len\": 1024}
+{\"ts_us\": 20, \"op\": \"R\", \"offset\": 8192, \"len\": 2048}
+";
+        // Strict mode: error names line 2 and the field, and points at
+        // the recovery knob.
+        let err = read_fio_jsonl(Cursor::new(data), &FioReadOptions::default()).unwrap_err();
+        assert_eq!(err.line, 2);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("`ts_us`") && msg.contains("backwards"),
+            "{msg}"
+        );
+        assert!(msg.contains("sort_by_arrival"), "{msg}");
+
+        // Opt-in recovery: sorted by arrival, ids reassigned monotone.
+        let t = read_fio_jsonl(
+            Cursor::new(data),
+            &FioReadOptions {
+                sort_by_arrival: true,
+            },
+        )
+        .unwrap();
+        let arrivals: Vec<f64> = t.requests().iter().map(|r| r.arrival.as_us_f64()).collect();
+        assert_eq!(arrivals, vec![10.0, 20.0, 30.0]);
+        let ids: Vec<u64> = t.requests().iter().map(|r| r.id).collect();
+        assert_eq!(
+            ids,
+            vec![0, 1, 2],
+            "ids must be reassigned in arrival order"
+        );
+        assert_eq!(t.requests()[0].op, IoType::Write);
+    }
+
+    #[test]
+    fn fio_ties_are_not_backwards() {
+        let data = "\
+{\"ts_us\": 10, \"op\": \"R\", \"offset\": 0, \"len\": 512}
+{\"ts_us\": 10, \"op\": \"W\", \"offset\": 4096, \"len\": 1024}
+";
+        let t = read_fio_jsonl(Cursor::new(data), &FioReadOptions::default()).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn fio_round_trip() {
+        let t = generate_micro(
+            &MicroConfig {
+                read_count: 200,
+                write_count: 200,
+                ..MicroConfig::default()
+            },
+            11,
+        );
+        let mut buf = Vec::new();
+        write_fio_jsonl(&t, &mut buf).unwrap();
+        let t2 = read_fio_jsonl(Cursor::new(buf), &FioReadOptions::default()).unwrap();
+        assert_eq!(t2.len(), t.len());
+        for (a, b) in t.requests().iter().zip(t2.requests()) {
+            assert_eq!((a.id, a.op, a.lba, a.size), (b.id, b.op, b.lba, b.size));
+            assert!(a.arrival.since(b.arrival).as_us_f64().abs() < 0.001);
+        }
+    }
+
+    #[test]
+    fn csv_and_fio_jsonl_parse_to_identical_traces() {
+        // Both writers quantize timestamps to 3 decimals of µs and carry
+        // the same (op, lba, size) payload, so the two on-disk formats
+        // must parse back to bit-identical traces.
+        let t = generate_synthetic(&SyntheticConfig::vdi(300, 150), 7);
+        let mut csv = Vec::new();
+        write_csv(&t, &mut csv).unwrap();
+        let mut jsonl = Vec::new();
+        write_fio_jsonl(&t, &mut jsonl).unwrap();
+        let from_csv = read_csv(Cursor::new(csv)).unwrap();
+        let from_jsonl = read_fio_jsonl(Cursor::new(jsonl), &FioReadOptions::default()).unwrap();
+        assert_eq!(from_csv.requests(), from_jsonl.requests());
+    }
+
+    proptest::proptest! {
+        /// `write_jsonl` ↔ `read_jsonl` is lossless for arbitrary
+        /// request mixes (serde carries exact picosecond arrivals).
+        #[test]
+        fn prop_jsonl_round_trip(
+            recs in proptest::collection::vec((0u64..1u64 << 40, 0u8..2, 1u64..1u64 << 20, 1u64..1u64 << 16), 1..60),
+        ) {
+            let reqs: Vec<Request> = recs
+                .iter()
+                .enumerate()
+                .map(|(i, &(ps, op, lba, size))| Request {
+                    id: i as u64,
+                    op: if op == 0 { IoType::Read } else { IoType::Write },
+                    lba,
+                    size,
+                    arrival: SimTime::from_ps(ps),
+                })
+                .collect();
+            let t = Trace::from_requests(reqs);
+            let mut buf = Vec::new();
+            t.write_jsonl(&mut buf).unwrap();
+            let t2 = Trace::read_jsonl(Cursor::new(buf)).unwrap();
+            proptest::prop_assert_eq!(t.requests(), t2.requests());
+        }
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! The trace-replay contract: the committed fio-JSONL fixture parses
+//! cleanly, the replayed in-cast sweep is deterministic across executor
+//! thread counts, an interrupted replay sweep resumes byte-identically
+//! from its checkpoint manifest, and a replayed recording can train a
+//! TPM end-to-end via fitted per-class profiles.
+//!
+//! The heavy sweeps are ignored in debug builds (run
+//! `cargo test --release -- --include-ignored`).
+
+use srcsim::sim_engine::checkpoint::committed_cells;
+use srcsim::sim_engine::runner::with_threads;
+use srcsim::sim_engine::CheckpointSpec;
+use srcsim::src_core::tpm::replay_training_samples;
+use srcsim::src_core::ThroughputPredictionModel;
+use srcsim::ssd_sim::SsdConfig;
+use srcsim::system_sim::experiments::{ext_replay_checkpointed, Scale, TrainKnob};
+use srcsim::workload::source::ReplaySpec;
+use srcsim::workload::trace_io::{read_fio_jsonl, FioReadOptions};
+use srcsim::workload::{extract_features, IoType, Trace};
+use std::fs;
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn quick() -> Scale {
+    Scale {
+        requests_per_target: 600,
+        train: TrainKnob::Quick,
+    }
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/replay_incast_seed2026.jsonl")
+}
+
+fn fixture_trace() -> Trace {
+    let f = fs::File::open(fixture_path()).expect("open committed replay fixture");
+    read_fio_jsonl(BufReader::new(f), &FioReadOptions::default()).expect("fixture parses")
+}
+
+/// The quick-scale replay of the fixture: a 2400-request prefix, enough
+/// to drive every in-cast cell into congestion.
+fn quick_replay() -> ReplaySpec {
+    ReplaySpec::new("fixture", fixture_trace()).truncate(600 * 4)
+}
+
+/// Cheap sanity on the committed fixture itself: well-formed, the
+/// expected shape, monotone arrivals, both I/O classes present.
+#[test]
+fn committed_fixture_parses_and_is_monotone() {
+    let trace = fixture_trace();
+    assert_eq!(trace.len(), 5_600);
+    let reqs = trace.requests();
+    assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    assert!((0..reqs.len()).all(|i| reqs[i].id == i as u64));
+    assert!(trace.class_stats(IoType::Read).count > 0);
+    assert!(trace.class_stats(IoType::Write).count > 0);
+    assert!(reqs.iter().all(|r| r.size > 0));
+}
+
+/// The replayed in-cast sweep must produce identical rows at executor
+/// threads 1 and 4 (the `ScenarioRunner` determinism contract extends
+/// to replay cells).
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy simulation; run in release")]
+fn ext_replay_identical_serial_and_parallel() {
+    let ssd = SsdConfig::ssd_a();
+    let replay = quick_replay();
+    let cfg = quick().training_config();
+    let tpm = Arc::new(
+        ThroughputPredictionModel::train_for_replay(&ssd, &replay.trace, &cfg, 42)
+            .expect("fixture large enough to fit profiles"),
+    );
+    let serial = with_threads(1, || {
+        ext_replay_checkpointed(&ssd, &replay, tpm.clone(), 47, None)
+    });
+    let parallel = with_threads(4, || {
+        ext_replay_checkpointed(&ssd, &replay, tpm.clone(), 47, None)
+    });
+    assert_eq!(serial.len(), 4);
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "replay sweep must not depend on executor thread count"
+    );
+}
+
+/// Kill the replay sweep after its first cells (simulated by truncating
+/// the manifest to a prefix, exactly the on-disk state a killed serial
+/// run leaves), resume at a different thread count, and require
+/// byte-identical rows.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy simulation; run in release")]
+fn ext_replay_resumes_byte_identical() {
+    let ssd = SsdConfig::ssd_a();
+    let replay = quick_replay();
+    let cfg = quick().training_config();
+    let tpm = Arc::new(
+        ThroughputPredictionModel::train_for_replay(&ssd, &replay.trace, &cfg, 42)
+            .expect("fixture large enough to fit profiles"),
+    );
+    let reference = with_threads(4, || {
+        ext_replay_checkpointed(&ssd, &replay, tpm.clone(), 47, None)
+    });
+
+    let path = std::env::temp_dir().join(format!(
+        "srcsim-replay-resume-{}.ckpt.jsonl",
+        std::process::id()
+    ));
+    let _ = fs::remove_file(&path);
+    let spec = CheckpointSpec::new(&path, "replay resume test v1");
+    let full = with_threads(1, || {
+        ext_replay_checkpointed(&ssd, &replay, tpm.clone(), 47, Some(&spec))
+    });
+    assert_eq!(
+        serde_json::to_string(&full).unwrap(),
+        serde_json::to_string(&reference).unwrap(),
+        "checkpointing must not change results"
+    );
+    assert_eq!(committed_cells(&path).unwrap(), 4);
+
+    // Keep the header plus the first 2 committed cells, then resume in
+    // parallel.
+    let text = fs::read_to_string(&path).unwrap();
+    let prefix: String = text.lines().take(1 + 2).map(|l| format!("{l}\n")).collect();
+    fs::write(&path, prefix).unwrap();
+    assert_eq!(committed_cells(&path).unwrap(), 2);
+
+    let resumed = with_threads(4, || {
+        ext_replay_checkpointed(&ssd, &replay, tpm.clone(), 47, Some(&spec))
+    });
+    assert_eq!(
+        serde_json::to_string(&resumed).unwrap(),
+        serde_json::to_string(&reference).unwrap(),
+        "resumed replay sweep must be byte-identical"
+    );
+    assert_eq!(committed_cells(&path).unwrap(), 4);
+    let _ = fs::remove_file(&path);
+}
+
+/// A replayed recording trains a TPM end-to-end: per-class profiles are
+/// fitted to the fixture, workloads regenerated from them sweep the
+/// weight grid, and the trained forest predicts sane throughputs for
+/// the recording's own features.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy simulation; run in release")]
+fn replayed_trace_trains_tpm_end_to_end() {
+    let ssd = SsdConfig::ssd_a();
+    let trace = fixture_trace();
+    let cfg = quick().training_config();
+
+    let samples = replay_training_samples(&ssd, &trace, &cfg, 42)
+        .expect("fixture large enough to fit profiles");
+    let cells = cfg.iat_means_us.len() * cfg.seeds_per_cell;
+    assert_eq!(samples.len(), cells * cfg.weights.len());
+    assert!(samples.iter().all(|s| s.read_gbps.is_finite()
+        && s.write_gbps.is_finite()
+        && s.read_gbps >= 0.0
+        && s.write_gbps >= 0.0));
+
+    let tpm = ThroughputPredictionModel::train_for_replay(&ssd, &trace, &cfg, 42)
+        .expect("fixture large enough to fit profiles");
+    let ch = extract_features(trace.requests());
+    for w in [1u32, 4, 8] {
+        let (r, wr) = tpm.predict(&ch, w);
+        assert!(r.is_finite() && wr.is_finite() && r >= 0.0 && wr >= 0.0);
+        assert!(r < 200.0 && wr < 200.0, "predictions in a physical range");
+    }
+
+    // Too-small recordings refuse to fit rather than train nonsense.
+    let tiny = Trace::from_requests(trace.requests()[..1].to_vec());
+    assert!(replay_training_samples(&ssd, &tiny, &cfg, 42).is_none());
+}
