@@ -22,7 +22,7 @@ use system_sim::config::{spread_trace, Mode, SystemConfig};
 use system_sim::experiments::{
     ab_fleet, ext_heterogeneous, paper_background, paper_pfc, train_fleet_tpms, train_tpm,
 };
-use system_sim::run_system_fleet;
+use system_sim::{run_system, RunOptions};
 use workload::micro::{generate_micro, MicroConfig};
 
 const SEED: u64 = 17;
@@ -103,7 +103,11 @@ fn main() {
             .pfc(paper_pfc())
             .build();
         let mut sink = FileSink::create(&path).expect("create trace file");
-        let _ = run_system_fleet(&cfg, &assignments, Some(&tpms), &mut sink);
+        let _ = run_system(
+            &cfg,
+            RunOptions::assignments(&assignments).tpm_fleet(&tpms),
+            &mut sink,
+        );
         let samples = sink.samples_written();
         sink.finish().expect("flush trace file");
         println!("trace: {path} ({samples} samples; per-target model gauges included)");

@@ -28,7 +28,7 @@ use ssd_sim::SsdConfig;
 use std::sync::Arc;
 use system_sim::config::{Mode, SystemConfig};
 use system_sim::experiments::{ext_replay, paper_pfc, train_tpm};
-use system_sim::run_system_workload;
+use system_sim::{run_system, RunOptions};
 use workload::source::{ReplaySpec, WorkloadSource, WorkloadSpec};
 use workload::trace_io::{read_fio_jsonl, FioReadOptions};
 
@@ -120,7 +120,7 @@ fn main() {
             .pfc(paper_pfc())
             .build();
         let mut sink = FileSink::create(&out).expect("create trace file");
-        let _ = run_system_workload(&cfg, SEED, Some(tpm), &mut sink);
+        let _ = run_system(&cfg, RunOptions::seeded(SEED).tpm(tpm), &mut sink);
         let samples = sink.samples_written();
         sink.finish().expect("flush trace file");
         println!("trace: {out} ({samples} samples)");

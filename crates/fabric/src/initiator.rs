@@ -61,6 +61,27 @@ impl InitiatorProto {
         );
         assert!(prev.is_none(), "duplicate request id {}", req.id);
         self.issued += 1;
+        Self::wire_send(req, out_flow)
+    }
+
+    /// Re-issue a timed-out request (retry). The pending entry's issue
+    /// timestamp resets to `now`, so a later completion's latency
+    /// measures from the attempt that succeeded.
+    ///
+    /// # Panics
+    /// Panics if the request is not pending (completed or abandoned
+    /// requests must not be retried).
+    pub fn reissue(&mut self, req: &Request, out_flow: FlowId, now: SimTime) -> WireSend {
+        let p = self
+            .pending
+            .get_mut(&req.id)
+            .unwrap_or_else(|| panic!("retry of non-pending request {}", req.id));
+        p.issued = now;
+        self.issued += 1;
+        Self::wire_send(req, out_flow)
+    }
+
+    fn wire_send(req: &Request, out_flow: FlowId) -> WireSend {
         match req.op {
             IoType::Read => WireSend {
                 flow: out_flow,
@@ -76,26 +97,37 @@ impl InitiatorProto {
     }
 
     /// An inbound message completed (its last packet arrived). Returns
-    /// the completion when it terminates a pending request.
+    /// the completion when it terminates a pending request, or `None`
+    /// for a request no longer pending — a late reply to a request that
+    /// was already completed (a retry raced its original) or abandoned.
     ///
     /// # Panics
-    /// Panics on a completion for an unknown request or a kind mismatch.
-    pub fn on_inbound(&mut self, kind: MsgKind, req_id: u64, now: SimTime) -> InitiatorCompletion {
-        let p = self
-            .pending
-            .remove(&req_id)
-            .unwrap_or_else(|| panic!("completion for unknown request {req_id}"));
+    /// Panics on a kind mismatch for a request that *is* pending.
+    pub fn on_inbound(
+        &mut self,
+        kind: MsgKind,
+        req_id: u64,
+        now: SimTime,
+    ) -> Option<InitiatorCompletion> {
+        let p = self.pending.remove(&req_id)?;
         match (kind, p.op) {
             (MsgKind::ReadData, IoType::Read) | (MsgKind::WriteAck, IoType::Write) => {}
             other => panic!("mismatched completion {other:?} for request {req_id}"),
         }
-        InitiatorCompletion {
+        Some(InitiatorCompletion {
             req_id,
             op: p.op,
             size: p.size,
             issued: p.issued,
             at: now,
-        }
+        })
+    }
+
+    /// Give up on a pending request (retry budget exhausted). Returns
+    /// true when the request was pending; a later reply for it is
+    /// ignored by [`InitiatorProto::on_inbound`].
+    pub fn abandon(&mut self, req_id: u64) -> bool {
+        self.pending.remove(&req_id).is_some()
     }
 
     /// Requests still awaiting completion.
@@ -151,7 +183,9 @@ mod tests {
         let mut p = InitiatorProto::new();
         let t0 = SimTime::from_us(10);
         p.issue(&req(5, IoType::Read, 8_192), FlowId(0), t0);
-        let c = p.on_inbound(MsgKind::ReadData, 5, SimTime::from_us(90));
+        let c = p
+            .on_inbound(MsgKind::ReadData, 5, SimTime::from_us(90))
+            .expect("pending request completes");
         assert_eq!(c.size, 8_192);
         assert_eq!(c.issued, t0);
         assert_eq!(c.at, SimTime::from_us(90));
@@ -167,9 +201,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown request")]
-    fn unknown_completion_panics() {
+    fn unknown_completion_is_ignored() {
+        // Late replies (a retry raced its original, or the request was
+        // abandoned) are dropped, not errors.
         let mut p = InitiatorProto::new();
-        let _ = p.on_inbound(MsgKind::ReadData, 9, SimTime::ZERO);
+        assert!(p.on_inbound(MsgKind::ReadData, 9, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn reissue_resets_issue_time_and_counts() {
+        let mut p = InitiatorProto::new();
+        let r = req(5, IoType::Read, 8_192);
+        p.issue(&r, FlowId(0), SimTime::from_us(10));
+        let w = p.reissue(&r, FlowId(0), SimTime::from_us(50));
+        assert_eq!(w.bytes, CMD_HEADER_BYTES);
+        assert_eq!(p.issued(), 2);
+        assert_eq!(p.in_flight(), 1);
+        let c = p
+            .on_inbound(MsgKind::ReadData, 5, SimTime::from_us(90))
+            .expect("still pending");
+        assert_eq!(c.issued, SimTime::from_us(50), "latency from the retry");
+    }
+
+    #[test]
+    #[should_panic(expected = "retry of non-pending request")]
+    fn reissue_of_unknown_panics() {
+        let mut p = InitiatorProto::new();
+        let _ = p.reissue(&req(5, IoType::Read, 8_192), FlowId(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn abandon_drops_pending_and_squelches_late_reply() {
+        let mut p = InitiatorProto::new();
+        p.issue(&req(7, IoType::Write, 4_096), FlowId(0), SimTime::ZERO);
+        assert!(p.abandon(7));
+        assert!(!p.abandon(7), "second abandon is a no-op");
+        assert_eq!(p.in_flight(), 0);
+        assert!(p.on_inbound(MsgKind::WriteAck, 7, SimTime::ZERO).is_none());
     }
 }

@@ -36,7 +36,8 @@
 //! assert_eq!((kind, id), (MsgKind::ReadCmd, 9));
 //!
 //! let mut tgt = TargetProto::new();
-//! let sub = tgt.on_command(kind, &req, FlowId(1), SimTime::from_us(3));
+//! let sub = tgt.on_command(kind, &req, FlowId(1), SimTime::from_us(3))
+//!     .expect("fresh command");
 //! let reply = tgt.on_storage_completion(sub.request.id, SimTime::from_us(80));
 //! assert_eq!(reply.bytes, 64 + 44_000); // header + data
 //! ```

@@ -44,24 +44,29 @@ impl TargetProto {
     /// A command capsule arrived (all its bytes). `lba`/`size` come from
     /// the shared request table (in-capsule metadata); `reply_flow` is
     /// the inbound flow back to the issuing Initiator. Returns the
-    /// storage submission.
-    ///
-    /// # Panics
-    /// Panics on duplicate command ids.
+    /// storage submission, or `None` when the command id is already in
+    /// service — an initiator retry arrived while the original is still
+    /// being processed, so the original's completion will answer both
+    /// (the reply flow is refreshed to the retry's).
     pub fn on_command(
         &mut self,
         kind: MsgKind,
         req: &Request,
         reply_flow: FlowId,
         now: SimTime,
-    ) -> StorageSubmission {
+    ) -> Option<StorageSubmission> {
         let op = match kind {
             MsgKind::ReadCmd => IoType::Read,
             MsgKind::WriteCmd => IoType::Write,
             other => panic!("not a command capsule: {other:?}"),
         };
         assert_eq!(op, req.op, "capsule kind disagrees with request table");
-        let prev = self.pending.insert(
+        if let Some(p) = self.pending.get_mut(&req.id) {
+            assert_eq!(p.op, op, "retried command changed its I/O type");
+            p.reply_flow = reply_flow;
+            return None;
+        }
+        self.pending.insert(
             req.id,
             PendingCmd {
                 op,
@@ -70,8 +75,7 @@ impl TargetProto {
                 received: now,
             },
         );
-        assert!(prev.is_none(), "duplicate command id {}", req.id);
-        StorageSubmission { request: *req }
+        Some(StorageSubmission { request: *req })
     }
 
     /// The storage stack completed command `req_id`; returns the wire
@@ -143,7 +147,9 @@ mod tests {
     fn read_flow() {
         let mut t = TargetProto::new();
         let r = req(1, IoType::Read, 44_000);
-        let sub = t.on_command(MsgKind::ReadCmd, &r, FlowId(7), SimTime::from_us(3));
+        let sub = t
+            .on_command(MsgKind::ReadCmd, &r, FlowId(7), SimTime::from_us(3))
+            .expect("fresh command submits");
         assert_eq!(sub.request.op, IoType::Read);
         assert_eq!(t.in_flight(), 1);
         assert_eq!(t.received_at(1), Some(SimTime::from_us(3)));
@@ -174,12 +180,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate command id")]
-    fn duplicate_rejected() {
+    fn duplicate_command_is_absorbed() {
+        // A retried command arriving while the original is in service
+        // produces no second storage submission; the reply flow is
+        // refreshed so the completion answers the retry's path.
         let mut t = TargetProto::new();
         let r = req(4, IoType::Read, 1);
-        let _ = t.on_command(MsgKind::ReadCmd, &r, FlowId(0), SimTime::ZERO);
-        let _ = t.on_command(MsgKind::ReadCmd, &r, FlowId(0), SimTime::ZERO);
+        assert!(t
+            .on_command(MsgKind::ReadCmd, &r, FlowId(0), SimTime::ZERO)
+            .is_some());
+        assert!(t
+            .on_command(MsgKind::ReadCmd, &r, FlowId(9), SimTime::ZERO)
+            .is_none());
+        assert_eq!(t.in_flight(), 1);
+        let reply = t.on_storage_completion(4, SimTime::from_us(5));
+        assert_eq!(reply.flow, FlowId(9), "reply follows the retry's flow");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::dcqcn::{DcqcnParams, NpState, RpState};
 use crate::timely::{TimelyParams, TimelyState};
 use crate::topology::{NodeId, NodeKind, Topology};
-use sim_engine::{ProbeBuffer, Rate, SimTime, TokenBucket, TraceRecord};
+use sim_engine::{FaultRng, ProbeBuffer, Rate, SimDuration, SimTime, TokenBucket, TraceRecord};
 use std::collections::VecDeque;
 
 /// Identifier of a unidirectional RDMA flow (queue pair).
@@ -232,6 +232,19 @@ pub struct Network {
     /// Telemetry probes: DCQCN RP/NP transitions and `Rc`/`Rt`/alpha
     /// samples, drained by the owning event loop.
     probes: ProbeBuffer,
+    /// Fault overlay: `(bandwidth factor, extra delay)` per link while a
+    /// degradation window is active (`None` = nominal).
+    link_degrade: Vec<Option<(f64, SimDuration)>>,
+    /// Fault overlay: per-link data-packet drop probability (0 = none).
+    link_loss: Vec<f64>,
+    /// Fast guard: true while any `link_loss` entry is nonzero.
+    any_link_loss: bool,
+    /// Fault overlay: CNP suppression probability (0 = none).
+    cnp_loss: f64,
+    /// Dedicated draw sequence for loss faults; advances only when a
+    /// loss fault actually consults it, so fault-free runs take no
+    /// draws and stay byte-identical.
+    fault_rng: FaultRng,
 }
 
 const CNP_SIZE: u64 = 64;
@@ -283,7 +296,66 @@ impl Network {
             cnps_sent: 0,
             mark_seq: 0,
             probes: ProbeBuffer::default(),
+            link_degrade: vec![None; n_links],
+            link_loss: vec![0.0; n_links],
+            any_link_loss: false,
+            cnp_loss: 0.0,
+            fault_rng: FaultRng::new(0),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault overlay (see `sim_engine::faults`)
+
+    /// Seed the dedicated fault draw sequence (loss decisions). Call
+    /// before traffic starts; a fresh sequence replaces any prior one.
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.fault_rng = FaultRng::new(seed);
+    }
+
+    /// Degrade `link`: multiply its bandwidth by `bandwidth_factor` and
+    /// add `extra_delay` to its propagation delay until cleared. The
+    /// nominal topology is untouched — DCQCN's line-rate targets and
+    /// token-bucket sizing keep using the nominal rate, exactly as real
+    /// NICs keep targeting the configured line rate over a degraded
+    /// path.
+    pub fn set_link_degrade(
+        &mut self,
+        link: usize,
+        bandwidth_factor: f64,
+        extra_delay: SimDuration,
+    ) {
+        self.link_degrade[link] = Some((bandwidth_factor, extra_delay));
+    }
+
+    /// Restore `link` to its nominal bandwidth and delay.
+    pub fn clear_link_degrade(&mut self, link: usize) {
+        self.link_degrade[link] = None;
+    }
+
+    /// Drop data packets arriving over `link` with probability
+    /// `probability` until cleared. Control packets (CNP/ACK) are
+    /// exempt — model those with [`Network::set_cnp_loss`].
+    pub fn set_link_loss(&mut self, link: usize, probability: f64) {
+        self.link_loss[link] = probability;
+        self.any_link_loss = self.link_loss.iter().any(|&p| p > 0.0);
+    }
+
+    /// Stop dropping packets on `link`.
+    pub fn clear_link_loss(&mut self, link: usize) {
+        self.set_link_loss(link, 0.0);
+    }
+
+    /// Suppress generated CNPs with probability `probability` until
+    /// cleared (the congestion signal is lost in the fabric; the NP
+    /// state machine still counts the generation).
+    pub fn set_cnp_loss(&mut self, probability: f64) {
+        self.cnp_loss = probability;
+    }
+
+    /// Stop suppressing CNPs.
+    pub fn clear_cnp_loss(&mut self) {
+        self.cnp_loss = 0.0;
     }
 
     /// Turn telemetry probes on or off (off by default; disabling
@@ -565,7 +637,10 @@ impl Network {
         debug_assert!(!port.busy);
         port.busy = true;
         port.in_flight.push_back(pkt);
-        let rate = self.topo.link(link).rate;
+        let rate = match self.link_degrade[link] {
+            Some((factor, _)) => self.topo.link(link).rate.scale(factor),
+            None => self.topo.link(link).rate,
+        };
         step.schedule
             .push((now + rate.tx_time(pkt.size), NetEvent::TxDone { link }));
         // PFC ingress accounting is released when the packet leaves the
@@ -576,7 +651,10 @@ impl Network {
     }
 
     fn on_tx_done(&mut self, link: usize, now: SimTime, step: &mut NetStep) {
-        let delay = self.topo.link(link).delay;
+        let delay = match self.link_degrade[link] {
+            Some((_, extra)) => self.topo.link(link).delay + extra,
+            None => self.topo.link(link).delay,
+        };
         step.schedule.push((now + delay, NetEvent::Arrive { link }));
         self.ports[link].busy = false;
         let from = self.topo.link(link).from;
@@ -639,6 +717,15 @@ impl Network {
             .in_flight
             .pop_front()
             .expect("arrival without in-flight packet");
+        // Loss fault: the packet evaporates before any ingress
+        // accounting, so PFC/ECN state stays consistent.
+        if self.any_link_loss
+            && pkt.kind == PacketKind::Data
+            && self.link_loss[link] > 0.0
+            && self.fault_rng.next_draw() < self.link_loss[link]
+        {
+            return;
+        }
         let node = self.topo.link(link).to;
         match self.topo.kind(node) {
             NodeKind::Switch => self.switch_ingress(node, link, pkt, now, step),
@@ -764,6 +851,11 @@ impl Network {
                             self.cnps_sent += 1;
                             self.probes
                                 .record(now, "dcqcn", pkt.flow.0 as u64, "np_cnp", 1.0);
+                            // CNP-loss fault: generated (and counted)
+                            // but lost before reaching the sender.
+                            if self.cnp_loss > 0.0 && self.fault_rng.next_draw() < self.cnp_loss {
+                                return;
+                            }
                             let src_host = self.flows[pkt.flow.0].src;
                             let cnp = Packet {
                                 flow: pkt.flow,

@@ -337,7 +337,9 @@ impl ScenarioRunner {
     /// # Panics
     /// Panics on manifest identity mismatch or corruption (torn tails
     /// excepted — they are truncated and recomputed) and on I/O errors
-    /// while appending.
+    /// while appending. Callers that would rather handle manifest
+    /// problems than die use [`try_run_cells_resumable`]
+    /// (`ScenarioRunner::try_run_cells_resumable`).
     pub fn run_cells_resumable<C, T, F>(
         &self,
         ckpt: Option<&CheckpointSpec>,
@@ -350,13 +352,35 @@ impl ScenarioRunner {
         T: Send + Serialize + Deserialize,
         F: Fn(usize, &C) -> T + Sync,
     {
+        self.try_run_cells_resumable(ckpt, base_seed, cells, f)
+            .unwrap_or_else(|e| panic!("checkpoint: {e}"))
+    }
+
+    /// [`run_cells_resumable`](ScenarioRunner::run_cells_resumable)
+    /// surfacing manifest open/replay problems — identity mismatch,
+    /// corruption, unreadable file — as `Err` (`InvalidData` for
+    /// corruption) instead of panicking, so callers can wrap them in
+    /// their own error types. I/O failures while *appending* a
+    /// completed cell mid-sweep still panic: by then results have been
+    /// handed out and silently dropping durability would be worse.
+    pub fn try_run_cells_resumable<C, T, F>(
+        &self,
+        ckpt: Option<&CheckpointSpec>,
+        base_seed: u64,
+        cells: &[C],
+        f: F,
+    ) -> io::Result<Vec<T>>
+    where
+        C: Sync,
+        T: Send + Serialize + Deserialize,
+        F: Fn(usize, &C) -> T + Sync,
+    {
         let Some(spec) = ckpt else {
-            return self.run_cells(cells, f);
+            return Ok(self.run_cells(cells, f));
         };
-        let (cached, writer) = open_manifest(spec, base_seed, cells.len())
-            .unwrap_or_else(|e| panic!("checkpoint: {e}"));
+        let (cached, writer) = open_manifest(spec, base_seed, cells.len())?;
         let writer = Mutex::new(writer);
-        self.run(cells.len(), |i| {
+        Ok(self.run(cells.len(), |i| {
             if let Some(v) = &cached[i] {
                 return T::from_value(v).unwrap_or_else(|e| {
                     panic!(
@@ -388,7 +412,7 @@ impl ScenarioRunner {
                     )
                 });
             out
-        })
+        }))
     }
 }
 
@@ -507,6 +531,23 @@ mod tests {
             let _: Vec<u64> = runner.run_cells_resumable(Some(&spec), 9, &[5u64, 6], |_, &c| c);
         });
         assert!(boom.is_err(), "digest mismatch must be rejected");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn try_variant_surfaces_corruption_as_err() {
+        let path = tmp("try-corrupt");
+        let spec = CheckpointSpec::new(&path, "unit try-corrupt");
+        let runner = ScenarioRunner::serial();
+        let ok: io::Result<Vec<u64>> =
+            runner.try_run_cells_resumable(Some(&spec), 2, &[1u64, 2], |_, &c| c);
+        assert_eq!(ok.unwrap(), vec![1, 2]);
+        // Identity drift must come back as InvalidData, not a panic.
+        let err: io::Result<Vec<u64>> =
+            runner.try_run_cells_resumable(Some(&spec), 3, &[1u64, 2], |_, &c| c);
+        let err = err.expect_err("base_seed drift must be an error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("different sweep"), "{err}");
         let _ = fs::remove_file(&path);
     }
 

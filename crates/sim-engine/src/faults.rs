@@ -1,0 +1,356 @@
+//! Seeded, deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a serializable list of [`FaultEvent`]s, each a
+//! window `[start, start + duration)` during which one [`FaultKind`]
+//! applies to one [`FaultScope`]. The plan itself is pure data — the
+//! simulators interpret it: the network applies link degradation and
+//! loss windows, the SSD model applies latency spikes and fail-stop
+//! windows, and the system loop makes target dropout visible to the
+//! fabric protocol.
+//!
+//! Determinism contract: every random draw a fault consumes (e.g. a
+//! per-packet loss decision) comes from a dedicated counter seeded by
+//! [`FaultPlan::seed`], never from the simulators' own sequences, so a
+//! run is a pure function of `(config, plan, seed)` and an **empty plan
+//! changes nothing** — no events are scheduled, no draws are taken, and
+//! results are byte-identical to a run without the subsystem.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// What part of the system a fault applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultScope {
+    /// One directed edge of the network topology, by link index.
+    Link {
+        /// Link index in the topology's edge list.
+        index: usize,
+    },
+    /// One storage target, by target index.
+    Target {
+        /// Target index (`0..n_targets`).
+        index: usize,
+    },
+    /// The whole system (e.g. fabric-wide CNP loss).
+    Global,
+}
+
+/// What goes wrong during the fault window.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Degrade a link: multiply its bandwidth by `bandwidth_factor`
+    /// (in `(0, 1]`) and add `extra_delay` to its propagation delay.
+    /// Scope must be [`FaultScope::Link`].
+    LinkDegrade {
+        /// Multiplier on the link's nominal rate, in `(0, 1]`.
+        bandwidth_factor: f64,
+        /// Added one-way propagation delay.
+        extra_delay: SimDuration,
+    },
+    /// Drop arriving packets on a link with the given probability.
+    /// Scope must be [`FaultScope::Link`].
+    PacketLoss {
+        /// Per-packet drop probability, in `[0, 1]`.
+        probability: f64,
+    },
+    /// Suppress generated congestion-notification packets with the
+    /// given probability. Scope must be [`FaultScope::Global`].
+    CnpLoss {
+        /// Per-CNP suppression probability, in `[0, 1]`.
+        probability: f64,
+    },
+    /// Multiply every flash service time on a target's SSD by `factor`
+    /// (≥ 1). Scope must be [`FaultScope::Target`].
+    SsdLatencySpike {
+        /// Multiplier on chip/channel service durations, ≥ 1.
+        factor: f64,
+    },
+    /// The target's SSD stops serving: queued and new jobs sit until
+    /// the window ends, then service resumes (fail-stop + restart).
+    /// Scope must be [`FaultScope::Target`].
+    TargetFailStop,
+    /// The target drops off the fabric: arriving commands are discarded
+    /// and completions are not delivered for the duration. Scope must
+    /// be [`FaultScope::Target`].
+    TargetDropout,
+}
+
+/// One fault: a kind, a scope, and an active window.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// What part of the system is affected.
+    pub scope: FaultScope,
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// When the fault activates.
+    pub start: SimTime,
+    /// How long it stays active.
+    pub duration: SimDuration,
+}
+
+impl FaultEvent {
+    /// When the fault clears.
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+}
+
+/// A serializable, seeded schedule of faults. The default plan is
+/// empty and injects nothing.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The fault events, in no particular order.
+    pub events: Vec<FaultEvent>,
+    /// Seed for every random draw faults consume (loss decisions).
+    /// Independent of the simulation seed so the same plan perturbs
+    /// different workload seeds identically.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// An empty plan with a fault seed set.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            seed,
+        }
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Append one fault event (builder-style).
+    pub fn with(mut self, ev: FaultEvent) -> Self {
+        self.events.push(ev);
+        self
+    }
+
+    /// Append one fault event.
+    pub fn push(&mut self, ev: FaultEvent) {
+        self.events.push(ev);
+    }
+
+    /// Check every event for well-formedness: factors finite and in
+    /// range, probabilities in `[0, 1]`, durations nonzero, and kinds
+    /// paired with the scope they apply to.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, ev) in self.events.iter().enumerate() {
+            let scope_err = |want: &str| {
+                Err(format!(
+                    "fault event {i}: {:?} requires a {want} scope, got {:?}",
+                    ev.kind, ev.scope
+                ))
+            };
+            if ev.duration == SimDuration::ZERO {
+                return Err(format!("fault event {i}: zero duration"));
+            }
+            match ev.kind {
+                FaultKind::LinkDegrade {
+                    bandwidth_factor,
+                    extra_delay: _,
+                } => {
+                    if !matches!(ev.scope, FaultScope::Link { .. }) {
+                        return scope_err("link");
+                    }
+                    if !bandwidth_factor.is_finite()
+                        || bandwidth_factor <= 0.0
+                        || bandwidth_factor > 1.0
+                    {
+                        return Err(format!(
+                            "fault event {i}: bandwidth_factor {bandwidth_factor} not in (0, 1]"
+                        ));
+                    }
+                }
+                FaultKind::PacketLoss { probability } => {
+                    if !matches!(ev.scope, FaultScope::Link { .. }) {
+                        return scope_err("link");
+                    }
+                    if !probability.is_finite() || !(0.0..=1.0).contains(&probability) {
+                        return Err(format!(
+                            "fault event {i}: loss probability {probability} not in [0, 1]"
+                        ));
+                    }
+                }
+                FaultKind::CnpLoss { probability } => {
+                    if !matches!(ev.scope, FaultScope::Global) {
+                        return scope_err("global");
+                    }
+                    if !probability.is_finite() || !(0.0..=1.0).contains(&probability) {
+                        return Err(format!(
+                            "fault event {i}: CNP loss probability {probability} not in [0, 1]"
+                        ));
+                    }
+                }
+                FaultKind::SsdLatencySpike { factor } => {
+                    if !matches!(ev.scope, FaultScope::Target { .. }) {
+                        return scope_err("target");
+                    }
+                    if !factor.is_finite() || factor < 1.0 {
+                        return Err(format!(
+                            "fault event {i}: latency factor {factor} must be finite and >= 1"
+                        ));
+                    }
+                }
+                FaultKind::TargetFailStop | FaultKind::TargetDropout => {
+                    if !matches!(ev.scope, FaultScope::Target { .. }) {
+                        return scope_err("target");
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic `[0, 1)` draw sequence for fault loss decisions:
+/// SplitMix64 over `seed + counter`, mapped to the unit interval. The
+/// counter advances only when a fault actually consults it, so runs
+/// without loss faults take no draws at all.
+#[derive(Clone, Debug)]
+pub struct FaultRng {
+    seed: u64,
+    counter: u64,
+}
+
+impl FaultRng {
+    /// A fresh sequence for the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultRng { seed, counter: 0 }
+    }
+
+    /// Next draw in `[0, 1)`.
+    pub fn next_draw(&mut self) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_add(self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.counter += 1;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> FaultPlan {
+        FaultPlan::seeded(7)
+            .with(FaultEvent {
+                scope: FaultScope::Link { index: 3 },
+                kind: FaultKind::LinkDegrade {
+                    bandwidth_factor: 0.25,
+                    extra_delay: SimDuration::from_us(50),
+                },
+                start: SimTime::from_ms(1),
+                duration: SimDuration::from_ms(4),
+            })
+            .with(FaultEvent {
+                scope: FaultScope::Global,
+                kind: FaultKind::CnpLoss { probability: 0.5 },
+                start: SimTime::from_ms(2),
+                duration: SimDuration::from_ms(1),
+            })
+            .with(FaultEvent {
+                scope: FaultScope::Target { index: 1 },
+                kind: FaultKind::TargetFailStop,
+                start: SimTime::from_ms(3),
+                duration: SimDuration::from_ms(2),
+            })
+    }
+
+    #[test]
+    fn empty_plan_is_empty_and_valid() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn sample_plan_validates() {
+        assert!(sample_plan().validate().is_ok());
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = sample_plan();
+        let json = serde_json::to_string(&plan).expect("plan serializes");
+        let back: FaultPlan = serde_json::from_str(&json).expect("plan deserializes");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn validate_rejects_bad_factor_probability_and_scope() {
+        let bad_factor = FaultPlan::new().with(FaultEvent {
+            scope: FaultScope::Link { index: 0 },
+            kind: FaultKind::LinkDegrade {
+                bandwidth_factor: 0.0,
+                extra_delay: SimDuration::ZERO,
+            },
+            start: SimTime::ZERO,
+            duration: SimDuration::from_us(1),
+        });
+        assert!(bad_factor
+            .validate()
+            .unwrap_err()
+            .contains("bandwidth_factor"));
+
+        let bad_prob = FaultPlan::new().with(FaultEvent {
+            scope: FaultScope::Link { index: 0 },
+            kind: FaultKind::PacketLoss { probability: 1.5 },
+            start: SimTime::ZERO,
+            duration: SimDuration::from_us(1),
+        });
+        assert!(bad_prob.validate().unwrap_err().contains("[0, 1]"));
+
+        let bad_scope = FaultPlan::new().with(FaultEvent {
+            scope: FaultScope::Global,
+            kind: FaultKind::TargetDropout,
+            start: SimTime::ZERO,
+            duration: SimDuration::from_us(1),
+        });
+        assert!(bad_scope.validate().unwrap_err().contains("target"));
+
+        let zero_dur = FaultPlan::new().with(FaultEvent {
+            scope: FaultScope::Target { index: 0 },
+            kind: FaultKind::TargetDropout,
+            start: SimTime::ZERO,
+            duration: SimDuration::ZERO,
+        });
+        assert!(zero_dur.validate().unwrap_err().contains("zero duration"));
+    }
+
+    #[test]
+    fn fault_rng_is_deterministic_and_in_range() {
+        let mut a = FaultRng::new(42);
+        let mut b = FaultRng::new(42);
+        for _ in 0..1000 {
+            let x = a.next_draw();
+            assert_eq!(x, b.next_draw());
+            assert!((0.0..1.0).contains(&x));
+        }
+        // Different seeds diverge.
+        let mut c = FaultRng::new(43);
+        assert_ne!(a.next_draw(), c.next_draw());
+    }
+
+    #[test]
+    fn event_end_is_start_plus_duration() {
+        let ev = FaultEvent {
+            scope: FaultScope::Target { index: 0 },
+            kind: FaultKind::TargetDropout,
+            start: SimTime::from_ms(5),
+            duration: SimDuration::from_ms(2),
+        };
+        assert_eq!(ev.end(), SimTime::from_ms(7));
+    }
+}

@@ -18,6 +18,9 @@
 //!   engine every experiment grid executes on, and [`telemetry`] —
 //!   deterministic probes, sinks (including the streaming
 //!   [`FileSink`]), and JSON-lines export.
+//! * [`faults`] — the seeded, deterministic fault-injection vocabulary
+//!   ([`FaultPlan`], [`FaultEvent`]) the simulators interpret; an empty
+//!   plan injects nothing and changes nothing.
 //! * [`checkpoint`] — durable sweep progress: a JSON-lines manifest of
 //!   completed cells with fsynced appends, replayed by
 //!   [`ScenarioRunner::run_cells_resumable`] so an interrupted grid
@@ -37,6 +40,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod faults;
 pub mod queue;
 pub mod rate;
 pub mod rng;
@@ -48,6 +52,7 @@ pub mod time;
 pub mod token_bucket;
 
 pub use checkpoint::{CheckpointSpec, CHECKPOINT_ENV};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRng, FaultScope};
 pub use queue::{EventQueue, HeapEventQueue};
 pub use rate::{ByteSize, Rate};
 pub use runner::ScenarioRunner;

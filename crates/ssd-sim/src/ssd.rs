@@ -194,6 +194,14 @@ pub struct Ssd {
     cache: WriteCache,
     ftl: Ftl,
     stats: SsdStats,
+    /// Fault overlay: multiplier on chip/channel service durations
+    /// (1.0 = nominal; the scaling path is skipped entirely then).
+    latency_factor: f64,
+    /// Fault overlay: while true the device starts no new chip or
+    /// channel work (fail-stop window); queued jobs sit until
+    /// [`Ssd::set_halted`] restarts service. Operations already in
+    /// service when the halt lands still finish.
+    halted: bool,
 }
 
 impl Ssd {
@@ -234,6 +242,45 @@ impl Ssd {
             cache,
             ftl,
             stats: SsdStats::default(),
+            latency_factor: 1.0,
+            halted: false,
+        }
+    }
+
+    /// Set the fault-overlay multiplier on chip/channel service
+    /// durations (latency-spike fault; 1.0 restores nominal service).
+    pub fn set_latency_factor(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "latency factor must be finite and >= 1, got {factor}"
+        );
+        self.latency_factor = factor;
+    }
+
+    /// Enter or leave a fail-stop window. While halted the device
+    /// starts no new chip or channel work; leaving the halt kicks every
+    /// chip and channel so queued jobs resume (events land in `step`).
+    pub fn set_halted(&mut self, halted: bool, now: SimTime, step: &mut SsdStep) {
+        if self.halted == halted {
+            return;
+        }
+        self.halted = halted;
+        if !halted {
+            for chip in 0..self.chips.len() {
+                self.kick_chip(chip, now, step);
+            }
+            for channel in 0..self.channels.len() {
+                self.kick_channel(channel, now, step);
+            }
+        }
+    }
+
+    /// Apply the latency-spike overlay to a nominal service duration.
+    fn faulted(&self, dur: SimDuration) -> SimDuration {
+        if self.latency_factor == 1.0 {
+            dur
+        } else {
+            SimDuration::from_ps((dur.as_ps() as f64 * self.latency_factor).round() as u64)
         }
     }
 
@@ -250,6 +297,13 @@ impl Ssd {
     /// Commands currently being processed.
     pub fn in_flight(&self) -> usize {
         self.commands.len()
+    }
+
+    /// Whether a specific command id still holds a device slot (host
+    /// completion or background destage outstanding). Retry paths use
+    /// this to avoid resubmitting a command the device already holds.
+    pub fn has_command(&self, id: u64) -> bool {
+        self.commands.contains_key(&id)
     }
 
     /// Write-cache occupancy fraction.
@@ -380,6 +434,9 @@ impl Ssd {
 
     /// Start the next queued job on an idle chip.
     fn kick_chip(&mut self, chip: usize, now: SimTime, step: &mut SsdStep) {
+        if self.halted {
+            return;
+        }
         let st = &mut self.chips[chip];
         if st.busy {
             return;
@@ -423,11 +480,15 @@ impl Ssd {
             ChipJob::GcCopy => self.cfg.read_latency + self.cfg.write_latency,
             ChipJob::Erase => self.cfg.erase_latency,
         };
+        let dur = self.faulted(dur);
         step.schedule.push((now + dur, SsdEvent::ChipDone { chip }));
     }
 
     /// Start the next queued transfer on an idle channel.
     fn kick_channel(&mut self, channel: usize, now: SimTime, step: &mut SsdStep) {
+        if self.halted {
+            return;
+        }
         let st = &mut self.channels[channel];
         if st.busy {
             return;
@@ -438,7 +499,7 @@ impl Ssd {
         st.busy = true;
         st.busy_since = Some(now);
         st.in_service = Some(job);
-        let dur = self.cfg.page_transfer_time();
+        let dur = self.faulted(self.cfg.page_transfer_time());
         step.schedule
             .push((now + dur, SsdEvent::ChannelDone { channel }));
     }

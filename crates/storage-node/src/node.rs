@@ -241,6 +241,22 @@ impl StorageNode {
         &self.ssd
     }
 
+    /// Fault overlay: scale the SSD's chip/channel service durations
+    /// (latency-spike fault; 1.0 restores nominal service).
+    pub fn set_ssd_latency_factor(&mut self, factor: f64) {
+        self.ssd.set_latency_factor(factor);
+    }
+
+    /// Fault overlay: enter or leave an SSD fail-stop window. Leaving
+    /// the halt restarts queued flash work and re-pumps the submission
+    /// queues; resulting events land in `step`.
+    pub fn set_ssd_halted(&mut self, halted: bool, now: SimTime, step: &mut SsdStep) {
+        self.ssd.set_halted(halted, now, step);
+        if !halted {
+            self.pump_into(now, step);
+        }
+    }
+
     /// True when no work is queued, outstanding, or in flight.
     pub fn is_idle(&self) -> bool {
         self.disc.is_idle() && self.ssd.in_flight() == 0

@@ -1,8 +1,9 @@
 //! System configuration and workload assignment.
 
+use crate::error::SimError;
 use net_sim::{ClosConfig, DcqcnParams, PfcParams};
 use serde::{Deserialize, Serialize};
-use sim_engine::{Rate, SimDuration, SimTime};
+use sim_engine::{FaultPlan, Rate, SimDuration, SimTime};
 use src_core::SrcConfig;
 use ssd_sim::SsdConfig;
 use workload::micro::MicroConfig;
@@ -145,6 +146,11 @@ pub struct SystemConfig {
     pub target_selection: TargetSelection,
     /// Network congestion-control scheme.
     pub cc: CcChoice,
+    /// Scheduled fault injection (see [`FaultPlan`]). The default empty
+    /// plan schedules nothing and reproduces fault-free runs
+    /// bit-identically; [`crate::RunOptions::faults`] can override it
+    /// per run.
+    pub faults: FaultPlan,
 }
 
 impl Default for SystemConfig {
@@ -164,6 +170,7 @@ impl Default for SystemConfig {
             background: None,
             target_selection: TargetSelection::Static,
             cc: CcChoice::Dcqcn,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -339,6 +346,8 @@ impl SystemConfigBuilder {
         target_selection: TargetSelection,
         /// Network congestion-control scheme.
         cc: CcChoice,
+        /// Scheduled fault injection (see [`FaultPlan`]).
+        faults: FaultPlan,
     }
 
     /// SSD model on every Target (the homogeneous shorthand: one entry
@@ -424,29 +433,59 @@ impl SystemConfigBuilder {
     /// Finish, yielding the configuration.
     ///
     /// # Panics
-    /// Panics when an explicit fleet (`ssds` / `ssd_for_target`) or an
-    /// explicit workloads vector (`workloads` / `workload_for_target`)
-    /// does not hold exactly `n_targets` entries.
+    /// Panics on any validation failure
+    /// (see [`SystemConfigBuilder::try_build`]).
     pub fn build(self) -> SystemConfig {
-        if self.fleet_explicit {
-            assert!(
-                self.cfg.ssds.len() == self.cfg.n_targets,
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Finish, yielding the configuration or a [`SimError::Config`]
+    /// when an explicit fleet (`ssds` / `ssd_for_target`) or workloads
+    /// vector (`workloads` / `workload_for_target`) does not hold
+    /// exactly `n_targets` entries, the shapes are otherwise invalid,
+    /// or the fault plan fails [`FaultPlan::validate`].
+    pub fn try_build(self) -> Result<SystemConfig, SimError> {
+        if self.fleet_explicit && self.cfg.ssds.len() != self.cfg.n_targets {
+            return Err(SimError::Config(format!(
                 "ssds holds {} device configs for {} targets",
                 self.cfg.ssds.len(),
                 self.cfg.n_targets
-            );
+            )));
         }
-        if self.workloads_explicit {
-            assert!(
-                self.cfg.workloads.len() == self.cfg.n_targets,
+        if self.workloads_explicit && self.cfg.workloads.len() != self.cfg.n_targets {
+            return Err(SimError::Config(format!(
                 "workloads holds {} specs for {} targets",
                 self.cfg.workloads.len(),
                 self.cfg.n_targets
-            );
+            )));
         }
-        self.cfg.validate_fleet();
-        self.cfg.validate_workloads();
+        if self.cfg.ssds.is_empty() {
+            return Err(SimError::Config("ssds must not be empty".into()));
+        }
+        if !(self.cfg.ssds.len() == 1 || self.cfg.ssds.len() == self.cfg.n_targets) {
+            return Err(SimError::Config(format!(
+                "ssds holds {} device configs for {} targets (expected 1 or {})",
+                self.cfg.ssds.len(),
+                self.cfg.n_targets,
+                self.cfg.n_targets
+            )));
+        }
+        if self.cfg.workloads.is_empty() {
+            return Err(SimError::Config("workloads must not be empty".into()));
+        }
+        if !(self.cfg.workloads.len() == 1 || self.cfg.workloads.len() == self.cfg.n_targets) {
+            return Err(SimError::Config(format!(
+                "workloads holds {} specs for {} targets (expected 1 or {})",
+                self.cfg.workloads.len(),
+                self.cfg.n_targets,
+                self.cfg.n_targets
+            )));
+        }
         self.cfg
+            .faults
+            .validate()
+            .map_err(|e| SimError::Config(format!("invalid fault plan: {e}")))?;
+        Ok(self.cfg)
     }
 }
 

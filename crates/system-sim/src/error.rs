@@ -1,0 +1,71 @@
+//! Crate-level error type for the fallible public APIs.
+//!
+//! The simulator's internal invariants still panic — a broken event loop
+//! is a bug, not an error the caller can handle. [`SimError`] covers the
+//! things a caller *can* mishandle: malformed inputs (trace files,
+//! configurations, fault plans) and corrupted checkpoint state.
+
+use std::fmt;
+use workload::trace_io::ParseError;
+
+/// Error from a fallible `system-sim` public API.
+#[derive(Debug)]
+pub enum SimError {
+    /// A workload trace file failed to parse (see
+    /// [`workload::trace_io`]).
+    Trace(ParseError),
+    /// Checkpoint manifest I/O failed or the manifest is corrupt.
+    Checkpoint(std::io::Error),
+    /// A configuration or fault plan failed validation.
+    Config(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Trace(e) => write!(f, "trace parse error: {e}"),
+            SimError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            SimError::Config(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Trace(e) => Some(e),
+            SimError::Checkpoint(e) => Some(e),
+            SimError::Config(_) => None,
+        }
+    }
+}
+
+impl From<ParseError> for SimError {
+    fn from(e: ParseError) -> Self {
+        SimError::Trace(e)
+    }
+}
+
+impl From<std::io::Error> for SimError {
+    fn from(e: std::io::Error) -> Self {
+        SimError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::Config("bad plan".into());
+        assert_eq!(e.to_string(), "bad plan");
+        assert!(e.source().is_none());
+
+        let io = std::io::Error::new(std::io::ErrorKind::InvalidData, "truncated manifest");
+        let e = SimError::from(io);
+        assert!(e.to_string().contains("checkpoint error"));
+        assert!(e.source().is_some());
+    }
+}

@@ -7,11 +7,14 @@ use crate::config::{
 };
 use crate::report::SystemReport;
 use crate::scripted::{fig9_events, run_scripted, ScriptedResult};
-use crate::system::{run_system, run_system_fleet};
+use crate::system::{run_system, RobustnessConfig, RunOptions};
 use ml::Dataset;
 use serde::{Deserialize, Serialize};
 use sim_engine::runner::join;
-use sim_engine::{CheckpointSpec, NullSink, ScenarioRunner, SimDuration, SimTime, TraceSink};
+use sim_engine::{
+    CheckpointSpec, FaultEvent, FaultKind, FaultPlan, FaultScope, NullSink, ScenarioRunner,
+    SimDuration, SimTime, TraceSink,
+};
 use src_core::tpm::{
     generate_training_samples, samples_to_dataset, table1_accuracy, ThroughputPredictionModel,
     TrainingConfig,
@@ -319,8 +322,14 @@ pub fn fig7_fig8(
     // thread budget allows (sinks are `Send`, each owned by one run).
     let (s_only, s_src) = sinks;
     let (dcqcn_only, dcqcn_src) = join(
-        || run_system(&only_cfg, &assignments, None, s_only),
-        || run_system(&src_cfg, &assignments, Some(tpm), s_src),
+        || run_system(&only_cfg, RunOptions::assignments(&assignments), s_only),
+        || {
+            run_system(
+                &src_cfg,
+                RunOptions::assignments(&assignments).tpm(tpm),
+                s_src,
+            )
+        },
     );
     Fig7Result {
         dcqcn_only,
@@ -382,7 +391,7 @@ pub fn fig9_fabric_slice(scale: &Scale, seed: u64, sink: &mut dyn TraceSink) -> 
         .background(paper_background(&assignments))
         .pfc(paper_pfc())
         .build();
-    run_system(&cfg, &assignments, None, sink)
+    run_system(&cfg, RunOptions::assignments(&assignments), sink)
 }
 
 // ----------------------------------------------------------------------
@@ -448,16 +457,14 @@ pub fn fig10(
                 || {
                     run_system(
                         &base.to_builder().mode(Mode::DcqcnOnly).build(),
-                        &assignments,
-                        None,
+                        RunOptions::assignments(&assignments),
                         &mut NullSink,
                     )
                 },
                 || {
                     run_system(
                         &base.to_builder().mode(Mode::DcqcnSrc).build(),
-                        &assignments,
-                        Some(tpm.clone()),
+                        RunOptions::assignments(&assignments).tpm(tpm.clone()),
                         &mut NullSink,
                     )
                 },
@@ -540,16 +547,14 @@ pub fn table4(
                 || {
                     run_system(
                         &base.to_builder().mode(Mode::DcqcnOnly).build(),
-                        &assignments,
-                        None,
+                        RunOptions::assignments(&assignments),
                         &mut NullSink,
                     )
                 },
                 || {
                     run_system(
                         &base.to_builder().mode(Mode::DcqcnSrc).build(),
-                        &assignments,
-                        Some(tpm.clone()),
+                        RunOptions::assignments(&assignments).tpm(tpm.clone()),
                         &mut NullSink,
                     )
                 },
@@ -565,6 +570,264 @@ pub fn table4(
                 } else {
                     0.0
                 },
+            }
+        },
+    )
+}
+
+// ----------------------------------------------------------------------
+// Extension: fault injection over the in-cast grid
+
+/// One row of the fault-injection sweep: a Table IV cell under a
+/// scheduled fault storm of the given intensity. The recovery counters
+/// and availability come from the DCQCN-SRC run (the mode under study);
+/// both modes run against the identical plan.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FaultRow {
+    /// Ratio label, e.g. "2:1".
+    pub ratio: String,
+    /// Fault intensity in `[0, 1]` (0 = empty plan).
+    pub intensity: f64,
+    /// DCQCN-only aggregated throughput, Gbps.
+    pub only_gbps: f64,
+    /// DCQCN-SRC aggregated throughput, Gbps.
+    pub src_gbps: f64,
+    /// Improvement of SRC over the baseline, percent.
+    pub improvement_pct: f64,
+    /// Timed-out attempts in the SRC run.
+    pub timeouts: u64,
+    /// Retries issued in the SRC run.
+    pub retries: u64,
+    /// Requests abandoned in the SRC run.
+    pub abandoned: u64,
+    /// Worst per-Target availability in the SRC run.
+    pub min_availability: f64,
+}
+
+/// Time base for one cell's fault windows: roughly the fault-free
+/// makespan of an in-cast cell at this scale, so the storm covers the
+/// bulk of the run at `quick` and `full` alike instead of a fixed few
+/// milliseconds.
+pub fn fault_horizon(scale: &Scale) -> SimDuration {
+    SimDuration::from_ms(scale.requests_per_target as u64 / 4)
+}
+
+/// The timeout/retry policy the fault sweep arms. The in-cast workload
+/// is open-loop overloaded — fault-free tail latency is on the order of
+/// the makespan — so the deadline sits several makespans out: its job
+/// is recovering *lost* work (dropped commands and replies), not
+/// policing congestion latency.
+pub fn fault_robustness(scale: &Scale) -> RobustnessConfig {
+    RobustnessConfig {
+        timeout: SimDuration::from_ms(scale.requests_per_target as u64),
+        retry_budget: 3,
+        backoff_base: SimDuration::from_ms(10),
+    }
+}
+
+/// The fault schedule for one in-cast cell, scaled by `intensity` in
+/// `[0, 1]`: 0 is the empty plan (bit-identical to the fault-free
+/// Table IV cell), 1 the full storm. Windows are fractions of
+/// `horizon` (see [`fault_horizon`]). Faults concentrate on Target 0's
+/// read path — its switch uplink degrades, then drops packets — while
+/// CNPs are lost fabric-wide and the last Target's device first slows
+/// down, then (from intensity 0.5) fail-stops for a window; at
+/// intensity ≥ 0.75 Target 0 additionally drops out entirely.
+///
+/// Link indices follow `build_star`: host `h`'s uplink is link `2h`,
+/// and Target `t` is host `n_initiators + t`.
+pub fn faults_for_incast(
+    intensity: f64,
+    horizon: SimDuration,
+    n_initiators: usize,
+    n_targets: usize,
+    seed: u64,
+) -> FaultPlan {
+    assert!(
+        (0.0..=1.0).contains(&intensity),
+        "intensity {intensity} outside [0, 1]"
+    );
+    let mut plan = FaultPlan::seeded(seed);
+    if intensity == 0.0 {
+        return plan;
+    }
+    let at = |frac: f64| SimTime((horizon.0 as f64 * frac) as u64);
+    let lasting = |frac: f64| SimDuration((horizon.0 as f64 * frac) as u64);
+    let t0_uplink = 2 * n_initiators;
+    plan.push(FaultEvent {
+        scope: FaultScope::Link { index: t0_uplink },
+        kind: FaultKind::LinkDegrade {
+            bandwidth_factor: 1.0 - 0.6 * intensity,
+            extra_delay: SimDuration::from_us((30.0 * intensity) as u64),
+        },
+        start: at(0.05),
+        duration: lasting(0.4),
+    });
+    plan.push(FaultEvent {
+        scope: FaultScope::Link { index: t0_uplink },
+        kind: FaultKind::PacketLoss {
+            probability: 0.05 * intensity,
+        },
+        start: at(0.1),
+        duration: lasting(0.7),
+    });
+    plan.push(FaultEvent {
+        scope: FaultScope::Global,
+        kind: FaultKind::CnpLoss {
+            probability: 0.5 * intensity,
+        },
+        start: at(0.05),
+        duration: lasting(0.35),
+    });
+    plan.push(FaultEvent {
+        scope: FaultScope::Target {
+            index: n_targets - 1,
+        },
+        kind: FaultKind::SsdLatencySpike {
+            factor: 1.0 + 3.0 * intensity,
+        },
+        start: at(0.1),
+        duration: lasting(0.4),
+    });
+    if intensity >= 0.5 {
+        plan.push(FaultEvent {
+            scope: FaultScope::Target {
+                index: n_targets - 1,
+            },
+            kind: FaultKind::TargetFailStop,
+            start: at(0.55),
+            duration: lasting(0.1),
+        });
+    }
+    if intensity >= 0.75 {
+        plan.push(FaultEvent {
+            scope: FaultScope::Target { index: 0 },
+            kind: FaultKind::TargetDropout,
+            start: at(0.7),
+            duration: lasting(0.1),
+        });
+    }
+    plan
+}
+
+/// The in-cast grid swept by `ext_faults`.
+pub const FAULT_RATIOS: [(usize, usize); 4] = [(2, 1), (3, 1), (4, 1), (4, 4)];
+/// Fault intensities swept per ratio.
+pub const FAULT_INTENSITIES: [f64; 3] = [0.0, 0.5, 1.0];
+
+/// Fingerprint binding an `ext_faults` checkpoint manifest to its
+/// inputs — including every cell's resolved [`FaultPlan`], so editing
+/// the fault schedule invalidates stale manifests.
+pub fn ext_faults_fingerprint(ssd: &SsdConfig, scale: &Scale, seed: u64) -> String {
+    let horizon = fault_horizon(scale);
+    let plans: Vec<String> = FAULT_RATIOS
+        .iter()
+        .flat_map(|&(nt, ni)| {
+            FAULT_INTENSITIES
+                .iter()
+                .map(move |&i| format!("{:?}", faults_for_incast(i, horizon, ni, nt, seed)))
+        })
+        .collect();
+    format!(
+        "ext_faults ssd={ssd:?} scale={scale:?} seed={seed} robustness={:?} plans={}",
+        fault_robustness(scale),
+        plans.join(";")
+    )
+}
+
+/// The Table IV in-cast sweep under scheduled fault injection:
+/// DCQCN-only vs DCQCN-SRC across the ratio grid × fault intensities,
+/// every cell running the identical seeded [`FaultPlan`] in both modes
+/// (with the default timeout/retry policy armed by the active plan).
+/// Checkpointable via `SRCSIM_CHECKPOINT` like the other sweeps.
+pub fn ext_faults(
+    ssd: &SsdConfig,
+    scale: &Scale,
+    tpm: Arc<ThroughputPredictionModel>,
+    seed: u64,
+) -> Vec<FaultRow> {
+    let ckpt = CheckpointSpec::from_env("ext_faults", &ext_faults_fingerprint(ssd, scale, seed));
+    ext_faults_checkpointed(ssd, scale, tpm, seed, ckpt.as_ref())
+}
+
+/// [`ext_faults`] with an explicit checkpoint (env-independent), for
+/// harnesses that manage their own manifests.
+pub fn ext_faults_checkpointed(
+    ssd: &SsdConfig,
+    scale: &Scale,
+    tpm: Arc<ThroughputPredictionModel>,
+    seed: u64,
+    ckpt: Option<&CheckpointSpec>,
+) -> Vec<FaultRow> {
+    let mut cells: Vec<((usize, usize), f64)> = Vec::new();
+    for &ratio in &FAULT_RATIOS {
+        for &intensity in &FAULT_INTENSITIES {
+            cells.push((ratio, intensity));
+        }
+    }
+    ScenarioRunner::from_env().run_cells_resumable(
+        ckpt,
+        seed,
+        &cells,
+        |_, &((n_targets, n_initiators), intensity)| {
+            let spec = incast_spec(scale, n_targets);
+            let assignments = spread_source(&spec, seed, n_initiators, n_targets);
+            let plan = faults_for_incast(
+                intensity,
+                fault_horizon(scale),
+                n_initiators,
+                n_targets,
+                seed,
+            );
+            let rb = fault_robustness(scale);
+            let base = SystemConfig::builder()
+                .n_initiators(n_initiators)
+                .n_targets(n_targets)
+                .ssd(ssd.clone())
+                .workload(spec)
+                .background(paper_background(&assignments))
+                .pfc(paper_pfc())
+                .build();
+            let (only, src) = join(
+                || {
+                    run_system(
+                        &base.to_builder().mode(Mode::DcqcnOnly).build(),
+                        RunOptions::assignments(&assignments)
+                            .faults(&plan)
+                            .robustness(rb),
+                        &mut NullSink,
+                    )
+                },
+                || {
+                    run_system(
+                        &base.to_builder().mode(Mode::DcqcnSrc).build(),
+                        RunOptions::assignments(&assignments)
+                            .faults(&plan)
+                            .robustness(rb)
+                            .tpm(tpm.clone()),
+                        &mut NullSink,
+                    )
+                },
+            );
+            let only_gbps = only.aggregated_tput().as_gbps_f64();
+            let src_gbps = src.aggregated_tput().as_gbps_f64();
+            let min_availability = (0..n_targets)
+                .map(|t| src.availability(t))
+                .fold(1.0_f64, f64::min);
+            FaultRow {
+                ratio: format!("{n_targets}:{n_initiators}"),
+                intensity,
+                only_gbps,
+                src_gbps,
+                improvement_pct: if only_gbps > 0.0 {
+                    (src_gbps - only_gbps) / only_gbps * 100.0
+                } else {
+                    0.0
+                },
+                timeouts: src.timeouts,
+                retries: src.retries,
+                abandoned: src.abandoned,
+                min_availability,
             }
         },
     )
@@ -632,7 +895,11 @@ pub fn extension_distribution_fleet(
             .pfc(paper_pfc())
             .target_selection(policy)
             .build();
-        let r = run_system_fleet(&cfg, &assignments, Some(tpms), &mut NullSink);
+        let r = run_system(
+            &cfg,
+            RunOptions::assignments(&assignments).tpm_fleet(tpms),
+            &mut NullSink,
+        );
         DistributionRow {
             policy: label.to_string(),
             aggregated_gbps: r.aggregated_tput().as_gbps_f64(),
@@ -672,16 +939,14 @@ pub fn extension_timely(
         || {
             run_system(
                 &base.to_builder().mode(Mode::DcqcnOnly).build(),
-                &assignments,
-                None,
+                RunOptions::assignments(&assignments),
                 &mut NullSink,
             )
         },
         || {
             run_system(
                 &base.to_builder().mode(Mode::DcqcnSrc).build(),
-                &assignments,
-                Some(tpm),
+                RunOptions::assignments(&assignments).tpm(tpm),
                 &mut NullSink,
             )
         },
@@ -807,18 +1072,16 @@ pub fn ext_heterogeneous(
                 .build();
             let (only, src) = join(
                 || {
-                    run_system_fleet(
+                    run_system(
                         &base.to_builder().mode(Mode::DcqcnOnly).build(),
-                        &assignments,
-                        None,
+                        RunOptions::assignments(&assignments),
                         &mut NullSink,
                     )
                 },
                 || {
-                    run_system_fleet(
+                    run_system(
                         &base.to_builder().mode(Mode::DcqcnSrc).build(),
-                        &assignments,
-                        Some(&tpms),
+                        RunOptions::assignments(&assignments).tpm_fleet(&tpms),
                         &mut NullSink,
                     )
                 },
@@ -909,16 +1172,14 @@ pub fn ext_replay_checkpointed(
                 || {
                     run_system(
                         &base.to_builder().mode(Mode::DcqcnOnly).build(),
-                        &assignments,
-                        None,
+                        RunOptions::assignments(&assignments),
                         &mut NullSink,
                     )
                 },
                 || {
                     run_system(
                         &base.to_builder().mode(Mode::DcqcnSrc).build(),
-                        &assignments,
-                        Some(tpm.clone()),
+                        RunOptions::assignments(&assignments).tpm(tpm.clone()),
                         &mut NullSink,
                     )
                 },

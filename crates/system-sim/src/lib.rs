@@ -10,6 +10,9 @@
 //! * [`config::SystemConfig`] + [`system::run_system`] — one end-to-end
 //!   run producing a [`report::SystemReport`] (runtime throughput
 //!   series, pause counts, weight decisions; Figs. 7, 8, 10, Table IV).
+//!   [`system::RunOptions`] selects the workload source (seed vs
+//!   pre-built assignments), TPM assignment (shared vs per-Target
+//!   fleet), fault plan, and timeout/retry policy for the run.
 //! * [`scripted::run_scripted`] — SSD + SRC with injected congestion
 //!   events, no network (Fig. 9 convergence experiment).
 //! * [`experiments`] — one function per table/figure of the paper,
@@ -17,6 +20,7 @@
 
 pub mod config;
 pub mod controlled;
+pub mod error;
 pub mod experiments;
 pub mod motivation;
 pub mod report;
@@ -24,5 +28,6 @@ pub mod scripted;
 pub mod system;
 
 pub use config::{Mode, SystemConfig, SystemConfigBuilder, TopologyKind};
+pub use error::SimError;
 pub use report::SystemReport;
-pub use system::{run_system, run_system_fleet, run_system_workload};
+pub use system::{run_system, RobustnessConfig, RunOptions};

@@ -78,6 +78,15 @@ pub struct SystemReport {
     pub cnps: u64,
     /// Lowest DCQCN rate observed on any Target inbound flow, Gbps.
     pub min_inbound_rate_gbps: f64,
+    /// Request attempts that exceeded the initiator timeout (zero when
+    /// robustness is off — see `RunOptions::robustness`).
+    pub timeouts: u64,
+    /// Retry attempts issued after a timeout.
+    pub retries: u64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub abandoned: u64,
+    /// Abandoned requests broken down by the Target they were routed to.
+    pub per_target_abandoned: Vec<u64>,
 }
 
 impl SystemReport {
@@ -102,6 +111,25 @@ impl SystemReport {
             ecn_marked: 0,
             cnps: 0,
             min_inbound_rate_gbps: f64::INFINITY,
+            timeouts: 0,
+            retries: 0,
+            abandoned: 0,
+            per_target_abandoned: vec![0; n_targets],
+        }
+    }
+
+    /// Fraction of this Target's routed requests that completed rather
+    /// than being abandoned — 1.0 for a fault-free run. Reads count at
+    /// the Initiator against the Target that served them, writes at the
+    /// Target.
+    pub fn availability(&self, target: usize) -> f64 {
+        let done =
+            self.per_target[target].reads_completed + self.per_target[target].writes_completed;
+        let lost = self.per_target_abandoned[target];
+        if done + lost == 0 {
+            1.0
+        } else {
+            done as f64 / (done + lost) as f64
         }
     }
 

@@ -7,7 +7,10 @@ use fabric::{decode_tag, InitiatorProto, MsgKind, TargetProto, TxqPolicy};
 use net_sim::network::{NetEvent, NetStep, Network};
 use net_sim::topology::{build_clos, build_star, NodeId};
 use net_sim::FlowId;
-use sim_engine::{EventQueue, SimDuration, SimTime, TraceRecord, TraceSink};
+use serde::{Deserialize, Serialize};
+use sim_engine::{
+    EventQueue, FaultKind, FaultPlan, FaultScope, SimDuration, SimTime, TraceRecord, TraceSink,
+};
 use src_core::{SrcController, ThroughputPredictionModel};
 use ssd_sim::SsdEvent;
 use std::collections::HashMap;
@@ -26,6 +29,21 @@ enum Ev {
     /// until the configured stop time).
     Background {
         src: usize,
+    },
+    /// Fault-plan event `event`'s window opens (`activate`) or closes.
+    Fault {
+        event: usize,
+        activate: bool,
+    },
+    /// Initiator-side timeout check for attempt `attempt` of request
+    /// `req` (stale once the request completed or attempted again).
+    Timeout {
+        req: usize,
+        attempt: u32,
+    },
+    /// Retry backoff elapsed: re-issue request `req`.
+    Retry {
+        req: usize,
     },
 }
 
@@ -54,46 +72,45 @@ struct TargetState {
 /// SSQ occupancy): 1 ms, matching the report bin width.
 const SAMPLE_BIN: SimDuration = SimDuration(1_000_000_000);
 
-/// Run one full-system simulation over the given request assignments.
-/// `tpm` must be provided in [`Mode::DcqcnSrc`]; every Target's SRC
-/// controller shares it, which is correct whenever the fleet is
-/// homogeneous (the TPM is trained per device model).
-///
-/// This is the single sink-polymorphic entry point: telemetry — DCQCN
-/// per-flow rate/alpha and RP-stage transitions, CNP traffic, TXQ
-/// backlog and gate transitions, SSQ fetch decisions and weight
-/// changes, SSD utilization, and SRC decisions — flows into `sink` as
-/// deterministic [`TraceRecord`]s. Pass `&mut NullSink` for an
-/// untraced run; [`TraceSink::enabled`] gates all probe buffering, so
-/// that costs exactly what the former untraced entry point did, and
-/// the report is identical either way.
-///
-/// # Panics
-/// Panics on inconsistent configuration (SRC mode without a TPM, more
-/// hosts requested than the topology provides, a `ssds` fleet whose
-/// length matches neither 1 nor `n_targets`).
-pub fn run_system(
-    cfg: &SystemConfig,
-    assignments: &[Assignment],
-    tpm: Option<Arc<ThroughputPredictionModel>>,
-    sink: &mut dyn TraceSink,
-) -> SystemReport {
-    run_system_inner(cfg, assignments, TpmAssignment::Shared(tpm), sink)
+/// Initiator-side robustness policy: a timeout arms on every request
+/// attempt; expiry triggers a bounded exponential-backoff retry
+/// (`backoff_base * 2^(attempt-1)`), and once `retry_budget` retries
+/// are spent the request is abandoned and counted in
+/// [`SystemReport::abandoned`] (and per Target in
+/// [`SystemReport::per_target_abandoned`]). Latency for a retried
+/// request measures from its last attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessConfig {
+    /// Per-attempt completion deadline at the Initiator.
+    pub timeout: SimDuration,
+    /// Maximum retries per request before abandoning it.
+    pub retry_budget: u32,
+    /// First retry delay; doubles on each further retry.
+    pub backoff_base: SimDuration,
 }
 
-/// [`run_system`] driven by the configuration's own workload sources:
-/// `cfg.workloads` resolves to the assignment list via
-/// [`SystemConfig::assignments`] with `seed`, then the run proceeds as
-/// usual. The declarative entry point for spec-driven harnesses — a
-/// config plus a seed is a complete, serializable experiment.
-pub fn run_system_workload(
-    cfg: &SystemConfig,
-    seed: u64,
-    tpm: Option<Arc<ThroughputPredictionModel>>,
-    sink: &mut dyn TraceSink,
-) -> SystemReport {
-    let assignments = cfg.assignments(seed);
-    run_system(cfg, &assignments, tpm, sink)
+impl Default for RobustnessConfig {
+    /// A deliberately generous deadline: the paper's in-cast workloads
+    /// are open-loop overloaded, so fault-free tail latency is on the
+    /// order of the run's makespan and a tight timeout would abandon
+    /// legitimate work. Calibrate `timeout` well above your workload's
+    /// congested tail (see `experiments::fault_robustness` for the
+    /// scale-aware choice the fault sweep uses).
+    fn default() -> Self {
+        RobustnessConfig {
+            timeout: SimDuration::from_ms(500),
+            retry_budget: 3,
+            backoff_base: SimDuration::from_ms(10),
+        }
+    }
+}
+
+/// Where the request assignments for a run come from.
+enum AssignmentSource<'a> {
+    /// Resolve `cfg.workloads` via [`SystemConfig::assignments`].
+    Seed(u64),
+    /// Use this pre-built assignment list as-is.
+    Slice(&'a [Assignment]),
 }
 
 /// Which TPM serves each Target's SRC controller.
@@ -114,44 +131,157 @@ impl TpmAssignment<'_> {
     }
 }
 
-/// [`run_system`] for heterogeneous fleets: `tpms[t]` (trained on
-/// Target `t`'s own device, see
-/// [`crate::experiments::train_tpm`]) drives Target `t`'s SRC weight
-/// decisions, so each Target's controller inverts the throughput
-/// surface of the device it actually serves. With every `ssds` entry
-/// (and TPM) equal this is byte-identical to [`run_system`].
+/// Per-run options for [`run_system`]: where the workload comes from,
+/// which TPM(s) drive SRC, and the optional fault plan and robustness
+/// policy. Start from [`RunOptions::seeded`] (resolve `cfg.workloads`
+/// with a seed) or [`RunOptions::assignments`] (a pre-built list), then
+/// chain the setters.
+///
+/// ```ignore
+/// run_system(&cfg, RunOptions::seeded(7).tpm(tpm), &mut NullSink);
+/// run_system(&cfg, RunOptions::assignments(&a).tpm_fleet(&tpms), &mut sink);
+/// ```
+pub struct RunOptions<'a> {
+    source: AssignmentSource<'a>,
+    tpms: TpmAssignment<'a>,
+    faults: Option<&'a FaultPlan>,
+    robustness: Option<RobustnessConfig>,
+}
+
+impl<'a> RunOptions<'a> {
+    fn new(source: AssignmentSource<'a>) -> Self {
+        RunOptions {
+            source,
+            tpms: TpmAssignment::Shared(None),
+            faults: None,
+            robustness: None,
+        }
+    }
+
+    /// Drive the run from the configuration's own workload sources:
+    /// `cfg.workloads` resolves to the assignment list via
+    /// [`SystemConfig::assignments`] with `seed`. The declarative form
+    /// for spec-driven harnesses — a config plus a seed is a complete,
+    /// serializable experiment.
+    pub fn seeded(seed: u64) -> Self {
+        Self::new(AssignmentSource::Seed(seed))
+    }
+
+    /// Drive the run from a pre-built assignment list.
+    pub fn assignments(assignments: &'a [Assignment]) -> Self {
+        Self::new(AssignmentSource::Slice(assignments))
+    }
+
+    /// One TPM shared by every Target's SRC controller — correct
+    /// whenever the fleet is homogeneous (the TPM is trained per device
+    /// model). Required in [`Mode::DcqcnSrc`] unless
+    /// [`RunOptions::tpm_fleet`] is given.
+    pub fn tpm(mut self, tpm: Arc<ThroughputPredictionModel>) -> Self {
+        self.tpms = TpmAssignment::Shared(Some(tpm));
+        self
+    }
+
+    /// Per-Target TPMs for heterogeneous fleets: `tpms[t]` (trained on
+    /// Target `t`'s own device, see [`crate::experiments::train_tpm`])
+    /// drives Target `t`'s SRC weight decisions, so each controller
+    /// inverts the throughput surface of the device it actually serves.
+    /// With every `ssds` entry (and TPM) equal this is byte-identical
+    /// to the shared form.
+    pub fn tpm_fleet(mut self, tpms: &'a [Arc<ThroughputPredictionModel>]) -> Self {
+        self.tpms = TpmAssignment::PerTarget(tpms);
+        self
+    }
+
+    /// Override the configuration's fault plan for this run only.
+    pub fn faults(mut self, plan: &'a FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Explicit timeout/retry policy. Without one, runs with an active
+    /// fault plan get [`RobustnessConfig::default`] (faults must not
+    /// wedge the run waiting on a reply that will never come) and
+    /// fault-free runs get none — no timeout events exist, preserving
+    /// bit-identity with the pre-robustness simulator.
+    pub fn robustness(mut self, robustness: RobustnessConfig) -> Self {
+        self.robustness = Some(robustness);
+        self
+    }
+}
+
+/// Run one full-system simulation.
+///
+/// This is the single sink-polymorphic entry point — workload source,
+/// TPM assignment, fault plan, and robustness policy all arrive via
+/// [`RunOptions`]. Telemetry — DCQCN per-flow rate/alpha and RP-stage
+/// transitions, CNP traffic, TXQ backlog and gate transitions, SSQ
+/// fetch decisions and weight changes, SSD utilization, fault-recovery
+/// counters, and SRC decisions — flows into `sink` as deterministic
+/// [`TraceRecord`]s. Pass `&mut NullSink` for an untraced run;
+/// [`TraceSink::enabled`] gates all probe buffering, so that costs
+/// exactly what an untraced run always did, and the report is identical
+/// either way.
+///
+/// The report is a pure function of `(cfg, opts, seed)` — identical at
+/// any worker-thread count, with or without an active fault plan.
 ///
 /// # Panics
-/// In addition to [`run_system`]'s panics, panics in
-/// [`Mode::DcqcnSrc`] when `tpms` is `None` or holds fewer models than
-/// `n_targets`.
-pub fn run_system_fleet(
+/// Panics on inconsistent configuration (SRC mode without a TPM, a TPM
+/// fleet shorter than `n_targets`, more hosts requested than the
+/// topology provides, a `ssds` fleet whose length matches neither 1 nor
+/// `n_targets`, an invalid fault plan).
+pub fn run_system(
     cfg: &SystemConfig,
-    assignments: &[Assignment],
-    tpms: Option<&[Arc<ThroughputPredictionModel>]>,
+    opts: RunOptions<'_>,
     sink: &mut dyn TraceSink,
 ) -> SystemReport {
-    match tpms {
-        Some(tpms) => {
-            assert!(
-                tpms.len() >= cfg.n_targets,
-                "{} TPMs for {} targets",
-                tpms.len(),
-                cfg.n_targets
-            );
-            run_system_inner(cfg, assignments, TpmAssignment::PerTarget(tpms), sink)
-        }
-        None => run_system_inner(cfg, assignments, TpmAssignment::Shared(None), sink),
+    if let TpmAssignment::PerTarget(tpms) = &opts.tpms {
+        assert!(
+            tpms.len() >= cfg.n_targets,
+            "{} TPMs for {} targets",
+            tpms.len(),
+            cfg.n_targets
+        );
     }
+    let owned: Vec<Assignment>;
+    let assignments: &[Assignment] = match opts.source {
+        AssignmentSource::Slice(a) => a,
+        AssignmentSource::Seed(seed) => {
+            owned = cfg.assignments(seed);
+            &owned
+        }
+    };
+    let plan = opts.faults.unwrap_or(&cfg.faults);
+    let robustness = opts.robustness.or(if plan.is_empty() {
+        None
+    } else {
+        Some(RobustnessConfig::default())
+    });
+    run_system_inner(cfg, assignments, opts.tpms, plan, robustness, sink)
+}
+
+/// Per-request retry bookkeeping (only allocated when a
+/// [`RobustnessConfig`] is active).
+#[derive(Clone, Copy)]
+struct ReqState {
+    /// Attempts issued so far (1 = the initial issue).
+    attempt: u32,
+    /// Completed or abandoned — later timeouts and retries are stale.
+    done: bool,
 }
 
 fn run_system_inner(
     cfg: &SystemConfig,
     assignments: &[Assignment],
     tpms: TpmAssignment<'_>,
+    plan: &FaultPlan,
+    robustness: Option<RobustnessConfig>,
     sink: &mut dyn TraceSink,
 ) -> SystemReport {
     cfg.validate_fleet();
+    if let Err(e) = plan.validate() {
+        panic!("invalid fault plan: {e}");
+    }
     let tracing = sink.enabled();
     let n_bg = cfg.background.as_ref().map_or(0, |b| b.n_sources);
     let n_hosts = cfg.n_initiators + cfg.n_targets + n_bg;
@@ -172,6 +302,9 @@ fn run_system_inner(
     let mut net = Network::new(clos.topology, cfg.dcqcn.clone(), cfg.pfc.clone(), cfg.mtu);
     if cfg.cc == CcChoice::Timely {
         net.use_timely(net_sim::TimelyParams::default());
+    }
+    if !plan.is_empty() {
+        net.set_fault_seed(plan.seed);
     }
 
     // Flows: a bidirectional pair per (initiator, target).
@@ -268,14 +401,49 @@ fn run_system_inner(
             q.schedule(bg.start, Ev::Background { src: s });
         }
     }
+    // Fault windows: one activation and one deactivation event each.
+    // An empty plan schedules nothing, so the event sequence (and every
+    // traced timestamp) is bit-identical to a fault-free run.
+    for (idx, fe) in plan.events.iter().enumerate() {
+        q.schedule(
+            fe.start,
+            Ev::Fault {
+                event: idx,
+                activate: true,
+            },
+        );
+        q.schedule(
+            fe.end(),
+            Ev::Fault {
+                event: idx,
+                activate: false,
+            },
+        );
+    }
 
     // Actual Target per request (LeastLoaded selection can override the
     // static assignment at issue time).
     let mut actual_target: Vec<usize> = assignments.iter().map(|a| a.target).collect();
 
-    // Initiator-side completion count drives termination.
+    // Initiator-side completion count (plus abandoned requests, which
+    // will never complete) drives termination.
     let total = assignments.len();
     let mut finished = 0usize;
+    let mut abandoned = 0usize;
+    let mut req_state: Vec<ReqState> = if robustness.is_some() {
+        vec![
+            ReqState {
+                attempt: 0,
+                done: false,
+            };
+            total
+        ]
+    } else {
+        Vec::new()
+    };
+    // Targets currently in a dropout window: commands vanish on
+    // arrival and replies are lost.
+    let mut dropped: Vec<bool> = vec![false; cfg.n_targets];
     let tgt_host_index: HashMap<NodeId, usize> =
         tgt_hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
 
@@ -291,7 +459,7 @@ fn run_system_inner(
     let mut notified: Vec<usize> = Vec::new();
 
     while let Some((now, ev)) = q.pop() {
-        if finished >= total {
+        if finished + abandoned >= total {
             break;
         }
         net_step.clear();
@@ -324,6 +492,11 @@ fn run_system_inner(
                 let ws =
                     initiators[a.initiator].issue(&a.request, out_flows[a.initiator][target], now);
                 net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut net_step);
+                if let Some(rb) = robustness {
+                    let req = a.request.id as usize;
+                    req_state[req].attempt = 1;
+                    q.schedule(now + rb.timeout, Ev::Timeout { req, attempt: 1 });
+                }
             }
             Ev::Net(nev) => {
                 net.handle_into(nev, now, &mut net_step);
@@ -354,6 +527,100 @@ fn run_system_inner(
                     let next = now + bg.burst_interval;
                     if next < bg.stop {
                         q.schedule(next, Ev::Background { src });
+                    }
+                }
+            }
+            Ev::Fault { event, activate } => {
+                let fe = &plan.events[event];
+                match (fe.kind, fe.scope) {
+                    (
+                        FaultKind::LinkDegrade {
+                            bandwidth_factor,
+                            extra_delay,
+                        },
+                        FaultScope::Link { index },
+                    ) => {
+                        if activate {
+                            net.set_link_degrade(index, bandwidth_factor, extra_delay);
+                        } else {
+                            net.clear_link_degrade(index);
+                        }
+                    }
+                    (FaultKind::PacketLoss { probability }, FaultScope::Link { index }) => {
+                        if activate {
+                            net.set_link_loss(index, probability);
+                        } else {
+                            net.clear_link_loss(index);
+                        }
+                    }
+                    (FaultKind::CnpLoss { probability }, _) => {
+                        if activate {
+                            net.set_cnp_loss(probability);
+                        } else {
+                            net.clear_cnp_loss();
+                        }
+                    }
+                    (FaultKind::SsdLatencySpike { factor }, FaultScope::Target { index }) => {
+                        targets[index].node.set_ssd_latency_factor(if activate {
+                            factor
+                        } else {
+                            1.0
+                        });
+                    }
+                    (FaultKind::TargetFailStop, FaultScope::Target { index }) => {
+                        let mut step = ssd_pool.pop().unwrap_or_default();
+                        targets[index].node.set_ssd_halted(activate, now, &mut step);
+                        ssd_scheds.push((index, step));
+                    }
+                    (FaultKind::TargetDropout, FaultScope::Target { index }) => {
+                        dropped[index] = activate;
+                    }
+                    (kind, scope) => unreachable!("fault plan validated: {kind:?} on {scope:?}"),
+                }
+            }
+            Ev::Timeout { req, attempt } => {
+                if let Some(rb) = robustness {
+                    let st = req_state[req];
+                    if !st.done && st.attempt == attempt {
+                        report.timeouts += 1;
+                        if st.attempt <= rb.retry_budget {
+                            // Bounded exponential backoff before the
+                            // retry: base * 2^(attempt-1).
+                            let shift = (attempt - 1).min(32);
+                            let backoff =
+                                SimDuration(rb.backoff_base.0.saturating_mul(1u64 << shift));
+                            q.schedule(now + backoff, Ev::Retry { req });
+                        } else {
+                            let a = assignments[req];
+                            initiators[a.initiator].abandon(a.request.id);
+                            req_state[req].done = true;
+                            abandoned += 1;
+                            report.abandoned += 1;
+                            report.per_target_abandoned[actual_target[req]] += 1;
+                        }
+                    }
+                }
+            }
+            Ev::Retry { req } => {
+                if let Some(rb) = robustness {
+                    if !req_state[req].done {
+                        let a = assignments[req];
+                        let target = actual_target[req];
+                        req_state[req].attempt += 1;
+                        report.retries += 1;
+                        let ws = initiators[a.initiator].reissue(
+                            &a.request,
+                            out_flows[a.initiator][target],
+                            now,
+                        );
+                        net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut net_step);
+                        q.schedule(
+                            now + rb.timeout,
+                            Ev::Timeout {
+                                req,
+                                attempt: req_state[req].attempt,
+                            },
+                        );
                     }
                 }
             }
@@ -426,30 +693,68 @@ fn run_system_inner(
                 let tgt_idx = actual_target[req_id as usize];
                 match kind {
                     MsgKind::ReadCmd | MsgKind::WriteCmd => {
+                        if dropped[tgt_idx] {
+                            // The Target is in a dropout window: the
+                            // command vanishes at the dead host and the
+                            // initiator's timeout recovers.
+                            continue;
+                        }
                         let t = &mut targets[tgt_idx];
                         if let Some(src) = t.src.as_mut() {
                             src.observe(&a.request, now);
                         }
-                        let sub =
+                        // None: a retry raced the original, still in
+                        // service — its completion answers both over
+                        // the refreshed reply flow.
+                        if let Some(sub) =
                             t.proto
-                                .on_command(kind, &a.request, t.in_flows[a.initiator], now);
-                        let mut s = ssd_pool.pop().unwrap_or_default();
-                        t.node.submit_into(sub.request, now, &mut s);
-                        ssd_scheds.push((tgt_idx, s));
+                                .on_command(kind, &a.request, t.in_flows[a.initiator], now)
+                        {
+                            if t.node.ssd().has_command(sub.request.id) {
+                                // Retried write whose ack was lost: the
+                                // device still holds the original
+                                // (destage in flight), so the data is
+                                // already accepted — ack immediately
+                                // instead of resubmitting.
+                                let ws = t.proto.on_storage_completion(sub.request.id, now);
+                                io_step.clear();
+                                net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut io_step);
+                                for &(tt, e) in &io_step.schedule {
+                                    q.schedule(tt, Ev::Net(e));
+                                }
+                            } else {
+                                let mut s = ssd_pool.pop().unwrap_or_default();
+                                t.node.submit_into(sub.request, now, &mut s);
+                                ssd_scheds.push((tgt_idx, s));
+                            }
+                        }
                     }
                     MsgKind::ReadData => {
-                        let c = initiators[a.initiator].on_inbound(kind, req_id, now);
-                        report.reads_completed += 1;
-                        report.read_bytes += c.size;
-                        report.per_target[tgt_idx].reads_completed += 1;
-                        report.per_target[tgt_idx].read_bytes += c.size;
-                        report.read_series.add(now, c.size as f64);
-                        report.read_latency_us.push(now.since(c.issued).as_us_f64());
-                        finished += 1;
+                        // None: a late reply to a request already
+                        // completed (a retry raced it) or abandoned.
+                        if let Some(c) = initiators[a.initiator].on_inbound(kind, req_id, now) {
+                            report.reads_completed += 1;
+                            report.read_bytes += c.size;
+                            report.per_target[tgt_idx].reads_completed += 1;
+                            report.per_target[tgt_idx].read_bytes += c.size;
+                            report.read_series.add(now, c.size as f64);
+                            report.read_latency_us.push(now.since(c.issued).as_us_f64());
+                            finished += 1;
+                            if let Some(st) = req_state.get_mut(req_id as usize) {
+                                st.done = true;
+                            }
+                        }
                     }
                     MsgKind::WriteAck => {
-                        let _ = initiators[a.initiator].on_inbound(kind, req_id, now);
-                        finished += 1;
+                        if initiators[a.initiator]
+                            .on_inbound(kind, req_id, now)
+                            .is_some()
+                        {
+                            finished += 1;
+                            if let Some(st) = req_state.get_mut(req_id as usize) {
+                                st.done = true;
+                            }
+                        }
                     }
                 }
             }
@@ -458,8 +763,13 @@ fn run_system_inner(
         // Fold storage-side schedules and new completions that appeared
         // while pumping.
         while let Some((t_idx, mut step)) = ssd_scheds.pop() {
+            // A dropout window swallows this Target's replies: proto
+            // state is still cleared (the device did the work), but
+            // nothing is counted or sent — the initiator's timeout
+            // recovers the request.
+            let lost = dropped[t_idx];
             for c in &step.completions {
-                if c.op == IoType::Write {
+                if c.op == IoType::Write && !lost {
                     report.writes_completed += 1;
                     report.write_bytes += c.size;
                     report.per_target[t_idx].writes_completed += 1;
@@ -469,14 +779,17 @@ fn run_system_inner(
                     report.write_latency_us.push(now.since(issued).as_us_f64());
                 }
                 let ws = targets[t_idx].proto.on_storage_completion(c.id, now);
-                io_step.clear();
-                net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut io_step);
-                for &(t, e) in &io_step.schedule {
-                    q.schedule(t, Ev::Net(e));
+                if !lost {
+                    io_step.clear();
+                    net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut io_step);
+                    for &(t, e) in &io_step.schedule {
+                        q.schedule(t, Ev::Net(e));
+                    }
+                    // (Sends here can't complete requests or change
+                    // rates synchronously; deliveries come back as
+                    // events.)
+                    debug_assert!(io_step.deliveries.is_empty());
                 }
-                // (Sends here can't complete requests or change rates
-                // synchronously; deliveries come back as events.)
-                debug_assert!(io_step.deliveries.is_empty());
             }
             for &(t, e) in &step.schedule {
                 q.schedule(
@@ -509,10 +822,11 @@ fn run_system_inner(
                 }
                 t.node.set_read_gate(open);
                 if open {
+                    let lost = dropped[t_idx];
                     let mut step = ssd_pool.pop().unwrap_or_default();
                     t.node.pump_into(now, &mut step);
                     for c in &step.completions {
-                        if c.op == IoType::Write {
+                        if c.op == IoType::Write && !lost {
                             report.writes_completed += 1;
                             report.write_bytes += c.size;
                             report.per_target[t_idx].writes_completed += 1;
@@ -522,10 +836,12 @@ fn run_system_inner(
                             report.write_latency_us.push(now.since(issued).as_us_f64());
                         }
                         let ws = t.proto.on_storage_completion(c.id, now);
-                        io_step.clear();
-                        net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut io_step);
-                        for &(tt, e) in &io_step.schedule {
-                            q.schedule(tt, Ev::Net(e));
+                        if !lost {
+                            io_step.clear();
+                            net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut io_step);
+                            for &(tt, e) in &io_step.schedule {
+                                q.schedule(tt, Ev::Net(e));
+                            }
                         }
                     }
                     for &(tt, e) in &step.schedule {
@@ -597,14 +913,14 @@ fn run_system_inner(
         }
 
         report.makespan = report.makespan.max(now.since(SimTime::ZERO));
-        if finished >= total {
+        if finished + abandoned >= total {
             break;
         }
     }
 
     assert!(
-        finished >= total,
-        "system run starved: {finished}/{total} requests finished"
+        finished + abandoned >= total,
+        "system run starved: {finished}/{total} requests finished ({abandoned} abandoned)"
     );
     for (t_idx, t) in targets.iter().enumerate() {
         if let Some(src) = t.src.as_ref() {
@@ -623,6 +939,16 @@ fn run_system_inner(
         );
         sink.count(("sys", 0, "reads_completed"), report.reads_completed);
         sink.count(("sys", 0, "writes_completed"), report.writes_completed);
+        // Fault-recovery counters only exist when the machinery is
+        // active, keeping legacy traces byte-identical.
+        if robustness.is_some() || !plan.is_empty() {
+            sink.count(("fabric", 0, "timeouts"), report.timeouts);
+            sink.count(("fabric", 0, "retries"), report.retries);
+            sink.count(("fabric", 0, "abandoned"), report.abandoned);
+            for (t_idx, &n) in report.per_target_abandoned.iter().enumerate() {
+                sink.count(("fabric", t_idx as u64, "abandoned_at_target"), n);
+            }
+        }
     }
     report
 }
@@ -653,23 +979,34 @@ mod tests {
     fn baseline_run_completes() {
         let cfg = SystemConfig::default();
         let a = small_assignments(400, 1);
-        let r = run_system(&cfg, &a, None, &mut sim_engine::NullSink);
+        let r = run_system(&cfg, RunOptions::assignments(&a), &mut sim_engine::NullSink);
         assert_eq!(r.reads_completed, 200);
         // Writes counted at Targets.
         assert_eq!(r.writes_completed, 200);
         assert!(r.read_latency_us.mean() > 0.0);
         assert!(r.makespan > sim_engine::SimDuration::ZERO);
+        assert_eq!((r.timeouts, r.retries, r.abandoned), (0, 0, 0));
     }
 
     #[test]
     fn deterministic() {
         let cfg = SystemConfig::default();
         let a = small_assignments(200, 2);
-        let r1 = run_system(&cfg, &a, None, &mut sim_engine::NullSink);
-        let r2 = run_system(&cfg, &a, None, &mut sim_engine::NullSink);
+        let r1 = run_system(&cfg, RunOptions::assignments(&a), &mut sim_engine::NullSink);
+        let r2 = run_system(&cfg, RunOptions::assignments(&a), &mut sim_engine::NullSink);
         assert_eq!(r1.read_series.bins(), r2.read_series.bins());
         assert_eq!(r1.pauses_total, r2.pauses_total);
         assert_eq!(r1.makespan, r2.makespan);
+    }
+
+    #[test]
+    fn seeded_options_match_explicit_assignments() {
+        let cfg = SystemConfig::default();
+        let a = cfg.assignments(11);
+        let from_seed = run_system(&cfg, RunOptions::seeded(11), &mut sim_engine::NullSink);
+        let from_slice = run_system(&cfg, RunOptions::assignments(&a), &mut sim_engine::NullSink);
+        assert_eq!(from_seed.makespan, from_slice.makespan);
+        assert_eq!(from_seed.read_series.bins(), from_slice.read_series.bins());
     }
 
     #[test]
@@ -677,11 +1014,11 @@ mod tests {
         use sim_engine::RingSink;
         let cfg = SystemConfig::default();
         let a = small_assignments(200, 4);
-        let plain = run_system(&cfg, &a, None, &mut sim_engine::NullSink);
+        let plain = run_system(&cfg, RunOptions::assignments(&a), &mut sim_engine::NullSink);
         let mut sink = RingSink::new(1 << 18);
-        let traced = run_system(&cfg, &a, None, &mut sink);
+        let traced = run_system(&cfg, RunOptions::assignments(&a), &mut sink);
         // A no-op sink gives the same report as a recording one.
-        let nulled = run_system(&cfg, &a, None, &mut sim_engine::NullSink);
+        let nulled = run_system(&cfg, RunOptions::assignments(&a), &mut sim_engine::NullSink);
         assert_eq!(nulled.reads_completed, traced.reads_completed);
         assert_eq!(nulled.read_series.bins(), traced.read_series.bins());
         assert_eq!(nulled.makespan, traced.makespan);
@@ -703,7 +1040,7 @@ mod tests {
         );
         // Same inputs: byte-identical JSON-lines export.
         let mut sink2 = RingSink::new(1 << 18);
-        let _ = run_system(&cfg, &a, None, &mut sink2);
+        let _ = run_system(&cfg, RunOptions::assignments(&a), &mut sink2);
         assert_eq!(rep.to_json_lines(), sink2.into_report().to_json_lines());
     }
 
@@ -715,6 +1052,42 @@ mod tests {
             ..SystemConfig::default()
         };
         let a = small_assignments(10, 3);
-        let _ = run_system(&cfg, &a, None, &mut sim_engine::NullSink);
+        let _ = run_system(&cfg, RunOptions::assignments(&a), &mut sim_engine::NullSink);
+    }
+
+    #[test]
+    fn dropout_abandons_requests_and_counts() {
+        use sim_engine::FaultEvent;
+        let cfg = SystemConfig::default();
+        let a = small_assignments(40, 5);
+        // Target 1 is gone for the whole run; a tight budget abandons
+        // everything routed there while Target 0 completes normally.
+        let plan = FaultPlan::seeded(9).with(FaultEvent {
+            scope: FaultScope::Target { index: 1 },
+            kind: FaultKind::TargetDropout,
+            start: SimTime::ZERO,
+            duration: SimDuration::from_ms(10_000),
+        });
+        let rb = RobustnessConfig {
+            timeout: SimDuration::from_us(500),
+            retry_budget: 1,
+            backoff_base: SimDuration::from_us(100),
+        };
+        let r = run_system(
+            &cfg,
+            RunOptions::assignments(&a).faults(&plan).robustness(rb),
+            &mut sim_engine::NullSink,
+        );
+        assert!(r.abandoned > 0, "dropout must abandon requests");
+        assert_eq!(r.abandoned, r.per_target_abandoned.iter().sum::<u64>());
+        assert_eq!(r.per_target_abandoned[0], 0);
+        assert!(r.availability(1) < 1.0);
+        assert!((r.availability(0) - 1.0).abs() < 1e-12);
+        assert!(r.timeouts >= r.abandoned);
+        assert!(r.retries <= r.timeouts);
+        assert_eq!(
+            r.reads_completed + r.writes_completed + r.abandoned,
+            a.len() as u64
+        );
     }
 }

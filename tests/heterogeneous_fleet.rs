@@ -13,7 +13,7 @@ use srcsim::system_sim::config::{spread_trace, Mode, SystemConfig};
 use srcsim::system_sim::experiments::{
     ext_heterogeneous, paper_background, paper_pfc, train_tpm, Scale, TrainKnob,
 };
-use srcsim::system_sim::{run_system, run_system_fleet, SystemReport};
+use srcsim::system_sim::{run_system, RunOptions, SystemReport};
 use srcsim::workload::micro::{generate_micro, MicroConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -28,8 +28,8 @@ fn report_bits(r: &SystemReport) -> String {
     serde_json::to_string(r).expect("report serializes")
 }
 
-/// A homogeneous `ssds` vector through [`run_system_fleet`] must
-/// reproduce the legacy broadcast-singleton [`run_system`] outputs
+/// A homogeneous `ssds` vector through a per-Target TPM fleet must
+/// reproduce the broadcast-singleton [`run_system`] outputs
 /// bit-for-bit, in both modes, on the Table IV and Fig. 10 style grids.
 #[test]
 #[cfg_attr(debug_assertions, ignore = "heavy simulation; run in release")]
@@ -79,16 +79,20 @@ fn homogeneous_fleet_matches_single_ssd_bitwise() {
             .build();
         let tpms: Vec<_> = (0..n_tgt).map(|_| tpm.clone()).collect();
         for mode in [Mode::DcqcnOnly, Mode::DcqcnSrc] {
+            let mut legacy_opts = RunOptions::assignments(&assignments);
+            let mut fleet_opts = RunOptions::assignments(&assignments);
+            if mode == Mode::DcqcnSrc {
+                legacy_opts = legacy_opts.tpm(tpm.clone());
+                fleet_opts = fleet_opts.tpm_fleet(&tpms);
+            }
             let legacy = run_system(
                 &legacy_base.to_builder().mode(mode.clone()).build(),
-                &assignments,
-                (mode == Mode::DcqcnSrc).then(|| tpm.clone()),
+                legacy_opts,
                 &mut NullSink,
             );
-            let fleet = run_system_fleet(
+            let fleet = run_system(
                 &fleet_base.to_builder().mode(mode.clone()).build(),
-                &assignments,
-                (mode == Mode::DcqcnSrc).then_some(&tpms[..]),
+                fleet_opts,
                 &mut NullSink,
             );
             assert_eq!(

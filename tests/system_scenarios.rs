@@ -10,7 +10,7 @@ use srcsim::ssd_sim::SsdConfig;
 use srcsim::system_sim::config::{
     per_target_traces, spread_trace, Mode, SystemConfig, TopologyKind,
 };
-use srcsim::system_sim::run_system;
+use srcsim::system_sim::{run_system, RunOptions};
 use srcsim::workload::micro::{generate_micro, MicroConfig};
 
 fn micro_assignments(
@@ -52,7 +52,7 @@ fn full_system_on_clos_fabric() {
         ..SystemConfig::default()
     };
     let a = micro_assignments(400, 2, 4, 3);
-    let r = run_system(&cfg, &a, None, &mut NullSink);
+    let r = run_system(&cfg, RunOptions::assignments(&a), &mut NullSink);
     assert_eq!(r.reads_completed, 400);
     assert_eq!(r.writes_completed, 400);
     assert_eq!(
@@ -77,7 +77,7 @@ fn all_table_ii_devices_run_end_to_end() {
             mode: Mode::DcqcnOnly,
             ..SystemConfig::default()
         };
-        run_system(&cfg, &a, None, &mut NullSink)
+        run_system(&cfg, RunOptions::assignments(&a), &mut NullSink)
     };
     let ra = run(SsdConfig::ssd_a());
     let rb = run(SsdConfig::ssd_b());
@@ -120,8 +120,7 @@ fn byte_conservation_both_modes() {
             mode: Mode::DcqcnOnly,
             ..SystemConfig::default()
         },
-        &a,
-        None,
+        RunOptions::assignments(&a),
         &mut NullSink,
     );
     assert_eq!(only.read_bytes, expect_read);
@@ -137,8 +136,7 @@ fn byte_conservation_both_modes() {
             mode: Mode::DcqcnSrc,
             ..SystemConfig::default()
         },
-        &a,
-        Some(tpm),
+        RunOptions::assignments(&a).tpm(tpm),
         &mut NullSink,
     );
     assert_eq!(src.read_bytes, expect_read);
@@ -182,8 +180,7 @@ fn per_target_affinity() {
             mode: Mode::DcqcnOnly,
             ..SystemConfig::default()
         },
-        &a,
-        None,
+        RunOptions::assignments(&a),
         &mut NullSink,
     );
     assert_eq!(r.reads_completed, 50);

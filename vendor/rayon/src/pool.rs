@@ -53,25 +53,40 @@ thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Resolve one thread-count variable from its raw value: `Ok(None)`
+/// when unset, `Ok(Some(n))` for a positive integer, and `Err(warning)`
+/// — the message to print — when the variable is set but unusable
+/// (empty, non-numeric, or zero).
+fn resolve_thread_var(key: &str, raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        _ => Err(format!(
+            "srcsim: ignoring {key}={raw:?}: expected a positive integer thread count"
+        )),
+    }
+}
+
 /// Environment-resolved thread count, cached once per process:
 /// `SRCSIM_THREADS`, then `RAYON_NUM_THREADS`, then available
-/// parallelism (1 if unknown). Zero or unparsable values are ignored.
+/// parallelism (1 if unknown). A set-but-unusable value is skipped with
+/// a one-time stderr warning naming it — a typo'd `SRCSIM_THREADS`
+/// must not silently change how many threads a determinism check ran
+/// on.
 fn env_threads() -> usize {
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
-        let parse = |key: &str| {
-            std::env::var(key)
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .filter(|&n| n > 0)
-        };
-        parse("SRCSIM_THREADS")
-            .or_else(|| parse("RAYON_NUM_THREADS"))
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(NonZeroUsize::get)
-                    .unwrap_or(1)
-            })
+        for key in ["SRCSIM_THREADS", "RAYON_NUM_THREADS"] {
+            let raw = std::env::var(key).ok();
+            match resolve_thread_var(key, raw.as_deref()) {
+                Ok(Some(n)) => return n,
+                Ok(None) => {}
+                Err(warning) => eprintln!("{warning}"),
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
     })
 }
 
@@ -273,6 +288,26 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<u8> = with_threads(4, || run_indexed(0, |_| 0u8));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn bad_thread_env_warns_with_key_and_value() {
+        // Usable values and unset keys resolve silently.
+        assert_eq!(resolve_thread_var("SRCSIM_THREADS", None), Ok(None));
+        assert_eq!(
+            resolve_thread_var("SRCSIM_THREADS", Some(" 4 ")),
+            Ok(Some(4))
+        );
+        // Unusable values produce a warning naming the key and the
+        // offending value, never a silent fallback.
+        for bad in ["", "four", "0", "-2", "1.5"] {
+            let warning = resolve_thread_var("SRCSIM_THREADS", Some(bad))
+                .expect_err("unusable value must warn");
+            assert!(
+                warning.contains("SRCSIM_THREADS") && warning.contains(bad),
+                "warning must name key and value: {warning}"
+            );
+        }
     }
 
     #[test]
