@@ -1,7 +1,8 @@
-//! Perf baseline for the event core and the end-to-end experiments:
-//! the numbers behind the committed `BENCH_PR4.json`.
+//! Perf baseline for the event core, the TPM inference fast path, and
+//! the end-to-end experiments: the numbers behind the committed
+//! `BENCH_PR9.json` (superseding `BENCH_PR4.json`'s two suites).
 //!
-//! Two suites:
+//! Four suites, every timed entry the **median of 3 repetitions**:
 //!
 //! * **Queue hold model** — steady-state `pop` + `schedule` pairs on a
 //!   queue pre-filled to 1k / 64k / 1M pending events, timing-wheel
@@ -10,29 +11,51 @@
 //!   schedule a replacement at a pseudo-random future offset) is the
 //!   classic event-queue benchmark: it measures the amortized cost the
 //!   simulators actually pay, not raw push or pop throughput.
+//! * **Forest inference** — single-point prediction on TPM-shaped
+//!   random forests (12 features, 2 outputs, 30- and 100-tree
+//!   configurations): the boxed per-tree walk with its per-call `Vec`
+//!   allocations vs the flattened SoA [`FlatForest`] fast path. The
+//!   outputs are asserted bitwise identical before anything is timed.
+//! * **Coalescing counterfactual** — one congested system run timed
+//!   with packet-burst coalescing on and off. The two reports are
+//!   asserted byte-identical (minus the counters that measure the fast
+//!   path itself), so the wall-clock delta is attributable to event
+//!   elision alone; the elided-event count rides along in the row.
 //! * **End-to-end wall clock** — the Fig. 9 scripted run (with its
 //!   fabric slice) and the Fig. 5 weight-sweep grid, timed as the
-//!   binaries run them. These absorb the queue and the allocation-free
-//!   step plumbing together.
+//!   binaries run them. These absorb every fast path together.
 //!
 //! Usage: `perf_baseline [quick|full] [out.json]` — `quick` shrinks
 //! the hold-op counts and uses quick experiment scales (the CI smoke
-//! job); `full` is what `BENCH_PR4.json` is generated from. The JSON
-//! report is written to `out.json` (default `results/bench_pr4.json`)
+//! job); `full` is what `BENCH_PR9.json` is generated from. The JSON
+//! report is written to `out.json` (default `results/bench_pr9.json`)
 //! and echoed to stdout.
 
 use std::time::Instant;
 
+use ml::{Dataset, FlatForest, RandomForest, RandomForestParams, Regressor};
 use serde::Value;
 use sim_engine::{EventQueue, HeapEventQueue, NullSink, SimDuration, SimTime};
 use src_bench::rule;
 use ssd_sim::SsdConfig;
+use system_sim::config::{spread_trace, Mode, SystemConfig};
 use system_sim::experiments::{fig5, fig9, fig9_fabric_slice, Scale};
+use system_sim::{run_system, RunOptions, SystemReport};
+use workload::micro::{generate_micro, MicroConfig};
 
 const SEED: u64 = 42;
+/// Repetitions per timed entry; the reported number is the median.
+const REPS: usize = 3;
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+/// Median of [`REPS`] runs of a timer returning one number.
+fn median(mut sample: impl FnMut() -> f64) -> f64 {
+    let mut xs: Vec<f64> = (0..REPS).map(|_| sample()).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
 }
 
 /// Deterministic xorshift64 offsets so both queues replay the exact
@@ -93,22 +116,31 @@ fn queue_suite(quick: bool) -> Value {
     let mut rows = Vec::new();
     for &pending in &[1_000usize, 64_000, 1_000_000] {
         let ops = if quick { 200_000 } else { 2_000_000 };
-        let (wheel_ns, wheel_sum) = hold(
-            pending,
-            ops,
-            |q: &mut EventQueue<u64>, t, e| q.schedule(t, e),
-            |q| q.pop(),
-            EventQueue::new(),
-        );
-        let (heap_ns, heap_sum) = hold(
-            pending,
-            ops,
-            |q: &mut HeapEventQueue<u64>, t, e| q.schedule(t, e),
-            |q| q.pop(),
-            HeapEventQueue::new(),
-        );
+        let mut sums = (None, None);
+        let wheel_ns = median(|| {
+            let (ns, sum) = hold(
+                pending,
+                ops,
+                |q: &mut EventQueue<u64>, t, e| q.schedule(t, e),
+                |q| q.pop(),
+                EventQueue::new(),
+            );
+            assert!(sums.0.replace(sum).is_none_or(|prev| prev == sum));
+            ns
+        });
+        let heap_ns = median(|| {
+            let (ns, sum) = hold(
+                pending,
+                ops,
+                |q: &mut HeapEventQueue<u64>, t, e| q.schedule(t, e),
+                |q| q.pop(),
+                HeapEventQueue::new(),
+            );
+            assert!(sums.1.replace(sum).is_none_or(|prev| prev == sum));
+            ns
+        });
         assert_eq!(
-            wheel_sum, heap_sum,
+            sums.0, sums.1,
             "wheel and heap diverged at pending={pending}"
         );
         println!(
@@ -129,18 +161,202 @@ fn queue_suite(quick: bool) -> Value {
     Value::Array(rows)
 }
 
-fn time_ms(f: impl FnOnce()) -> f64 {
-    let started = Instant::now();
-    f();
-    started.elapsed().as_nanos() as f64 / 1e6
+/// TPM-shaped training set: 12 features (the 11 workload features plus
+/// the weight knob), 2 outputs, deterministic splitmix64 noise.
+fn tpm_shaped_dataset(n: usize) -> Dataset {
+    let mut state = 0xdead_beef_u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    };
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..12).map(|_| next() * 40.0).collect())
+        .collect();
+    let y: Vec<Vec<f64>> = x
+        .iter()
+        .map(|row| {
+            let s: f64 = row.iter().sum();
+            vec![s / (1.0 + row[11]), s * row[11] / 40.0]
+        })
+        .collect();
+    Dataset::new(x, y)
+}
+
+fn forest_suite(quick: bool) -> Value {
+    let data = tpm_shaped_dataset(400);
+    let queries: Vec<Vec<f64>> = data.x.iter().step_by(3).cloned().collect();
+    let reps = if quick { 2_000 } else { 20_000 };
+    let mut rows = Vec::new();
+    for &n_trees in &[30usize, 100] {
+        let params = RandomForestParams {
+            n_trees,
+            ..RandomForestParams::default()
+        };
+        let forest = RandomForest::fit(&data, &params, SEED);
+        let flat = FlatForest::from_forest(&forest);
+        // Exactness first: timing a fast path that drifts would be
+        // meaningless.
+        let mut out = [0.0f64; 2];
+        for q in &queries {
+            let boxed = forest.predict_one(q);
+            flat.predict_into(q, &mut out);
+            assert_eq!(boxed[0].to_bits(), out[0].to_bits());
+            assert_eq!(boxed[1].to_bits(), out[1].to_bits());
+        }
+        let n_calls = (reps * queries.len()) as f64;
+        let mut sink = 0.0f64;
+        // Interleave boxed/flat reps so clock drift or a thermal dip
+        // hits both variants evenly rather than whichever runs first.
+        let mut boxed_reps = Vec::with_capacity(REPS);
+        let mut flat_reps = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let started = Instant::now();
+            for _ in 0..reps {
+                for q in &queries {
+                    sink += forest.predict_one(q)[0];
+                }
+            }
+            boxed_reps.push(started.elapsed().as_nanos() as f64 / n_calls);
+            let started = Instant::now();
+            for _ in 0..reps {
+                for q in &queries {
+                    flat.predict_into(q, &mut out);
+                    sink += out[0];
+                }
+            }
+            flat_reps.push(started.elapsed().as_nanos() as f64 / n_calls);
+        }
+        assert!(sink.is_finite());
+        let mid = |mut xs: Vec<f64>| {
+            xs.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+            xs[xs.len() / 2]
+        };
+        let (boxed_ns, flat_ns) = (mid(boxed_reps), mid(flat_reps));
+        println!(
+            "  {:>3} trees ({:>5} nodes): boxed {:>8.1} ns/op   flat {:>8.1} ns/op   ({:.2}x)",
+            n_trees,
+            flat.n_nodes(),
+            boxed_ns,
+            flat_ns,
+            boxed_ns / flat_ns
+        );
+        rows.push(obj(vec![
+            ("n_trees", Value::UInt(n_trees as u64)),
+            ("n_nodes", Value::UInt(flat.n_nodes() as u64)),
+            ("boxed_ns_per_op", Value::Float(boxed_ns)),
+            ("flat_ns_per_op", Value::Float(flat_ns)),
+            ("boxed_over_flat", Value::Float(boxed_ns / flat_ns)),
+        ]));
+    }
+    Value::Array(rows)
+}
+
+/// Congested single-initiator run for the coalescing counterfactual —
+/// heavy enough that PFC and ECN fire, so the fast path is exercised
+/// under the conditions it must be transparent in.
+fn coalescing_cell(quick: bool) -> (SystemConfig, Vec<system_sim::config::Assignment>) {
+    let n = if quick { 600 } else { 2_400 };
+    let t = generate_micro(
+        &MicroConfig {
+            read_count: n,
+            write_count: n,
+            read_iat_mean_us: 10.0,
+            write_iat_mean_us: 10.0,
+            read_size_mean: 40_000.0,
+            write_size_mean: 40_000.0,
+            ..MicroConfig::default()
+        },
+        SEED,
+    );
+    let a = spread_trace(&t, 1, 2);
+    let cfg = SystemConfig {
+        mode: Mode::DcqcnOnly,
+        ..SystemConfig::default()
+    };
+    (cfg, a)
+}
+
+/// The report minus the counters that measure the fast path itself.
+fn canon(mut r: SystemReport) -> String {
+    r.bursts_coalesced = 0;
+    r.packets_coalesced = 0;
+    serde_json::to_string(&r).expect("serializable report")
+}
+
+fn coalescing_suite(quick: bool) -> Value {
+    let (cfg, a) = coalescing_cell(quick);
+    // One untimed warmup, then *interleaved* on/off reps: the first run
+    // of a fresh cell pays one-time costs (allocator pools, page
+    // faults) that would otherwise land entirely on whichever variant
+    // is timed first and drown the effect being measured.
+    let warm = run_system(&cfg, RunOptions::assignments(&a), &mut NullSink);
+    let elided = warm.packets_coalesced;
+    let canon_on_ref = canon(warm);
+    let mut canon_on = String::new();
+    let mut canon_off = String::new();
+    let mut on_reps = Vec::with_capacity(REPS);
+    let mut off_reps = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let started = Instant::now();
+        let r = run_system(&cfg, RunOptions::assignments(&a), &mut NullSink);
+        on_reps.push(started.elapsed().as_nanos() as f64 / 1e6);
+        canon_on = canon(r);
+        let started = Instant::now();
+        let r = run_system(
+            &cfg,
+            RunOptions::assignments(&a).no_coalescing(),
+            &mut NullSink,
+        );
+        off_reps.push(started.elapsed().as_nanos() as f64 / 1e6);
+        assert_eq!(r.packets_coalesced, 0);
+        canon_off = canon(r);
+    }
+    assert_eq!(canon_on, canon_on_ref, "non-deterministic run");
+    let mid = |mut xs: Vec<f64>| {
+        xs.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+        xs[xs.len() / 2]
+    };
+    let (on_ms, off_ms) = (mid(on_reps), mid(off_reps));
+    assert_eq!(
+        canon_on, canon_off,
+        "coalescing changed the report — the counterfactual is invalid"
+    );
+    println!(
+        "  congested cell: coalesced {on_ms:>8.1} ms   per-packet {off_ms:>8.1} ms   \
+         ({:.2}x, {elided} arrivals elided)",
+        off_ms / on_ms
+    );
+    Value::Array(vec![obj(vec![
+        (
+            "name",
+            Value::Str(
+                if quick {
+                    "congested_cell_quick"
+                } else {
+                    "congested_cell_full"
+                }
+                .into(),
+            ),
+        ),
+        ("coalesced_wall_ms", Value::Float(on_ms)),
+        ("per_packet_wall_ms", Value::Float(off_ms)),
+        ("per_packet_over_coalesced", Value::Float(off_ms / on_ms)),
+        ("packets_coalesced", Value::UInt(elided)),
+        ("reports_identical", Value::Bool(true)),
+    ])])
 }
 
 fn end_to_end(quick: bool) -> Value {
     let fig9_scale = if quick { Scale::quick() } else { Scale::full() };
-    let fig9_ms = time_ms(|| {
+    let fig9_ms = median(|| {
+        let started = Instant::now();
         let mut sink = NullSink;
         let _ = fig9(&fig9_scale, SEED, &mut sink);
         let _ = fig9_fabric_slice(&fig9_scale, SEED, &mut sink);
+        started.elapsed().as_nanos() as f64 / 1e6
     });
     println!(
         "  fig9 scripted + fabric ({}): {:>9.1} ms",
@@ -149,8 +365,10 @@ fn end_to_end(quick: bool) -> Value {
     );
     // Fig. 5 always runs at quick scale: the full grid takes minutes
     // and adds no information the quick grid doesn't.
-    let fig5_ms = time_ms(|| {
+    let fig5_ms = median(|| {
+        let started = Instant::now();
         let _ = fig5(&SsdConfig::ssd_a(), &Scale::quick(), SEED);
+        started.elapsed().as_nanos() as f64 / 1e6
     });
     println!("  fig5 weight sweep (quick):   {fig5_ms:>9.1} ms");
     Value::Array(vec![
@@ -182,25 +400,34 @@ fn main() {
         .iter()
         .find(|a| a.ends_with(".json"))
         .cloned()
-        .unwrap_or_else(|| "results/bench_pr4.json".into());
+        .unwrap_or_else(|| "results/bench_pr9.json".into());
 
     println!(
-        "perf baseline ({} mode) — event-queue hold model + end-to-end wall clock",
+        "perf baseline ({} mode) — median of {REPS} reps per entry",
         if quick { "quick" } else { "full" }
     );
     rule();
     println!("queue hold model (pop earliest + schedule replacement):");
     let queue = queue_suite(quick);
+    println!("\nforest inference (TPM shape: 12 features, 2 outputs):");
+    let forest = forest_suite(quick);
+    println!("\npacket-burst coalescing counterfactual:");
+    let coalescing = coalescing_suite(quick);
     println!("\nend-to-end wall clock:");
     let e2e = end_to_end(quick);
 
     let report = obj(vec![
-        ("schema", Value::Str("srcsim-bench-pr4/v1".into())),
+        (
+            "schema",
+            Value::Str("srcsim-bench-pr9/v1 (each number = median of 3 reps)".into()),
+        ),
         (
             "mode",
             Value::Str(if quick { "quick" } else { "full" }.into()),
         ),
         ("queue_hold", queue),
+        ("forest_inference", forest),
+        ("coalescing", coalescing),
         ("end_to_end", e2e),
     ]);
     let text = serde_json::to_string_pretty(&report).expect("serializable report");

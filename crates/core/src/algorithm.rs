@@ -6,7 +6,8 @@
 //! demanded sending rate `r`. `DynamicAdjustment` maps a stream of
 //! congestion events to weight adjustments.
 
-use crate::tpm::ThroughputPredictionModel;
+use crate::cache::PredictionCache;
+use crate::tpm::{ThroughputPredictionModel, TPM_INPUT_LEN};
 use serde::{Deserialize, Serialize};
 use sim_engine::{Rate, SimTime};
 use workload::WorkloadFeatures;
@@ -59,11 +60,33 @@ pub fn predict_weight_ratio(
     tau: f64,
     max_weight: u32,
 ) -> u32 {
+    predict_weight_ratio_cached(tpm, r_gbps, ch, tau, max_weight, None)
+}
+
+/// [`predict_weight_ratio`] with an optional exact-key prediction cache
+/// (see [`PredictionCache`]): identical search, identical result — the
+/// cache only skips forest traversals whose inputs were seen before.
+/// The feature vector is built once and only its trailing weight slot
+/// changes across the `w` loop.
+pub fn predict_weight_ratio_cached(
+    tpm: &ThroughputPredictionModel,
+    r_gbps: f64,
+    ch: &WorkloadFeatures,
+    tau: f64,
+    max_weight: u32,
+    mut cache: Option<&mut PredictionCache>,
+) -> u32 {
     assert!(tau > 0.0, "tau must be positive");
     assert!(max_weight >= 1);
+    let mut x = [0.0f64; TPM_INPUT_LEN];
+    ch.write_into(&mut x);
+    let mut query = move |w: u32, cache: &mut Option<&mut PredictionCache>| match cache {
+        Some(c) => c.predict(tpm, &mut x, w),
+        None => tpm.predict_at(&mut x, w),
+    };
     let mut w = 1u32;
     let mut w_star = 1u32;
-    let (tput_r, _) = tpm.predict(ch, w);
+    let (tput_r, _) = query(w, &mut cache);
     if tput_r < r_gbps {
         return w;
     }
@@ -74,7 +97,7 @@ pub fn predict_weight_ratio(
             break;
         }
         w += 1;
-        let (cur_tput, _) = tpm.predict(ch, w);
+        let (cur_tput, _) = query(w, &mut cache);
         let dis = (cur_tput - r_gbps).abs();
         // Strict: ties keep the earlier (smaller) weight ratio.
         if dis < min_dis {

@@ -2,7 +2,8 @@
 //! throughput prediction model + Algorithm 1, applied on every
 //! congestion notification from the network congestion control.
 
-use crate::algorithm::{predict_weight_ratio, DEFAULT_MAX_WEIGHT, DEFAULT_TAU};
+use crate::algorithm::{predict_weight_ratio_cached, DEFAULT_MAX_WEIGHT, DEFAULT_TAU};
+use crate::cache::PredictionCache;
 use crate::monitor::WorkloadMonitor;
 use crate::tpm::ThroughputPredictionModel;
 use serde::{Deserialize, Serialize};
@@ -58,6 +59,9 @@ pub struct SrcController {
     decisions: Vec<Decision>,
     probes: ProbeBuffer,
     scope: u64,
+    /// Exact-key memo over this Target's TPM queries (bitwise-identical
+    /// results; see [`PredictionCache`]).
+    cache: PredictionCache,
 }
 
 impl SrcController {
@@ -73,6 +77,7 @@ impl SrcController {
             decisions: Vec::new(),
             probes: ProbeBuffer::default(),
             scope: 0,
+            cache: PredictionCache::default(),
         }
     }
 
@@ -106,12 +111,13 @@ impl SrcController {
         }
         self.last_reaction = Some(now);
         let ch = self.monitor.features(now);
-        let w = predict_weight_ratio(
+        let w = predict_weight_ratio_cached(
             &self.tpm,
             demanded.as_gbps_f64(),
             &ch,
             self.cfg.tau,
             self.cfg.max_weight,
+            Some(&mut self.cache),
         );
         self.decisions.push(Decision {
             at: now,
@@ -148,6 +154,12 @@ impl SrcController {
     /// The underlying prediction model.
     pub fn tpm(&self) -> &ThroughputPredictionModel {
         &self.tpm
+    }
+
+    /// TPM prediction-cache `(hits, misses)` accumulated by this
+    /// controller's weight searches.
+    pub fn tpm_cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
     }
 }
 

@@ -32,12 +32,16 @@
 //! ```
 
 pub mod algorithm;
+pub mod cache;
 pub mod controller;
 pub mod monitor;
 pub mod reactive;
 pub mod tpm;
 
-pub use algorithm::{predict_weight_ratio, CongestionEvent, CongestionKind};
+pub use algorithm::{
+    predict_weight_ratio, predict_weight_ratio_cached, CongestionEvent, CongestionKind,
+};
+pub use cache::PredictionCache;
 pub use controller::{SrcConfig, SrcController};
 pub use monitor::WorkloadMonitor;
 pub use reactive::{RateController, ReactiveConfig, ReactiveController, TpmRateController};

@@ -3,7 +3,7 @@
 //! write throughput a given workload achieves under a given SSQ weight
 //! ratio.
 
-use ml::{Dataset, ModelKind, RandomForest, RandomForestParams, Regressor};
+use ml::{Dataset, FlatForest, ModelKind, RandomForest, RandomForestParams};
 use serde::{Deserialize, Serialize};
 use sim_engine::{CheckpointSpec, ScenarioRunner};
 use ssd_sim::SsdConfig;
@@ -15,10 +15,18 @@ use workload::synthetic::{StreamProfile, SyntheticConfig};
 use workload::trace_io::fit_profiles;
 use workload::{IoType, Trace, WorkloadFeatures};
 
+/// Length of the TPM input vector: the workload features plus the
+/// weight ratio appended as the final element.
+pub const TPM_INPUT_LEN: usize = workload::features::N_FEATURES + 1;
+
 /// A trained TPM: a random forest mapping `(Ch, w)` to
 /// `[TPUT_R, TPUT_W]` in Gbps.
 pub struct ThroughputPredictionModel {
     model: RandomForest,
+    /// The same forest compiled into a flat SoA node table — the
+    /// inference path every prediction actually runs (bitwise identical
+    /// to `model`; see `ml::flat`).
+    flat: FlatForest,
     /// Number of training samples.
     n_samples: usize,
 }
@@ -234,8 +242,11 @@ impl ThroughputPredictionModel {
             },
             seed,
         );
+        assert_eq!(model.n_outputs(), 2, "TPM predicts [TPUT_R, TPUT_W]");
+        let flat = FlatForest::from_forest(&model);
         ThroughputPredictionModel {
             model,
+            flat,
             n_samples: data.len(),
         }
     }
@@ -267,9 +278,21 @@ impl ThroughputPredictionModel {
     /// Predict `(TPUT_R, TPUT_W)` in Gbps for workload `ch` under weight
     /// ratio `w`.
     pub fn predict(&self, ch: &WorkloadFeatures, w: u32) -> (f64, f64) {
-        let mut x = ch.to_vec();
-        x.push(w as f64);
-        let y = self.model.predict_one(&x);
+        let mut x = [0.0f64; TPM_INPUT_LEN];
+        ch.write_into(&mut x);
+        self.predict_at(&mut x, w)
+    }
+
+    /// Hot-path prediction: `x` is a caller-held input buffer whose
+    /// first `N_FEATURES` slots already hold the workload features (see
+    /// [`workload::WorkloadFeatures::write_into`]); only the trailing
+    /// weight slot is rewritten per query, so weight-sweep loops build
+    /// the feature vector once. Runs the flat forest — allocation-free
+    /// and bitwise identical to the boxed model.
+    pub fn predict_at(&self, x: &mut [f64; TPM_INPUT_LEN], w: u32) -> (f64, f64) {
+        x[TPM_INPUT_LEN - 1] = w as f64;
+        let mut y = [0.0f64; 2];
+        self.flat.predict_into(&x[..], &mut y);
         (y[0].max(0.0), y[1].max(0.0))
     }
 
@@ -302,6 +325,7 @@ pub fn table1_accuracy(data: &Dataset, train_frac: f64, seed: u64) -> Vec<(&'sta
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ml::Regressor;
 
     fn quick_samples() -> Vec<SweepPoint> {
         generate_training_samples(&SsdConfig::ssd_a(), &TrainingConfig::quick(), 9)

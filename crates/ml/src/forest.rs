@@ -88,6 +88,32 @@ impl RandomForest {
         self.trees.len()
     }
 
+    /// Number of outputs per prediction.
+    pub fn n_outputs(&self) -> usize {
+        self.trees.first().map_or(0, |t| t.n_outputs())
+    }
+
+    /// The fitted trees (crate-internal; [`crate::flat::FlatForest`]
+    /// compiles them into its SoA node table).
+    pub(crate) fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Allocation-free prediction: accumulate every tree's leaf into
+    /// `out` (length [`RandomForest::n_outputs`]) and divide by the tree
+    /// count — the same summation order as [`Regressor::predict_one`],
+    /// so results are bitwise identical.
+    pub fn predict_into(&self, x: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+        for t in &self.trees {
+            t.predict_add(x, out);
+        }
+        let n = self.trees.len() as f64;
+        for o in out.iter_mut() {
+            *o /= n;
+        }
+    }
+
     /// Breiman impurity-decrease feature importance, averaged over trees
     /// and normalized to sum to 1.
     pub fn feature_importance(&self) -> Vec<f64> {
@@ -107,20 +133,8 @@ impl RandomForest {
 
 impl Regressor for RandomForest {
     fn predict_one(&self, x: &[f64]) -> Vec<f64> {
-        let m = self
-            .trees
-            .first()
-            .map(|t| t.predict_one(x).len())
-            .unwrap_or(0);
-        let mut out = vec![0.0; m];
-        for t in &self.trees {
-            for (o, v) in out.iter_mut().zip(t.predict_one(x)) {
-                *o += v;
-            }
-        }
-        for o in &mut out {
-            *o /= self.trees.len() as f64;
-        }
+        let mut out = vec![0.0; self.n_outputs()];
+        self.predict_into(x, &mut out);
         out
     }
 }

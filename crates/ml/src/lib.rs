@@ -26,6 +26,7 @@
 
 pub mod cv;
 pub mod dataset;
+pub mod flat;
 pub mod forest;
 pub mod knn;
 pub mod linalg;
@@ -36,6 +37,7 @@ pub mod tree;
 
 pub use cv::{k_fold_r2, train_test_split};
 pub use dataset::Dataset;
+pub use flat::FlatForest;
 pub use forest::{RandomForest, RandomForestParams};
 pub use knn::KnnRegressor;
 pub use linear::LinearRegression;

@@ -238,6 +238,108 @@ impl DecisionTree {
         slot
     }
 
+    /// Number of outputs per prediction (the length of every leaf's
+    /// value vector).
+    pub fn n_outputs(&self) -> usize {
+        self.nodes
+            .iter()
+            .find_map(|n| match n {
+                Node::Leaf { value } => Some(value.len()),
+                Node::Split { .. } => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Allocation-free prediction: walk to the leaf and copy its value
+    /// into `out` (length must equal [`DecisionTree::n_outputs`]).
+    pub fn predict_into(&self, x: &[f64], out: &mut [f64]) {
+        let leaf = self.walk(x);
+        out.copy_from_slice(leaf);
+    }
+
+    /// Allocation-free accumulation: walk to the leaf and add its value
+    /// element-wise into `out` (the forest's summation primitive).
+    pub fn predict_add(&self, x: &[f64], out: &mut [f64]) {
+        let leaf = self.walk(x);
+        for (o, &v) in out.iter_mut().zip(leaf) {
+            *o += v;
+        }
+    }
+
+    /// Walk the tree to the leaf selected by `x`.
+    fn walk(&self, x: &[f64]) -> &[f64] {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Append this tree's nodes to the SoA arrays of a
+    /// [`crate::flat::FlatForest`] under construction; returns the root's
+    /// index in the flat node table. Leaves store `u16::MAX` in
+    /// `feature` and their slab offset in `left`.
+    pub(crate) fn flatten_into(
+        &self,
+        nodes: &mut Vec<crate::flat::FlatNode>,
+        leaf_values: &mut Vec<f64>,
+    ) -> u32 {
+        let root = u32::try_from(nodes.len()).expect("node table fits u32");
+        self.emit_flat(0, nodes, leaf_values);
+        root
+    }
+
+    /// Depth-first re-emission for [`DecisionTree::flatten_into`]: the
+    /// left subtree directly follows its parent, so the flat node only
+    /// stores the right child's index.
+    fn emit_flat(
+        &self,
+        id: usize,
+        nodes: &mut Vec<crate::flat::FlatNode>,
+        leaf_values: &mut Vec<f64>,
+    ) {
+        match &self.nodes[id] {
+            Node::Leaf { value } => {
+                nodes.push(crate::flat::FlatNode {
+                    threshold: 0.0,
+                    idx: u32::try_from(leaf_values.len()).expect("leaf slab fits u32"),
+                    feature: crate::flat::LEAF,
+                });
+                leaf_values.extend_from_slice(value);
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                assert!(*feature < u16::MAX as usize, "feature index fits u16");
+                let slot = nodes.len();
+                nodes.push(crate::flat::FlatNode {
+                    threshold: *threshold,
+                    idx: 0, // patched below, once the left subtree's extent is known
+                    feature: *feature as u16,
+                });
+                self.emit_flat(*left, nodes, leaf_values);
+                nodes[slot].idx = u32::try_from(nodes.len()).expect("node table fits u32");
+                self.emit_flat(*right, nodes, leaf_values);
+            }
+        }
+    }
+
     /// Best `(feature, threshold, children_sse)` over the candidate
     /// features, or `None` when no valid split exists.
     fn best_split(
@@ -298,24 +400,7 @@ fn sub(s: &mut SplitScan, y: &[f64]) {
 
 impl Regressor for DecisionTree {
     fn predict_one(&self, x: &[f64]) -> Vec<f64> {
-        let mut i = 0;
-        loop {
-            match &self.nodes[i] {
-                Node::Leaf { value } => return value.clone(),
-                Node::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                } => {
-                    i = if x[*feature] <= *threshold {
-                        *left
-                    } else {
-                        *right
-                    };
-                }
-            }
-        }
+        self.walk(x).to_vec()
     }
 }
 

@@ -1,0 +1,100 @@
+//! Property test: the flattened SoA forest is *bitwise* equivalent to
+//! the boxed tree walk it replaces.
+//!
+//! `FlatForest::from_forest` re-encodes every `DecisionTree` into one
+//! contiguous node table; `predict_into` then replays the same
+//! tree-order accumulation (`sum += leaf[k]` per tree, one divide at
+//! the end). Because the arithmetic is identical operation-for-
+//! operation, the contract is exact `f64::to_bits` equality — not an
+//! epsilon — over arbitrary forests and arbitrary query points,
+//! including points far outside the training range (every split
+//! comparison still resolves the same way).
+
+use ml::{Dataset, FlatForest, RandomForest, RandomForestParams, Regressor};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random dataset: `n` samples, `d` features,
+/// `o` outputs, derived from `seed` via splitmix64 so shrinking stays
+/// reproducible.
+fn synth_dataset(n: usize, d: usize, o: usize, seed: u64) -> Dataset {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    };
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| next() * 100.0 - 50.0).collect())
+        .collect();
+    let y: Vec<Vec<f64>> = x
+        .iter()
+        .map(|row| {
+            (0..o)
+                .map(|k| row.iter().sum::<f64>() * (k + 1) as f64 + next())
+                .collect()
+        })
+        .collect();
+    Dataset::new(x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Flat and boxed predictions agree to the bit for every query,
+    /// across forest shapes (tree count, feature count, output count)
+    /// and query points both inside and far outside the training range.
+    #[test]
+    fn prop_flat_matches_boxed_bitwise(
+        n_trees in 1usize..8,
+        d in 1usize..6,
+        o in 1usize..3,
+        data_seed in 0u64..1000,
+        fit_seed in 0u64..1000,
+        queries in proptest::collection::vec(
+            proptest::collection::vec(-1e6f64..1e6, 6..7), 1..20),
+    ) {
+        let data = synth_dataset(40, d, o, data_seed);
+        let params = RandomForestParams {
+            n_trees,
+            ..RandomForestParams::default()
+        };
+        let forest = RandomForest::fit(&data, &params, fit_seed);
+        let flat = FlatForest::from_forest(&forest);
+        prop_assert_eq!(flat.n_outputs(), o);
+        prop_assert_eq!(flat.n_trees(), n_trees);
+
+        let mut out = vec![0.0f64; o];
+        for q in &queries {
+            let x = &q[..d];
+            let boxed = forest.predict_one(x);
+            flat.predict_into(x, &mut out);
+            for (a, b) in boxed.iter().zip(out.iter()) {
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "flat={} boxed={}", b, a
+                );
+            }
+        }
+    }
+
+    /// The allocation-free boxed entry points agree with `predict_one`
+    /// too — `predict_into` on RandomForest is the same accumulation.
+    #[test]
+    fn prop_forest_predict_into_matches_predict_one(
+        data_seed in 0u64..1000,
+        fit_seed in 0u64..1000,
+        qx in proptest::collection::vec(-1e3f64..1e3, 4..5),
+    ) {
+        let data = synth_dataset(30, 4, 2, data_seed);
+        let params = RandomForestParams { n_trees: 5, ..RandomForestParams::default() };
+        let forest = RandomForest::fit(&data, &params, fit_seed);
+        let boxed = forest.predict_one(&qx);
+        let mut out = [0.0f64; 2];
+        forest.predict_into(&qx, &mut out);
+        prop_assert_eq!(boxed[0].to_bits(), out[0].to_bits());
+        prop_assert_eq!(boxed[1].to_bits(), out[1].to_bits());
+    }
+}

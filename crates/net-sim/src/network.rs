@@ -98,6 +98,14 @@ pub enum NetEvent {
         /// New pause state.
         paused: bool,
     },
+    /// Flush `link`'s deferred-arrival train (packet-burst coalescing):
+    /// deliver every deferred packet whose arrival time has been
+    /// reached, expanding the per-packet timestamps arithmetically from
+    /// the port's ledger instead of one `Arrive` event each.
+    BurstArrive {
+        /// Directed link index.
+        link: usize,
+    },
 }
 
 /// Output of one network step.
@@ -165,6 +173,15 @@ struct PortState {
     paused: bool,
     /// Packets serialized and propagating, FIFO.
     in_flight: VecDeque<Packet>,
+    /// Arrival times of the `in_flight` prefix whose dedicated `Arrive`
+    /// events were elided (burst coalescing): entry `k` is the arrival
+    /// time of the `k`-th in-flight packet as long as deferred entries
+    /// remain. Flushed by one `BurstArrive` event and drained
+    /// opportunistically whenever the port is touched at a later time.
+    deferred: VecDeque<SimTime>,
+    /// True while a `BurstArrive` flush event is outstanding for this
+    /// port (at most one lives at a time).
+    flush_pending: bool,
 }
 
 /// Host NIC state (single uplink).
@@ -245,9 +262,39 @@ pub struct Network {
     /// loss fault actually consults it, so fault-free runs take no
     /// draws and stay byte-identical.
     fault_rng: FaultRng,
+    /// Packet-burst coalescing master switch (on by default; the perf
+    /// counterfactual benches and equivalence tests turn it off).
+    coalescing: bool,
+    /// Sticky per-link flag: set the first time a degrade or loss fault
+    /// touches the link, and never cleared — packets on a touched link
+    /// are no longer deferred, so fault draws keep their per-packet
+    /// timing (see `set_link_loss`/`set_link_degrade`).
+    fault_touched: Vec<bool>,
+    /// Hot-path cache for `defer_eligible`: true iff the link terminates
+    /// at a destination host AND no fault has ever touched it. Folding
+    /// the two topology/fault lookups into one byte keeps the per-packet
+    /// eligibility check to a single load.
+    defer_ok: Vec<bool>,
+    /// Per-link count of drain operations that delivered at least one
+    /// deferred packet (telemetry).
+    bursts_coalesced: Vec<u64>,
+    /// Total packets delivered through the deferred path (each one is
+    /// an `Arrive` event the wheel never saw).
+    packets_coalesced: u64,
+    /// How far past a deferred arrival the backstop flush is armed.
+    /// [`FLUSH_HORIZON`] normally; zero while telemetry is enabled so
+    /// traced runs keep the exact reference event-time lattice (see
+    /// `set_telemetry`).
+    flush_horizon: SimDuration,
 }
 
 const CNP_SIZE: u64 = 64;
+
+/// How far past a deferred arrival the backstop flush is armed. Large
+/// relative to packet spacing so trains accumulate (touch-drains deliver
+/// them long before the flush), small relative to run length so
+/// quiescence detection is never held up noticeably.
+const FLUSH_HORIZON: SimDuration = SimDuration::from_us(50);
 
 impl Network {
     /// Build over a routed topology.
@@ -272,6 +319,9 @@ impl Network {
                 nics.push(None);
             }
         }
+        let defer_ok: Vec<bool> = (0..n_links)
+            .map(|l| topo.kind(topo.link(l).to) == NodeKind::Host)
+            .collect();
         Network {
             topo,
             params,
@@ -287,6 +337,8 @@ impl Network {
                     busy: false,
                     paused: false,
                     in_flight: VecDeque::new(),
+                    deferred: VecDeque::new(),
+                    flush_pending: false,
                 })
                 .collect(),
             nics,
@@ -301,6 +353,12 @@ impl Network {
             any_link_loss: false,
             cnp_loss: 0.0,
             fault_rng: FaultRng::new(0),
+            coalescing: true,
+            fault_touched: vec![false; n_links],
+            defer_ok,
+            bursts_coalesced: vec![0; n_links],
+            packets_coalesced: 0,
+            flush_horizon: FLUSH_HORIZON,
         }
     }
 
@@ -319,12 +377,21 @@ impl Network {
     /// token-bucket sizing keep using the nominal rate, exactly as real
     /// NICs keep targeting the configured line rate over a degraded
     /// path.
+    ///
+    /// Takes the current time and a step because activating a fault
+    /// de-coalesces the link: packets already deferred revert to
+    /// per-packet `Arrive` events so fault processing sees them at
+    /// their exact arrival times, and the link stops deferring for the
+    /// rest of the run.
     pub fn set_link_degrade(
         &mut self,
         link: usize,
         bandwidth_factor: f64,
         extra_delay: SimDuration,
+        now: SimTime,
+        step: &mut NetStep,
     ) {
+        self.decoalesce_link(link, now, step);
         self.link_degrade[link] = Some((bandwidth_factor, extra_delay));
     }
 
@@ -335,15 +402,40 @@ impl Network {
 
     /// Drop data packets arriving over `link` with probability
     /// `probability` until cleared. Control packets (CNP/ACK) are
-    /// exempt — model those with [`Network::set_cnp_loss`].
-    pub fn set_link_loss(&mut self, link: usize, probability: f64) {
+    /// exempt — model those with [`Network::set_cnp_loss`]. Takes the
+    /// current time and a step for the same de-coalescing reason as
+    /// [`Network::set_link_degrade`].
+    pub fn set_link_loss(
+        &mut self,
+        link: usize,
+        probability: f64,
+        now: SimTime,
+        step: &mut NetStep,
+    ) {
+        self.decoalesce_link(link, now, step);
         self.link_loss[link] = probability;
         self.any_link_loss = self.link_loss.iter().any(|&p| p > 0.0);
     }
 
     /// Stop dropping packets on `link`.
     pub fn clear_link_loss(&mut self, link: usize) {
-        self.set_link_loss(link, 0.0);
+        self.link_loss[link] = 0.0;
+        self.any_link_loss = self.link_loss.iter().any(|&p| p > 0.0);
+    }
+
+    /// Permanently opt `link` out of burst coalescing and convert its
+    /// pending deferrals back to per-packet `Arrive` events: overdue
+    /// arrivals are drained in place (they predate the state change, so
+    /// their handling is the same either way) and future ones get the
+    /// dedicated events the reference path would have scheduled.
+    fn decoalesce_link(&mut self, link: usize, now: SimTime, step: &mut NetStep) {
+        self.fault_touched[link] = true;
+        self.defer_ok[link] = false;
+        self.drain_deferred(link, now, step);
+        let port = &mut self.ports[link];
+        while let Some(t) = port.deferred.pop_front() {
+            step.schedule.push((t, NetEvent::Arrive { link }));
+        }
     }
 
     /// Suppress generated CNPs with probability `probability` until
@@ -360,8 +452,16 @@ impl Network {
 
     /// Turn telemetry probes on or off (off by default; disabling
     /// clears anything pending).
+    ///
+    /// Telemetry also zeroes the burst-flush horizon: traced runs
+    /// sample gauges at event-loop times, so the flush must fire at the
+    /// exact deferred-arrival times to keep the event-time lattice —
+    /// and therefore every sample timestamp — identical to an
+    /// uncoalesced run. Untraced runs keep [`FLUSH_HORIZON`] and get
+    /// the full batching win.
     pub fn set_telemetry(&mut self, on: bool) {
         self.probes.set_enabled(on);
+        self.flush_horizon = if on { SimDuration::ZERO } else { FLUSH_HORIZON };
     }
 
     /// Move pending probe records out, preserving record order. The
@@ -502,6 +602,7 @@ impl Network {
             NetEvent::AlphaTimer { flow, gen } => self.on_alpha_timer(flow, gen, now, step),
             NetEvent::RateTimer { flow, gen } => self.on_rate_timer(flow, gen, now, step),
             NetEvent::PauseSet { link, paused } => self.on_pause_set(link, paused, now, step),
+            NetEvent::BurstArrive { link } => self.on_burst_arrive(link, now, step),
         }
     }
 
@@ -542,6 +643,29 @@ impl Network {
     /// Total CNPs generated.
     pub fn cnps_sent(&self) -> u64 {
         self.cnps_sent
+    }
+
+    /// Enable or disable packet-burst coalescing (on by default). Must
+    /// be called before traffic is sent — pending deferrals cannot be
+    /// converted without an event context.
+    pub fn set_coalescing(&mut self, on: bool) {
+        assert!(
+            self.ports.iter().all(|p| p.deferred.is_empty()),
+            "toggle coalescing before traffic starts"
+        );
+        self.coalescing = on;
+    }
+
+    /// Drain operations on `link` that delivered at least one deferred
+    /// packet (telemetry).
+    pub fn bursts_coalesced(&self, link: usize) -> u64 {
+        self.bursts_coalesced[link]
+    }
+
+    /// Total packets delivered through the deferred-arrival path — each
+    /// is an `Arrive` event the wheel never carried.
+    pub fn packets_coalesced(&self) -> u64 {
+        self.packets_coalesced
     }
 
     /// The topology (read-only).
@@ -650,21 +774,64 @@ impl Network {
         }
     }
 
+    /// Can the just-serialized packet's `Arrive` event be elided and its
+    /// delivery deferred to a consolidated burst flush? Only when every
+    /// effect of its arrival is invisible to the rest of the simulation:
+    /// a final-hop (destination-host) data packet that is not the last
+    /// of its message (the event loop ignores non-last deliveries), is
+    /// not ECN-marked (no CNP), triggers no acknowledgment (TIMELY acks
+    /// every data packet of a cc-enabled flow), and rides a link no
+    /// fault has ever touched (loss draws must keep per-packet timing).
+    fn defer_eligible(&self, link: usize, pkt: &Packet) -> bool {
+        self.coalescing
+            && self.defer_ok[link]
+            && pkt.kind == PacketKind::Data
+            && !pkt.last_of_msg
+            && !pkt.ecn
+            && match self.cc {
+                CcMode::Dcqcn => true,
+                CcMode::Timely(_) => !self.flows[pkt.flow.0].cc_enabled,
+            }
+    }
+
     fn on_tx_done(&mut self, link: usize, now: SimTime, step: &mut NetStep) {
         let delay = match self.link_degrade[link] {
             Some((_, extra)) => self.topo.link(link).delay + extra,
             None => self.topo.link(link).delay,
         };
-        step.schedule.push((now + delay, NetEvent::Arrive { link }));
+        let sent = *self.ports[link]
+            .in_flight
+            .back()
+            .expect("tx done without in-flight packet");
+        if self.defer_eligible(link, &sent) {
+            // Burst coalescing: append the arrival time to the port's
+            // ledger instead of scheduling a dedicated Arrive. One
+            // outstanding BurstArrive flush per port delivers the whole
+            // train, re-arming itself while the ledger keeps growing.
+            // The flush is armed a full `flush_horizon` *behind* the
+            // arrival so the train can accumulate: non-last delivery
+            // timing is unobservable, and any observable event on the
+            // link (a last packet, a CNP, an ECN mark) drains the due
+            // prefix on touch before the flush ever fires. In practice
+            // the touch-drains do nearly all the work and the flush is a
+            // rare backstop that keeps quiescence detection live. (With
+            // telemetry on the horizon is zero — see `set_telemetry`.)
+            let horizon = self.flush_horizon;
+            let port = &mut self.ports[link];
+            port.deferred.push_back(now + delay);
+            if !port.flush_pending {
+                port.flush_pending = true;
+                step.schedule
+                    .push((now + delay + horizon, NetEvent::BurstArrive { link }));
+            }
+        } else {
+            step.schedule.push((now + delay, NetEvent::Arrive { link }));
+        }
         self.ports[link].busy = false;
         let from = self.topo.link(link).from;
         match self.topo.kind(from) {
             NodeKind::Host => {
                 // Account DCQCN byte counter for the just-sent packet.
-                let sent = *self.ports[link]
-                    .in_flight
-                    .back()
-                    .expect("tx done without in-flight packet");
                 // The byte-counter recovery stage belongs to DCQCN only:
                 // fixed-rate and TIMELY flows must not creep toward line
                 // rate through it.
@@ -712,7 +879,56 @@ impl Network {
         self.start_tx(link, pkt, ingress, now, step);
     }
 
+    /// Deliver every deferred packet on `link` whose arrival time has
+    /// been reached. Deferred entries form the FIFO prefix of
+    /// `in_flight` that is due: arrival times on a link are strictly
+    /// increasing and a packet with a dedicated `Arrive` event at an
+    /// earlier time has necessarily been popped already, so the
+    /// in-flight front is always the ledger front's packet.
+    fn drain_deferred(&mut self, link: usize, now: SimTime, step: &mut NetStep) {
+        let mut delivered = false;
+        while self.ports[link].deferred.front().is_some_and(|&t| t <= now) {
+            let port = &mut self.ports[link];
+            port.deferred.pop_front();
+            let pkt = port
+                .in_flight
+                .pop_front()
+                .expect("deferred arrival without in-flight packet");
+            debug_assert!(pkt.kind == PacketKind::Data && !pkt.last_of_msg && !pkt.ecn);
+            debug_assert_eq!(pkt.dst, self.topo.link(link).to);
+            step.deliveries.push(Delivery {
+                flow: pkt.flow,
+                tag: pkt.tag,
+                bytes: pkt.size,
+                last: false,
+            });
+            self.packets_coalesced += 1;
+            delivered = true;
+        }
+        if delivered {
+            self.bursts_coalesced[link] += 1;
+        }
+    }
+
+    /// The consolidated flush event: drain the due prefix, then re-arm
+    /// one horizon past the ledger tail if packets are still
+    /// propagating.
+    fn on_burst_arrive(&mut self, link: usize, now: SimTime, step: &mut NetStep) {
+        self.ports[link].flush_pending = false;
+        self.drain_deferred(link, now, step);
+        let horizon = self.flush_horizon;
+        let port = &mut self.ports[link];
+        if let Some(&tail) = port.deferred.back() {
+            port.flush_pending = true;
+            step.schedule
+                .push((tail + horizon, NetEvent::BurstArrive { link }));
+        }
+    }
+
     fn on_arrive(&mut self, link: usize, now: SimTime, step: &mut NetStep) {
+        // Deferred older arrivals on this link are due strictly before
+        // this packet: deliver them first so the in-flight order holds.
+        self.drain_deferred(link, now, step);
         let pkt = self.ports[link]
             .in_flight
             .pop_front()

@@ -87,6 +87,17 @@ pub struct SystemReport {
     pub abandoned: u64,
     /// Abandoned requests broken down by the Target they were routed to.
     pub per_target_abandoned: Vec<u64>,
+    /// TPM prediction-cache hits summed over Targets (zero in
+    /// DCQCN-only mode; see `src_core::cache`).
+    pub tpm_cache_hits: u64,
+    /// TPM prediction-cache misses (each one ran the forest).
+    pub tpm_cache_misses: u64,
+    /// Burst-coalescing drains that delivered at least one deferred
+    /// packet, summed over links (see `net_sim::Network`).
+    pub bursts_coalesced: u64,
+    /// Packets delivered through the deferred-arrival fast path — each
+    /// one an `Arrive` event the wheel never carried.
+    pub packets_coalesced: u64,
 }
 
 impl SystemReport {
@@ -115,6 +126,10 @@ impl SystemReport {
             retries: 0,
             abandoned: 0,
             per_target_abandoned: vec![0; n_targets],
+            tpm_cache_hits: 0,
+            tpm_cache_misses: 0,
+            bursts_coalesced: 0,
+            packets_coalesced: 0,
         }
     }
 

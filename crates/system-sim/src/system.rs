@@ -146,6 +146,7 @@ pub struct RunOptions<'a> {
     tpms: TpmAssignment<'a>,
     faults: Option<&'a FaultPlan>,
     robustness: Option<RobustnessConfig>,
+    coalescing: bool,
 }
 
 impl<'a> RunOptions<'a> {
@@ -155,6 +156,7 @@ impl<'a> RunOptions<'a> {
             tpms: TpmAssignment::Shared(None),
             faults: None,
             robustness: None,
+            coalescing: true,
         }
     }
 
@@ -207,6 +209,16 @@ impl<'a> RunOptions<'a> {
         self.robustness = Some(robustness);
         self
     }
+
+    /// Disable arithmetic packet-burst coalescing in the network model.
+    /// Coalescing is a pure event-count optimization — the report is
+    /// byte-identical either way (asserted by the equivalence tests) —
+    /// so this knob exists for those tests and for counterfactual
+    /// benchmarking, not for experiments.
+    pub fn no_coalescing(mut self) -> Self {
+        self.coalescing = false;
+        self
+    }
 }
 
 /// Run one full-system simulation.
@@ -257,7 +269,15 @@ pub fn run_system(
     } else {
         Some(RobustnessConfig::default())
     });
-    run_system_inner(cfg, assignments, opts.tpms, plan, robustness, sink)
+    run_system_inner(
+        cfg,
+        assignments,
+        opts.tpms,
+        plan,
+        robustness,
+        opts.coalescing,
+        sink,
+    )
 }
 
 /// Per-request retry bookkeeping (only allocated when a
@@ -276,6 +296,7 @@ fn run_system_inner(
     tpms: TpmAssignment<'_>,
     plan: &FaultPlan,
     robustness: Option<RobustnessConfig>,
+    coalescing: bool,
     sink: &mut dyn TraceSink,
 ) -> SystemReport {
     cfg.validate_fleet();
@@ -300,6 +321,7 @@ fn run_system_inner(
     let bg_hosts: Vec<NodeId> = clos.hosts[cfg.n_initiators + cfg.n_targets..n_hosts].to_vec();
 
     let mut net = Network::new(clos.topology, cfg.dcqcn.clone(), cfg.pfc.clone(), cfg.mtu);
+    net.set_coalescing(coalescing);
     if cfg.cc == CcChoice::Timely {
         net.use_timely(net_sim::TimelyParams::default());
     }
@@ -541,14 +563,20 @@ fn run_system_inner(
                         FaultScope::Link { index },
                     ) => {
                         if activate {
-                            net.set_link_degrade(index, bandwidth_factor, extra_delay);
+                            net.set_link_degrade(
+                                index,
+                                bandwidth_factor,
+                                extra_delay,
+                                now,
+                                &mut net_step,
+                            );
                         } else {
                             net.clear_link_degrade(index);
                         }
                     }
                     (FaultKind::PacketLoss { probability }, FaultScope::Link { index }) => {
                         if activate {
-                            net.set_link_loss(index, probability);
+                            net.set_link_loss(index, probability, now, &mut net_step);
                         } else {
                             net.clear_link_loss(index);
                         }
@@ -925,10 +953,17 @@ fn run_system_inner(
     for (t_idx, t) in targets.iter().enumerate() {
         if let Some(src) = t.src.as_ref() {
             report.decisions[t_idx] = src.decisions().to_vec();
+            let (hits, misses) = src.tpm_cache_stats();
+            report.tpm_cache_hits += hits;
+            report.tpm_cache_misses += misses;
         }
     }
     report.ecn_marked = net.ecn_marked();
     report.cnps = net.cnps_sent();
+    report.packets_coalesced = net.packets_coalesced();
+    for link in 0..net.topology().n_links() {
+        report.bursts_coalesced += net.bursts_coalesced(link);
+    }
     if tracing {
         sink.count(("net", 0, "ecn_marked"), report.ecn_marked);
         sink.count(("net", 0, "cnps_sent"), report.cnps);
@@ -947,6 +982,22 @@ fn run_system_inner(
             sink.count(("fabric", 0, "abandoned"), report.abandoned);
             for (t_idx, &n) in report.per_target_abandoned.iter().enumerate() {
                 sink.count(("fabric", t_idx as u64, "abandoned_at_target"), n);
+            }
+        }
+        // Fast-path counters are new in the PR-9 trace vocabulary;
+        // emitting them only in SRC mode keeps the pinned DCQCN-only
+        // fixture traces byte-identical.
+        if matches!(cfg.mode, Mode::DcqcnSrc) {
+            for (t_idx, t) in targets.iter().enumerate() {
+                let (hits, misses) = t.src.as_ref().map_or((0, 0), |s| s.tpm_cache_stats());
+                sink.count(("src", t_idx as u64, "tpm_cache_hits"), hits);
+                sink.count(("src", t_idx as u64, "tpm_cache_misses"), misses);
+            }
+            for link in 0..net.topology().n_links() {
+                let n = net.bursts_coalesced(link);
+                if n > 0 {
+                    sink.count(("net", link as u64, "bursts_coalesced"), n);
+                }
             }
         }
     }

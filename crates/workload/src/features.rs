@@ -74,6 +74,26 @@ impl WorkloadFeatures {
             self.write_flow_bpus,
         ]
     }
+
+    /// Allocation-free variant of [`WorkloadFeatures::to_vec`]: write
+    /// the features into the first [`N_FEATURES`] slots of `out` (hot
+    /// prediction paths keep one stack buffer instead of building a
+    /// `Vec` per query).
+    pub fn write_into(&self, out: &mut [f64]) {
+        out[..N_FEATURES].copy_from_slice(&[
+            self.read_ratio,
+            self.read_iat_mean_us,
+            self.read_iat_scv,
+            self.write_iat_mean_us,
+            self.write_iat_scv,
+            self.read_size_mean,
+            self.read_size_scv,
+            self.write_size_mean,
+            self.write_size_scv,
+            self.read_flow_bpus,
+            self.write_flow_bpus,
+        ]);
+    }
 }
 
 /// Extract features from a window of requests (the workload monitor
