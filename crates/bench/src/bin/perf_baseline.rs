@@ -1,21 +1,35 @@
 //! Perf baseline for the event core, the TPM inference fast path, and
 //! the end-to-end experiments: the numbers behind the committed
-//! `BENCH_PR9.json` (superseding `BENCH_PR4.json`'s two suites).
+//! `BENCH_PR10.json` (superseding `BENCH_PR9.json`'s four suites).
 //!
-//! Four suites, every timed entry the **median of 3 repetitions**:
+//! Five suites, every timed entry the **median of 3 repetitions**:
 //!
 //! * **Queue hold model** — steady-state `pop` + `schedule` pairs on a
-//!   queue pre-filled to 1k / 64k / 1M pending events, timing-wheel
-//!   [`EventQueue`] vs the binary-heap reference
-//!   [`HeapEventQueue`]. The hold model (pop the earliest event,
-//!   schedule a replacement at a pseudo-random future offset) is the
-//!   classic event-queue benchmark: it measures the amortized cost the
-//!   simulators actually pay, not raw push or pop throughput.
+//!   queue pre-filled to 1k … 1M pending events, three ways: the
+//!   timing-wheel [`EventQueue`], the binary-heap reference
+//!   [`HeapEventQueue`], and the size-adaptive
+//!   [`AdaptiveEventQueue`] the simulators actually run on. The
+//!   intermediate sizes (2k–32k) bracket the heap→wheel crossover and
+//!   validate [`ADAPTIVE_MIGRATION_THRESHOLD`]: the adaptive queue
+//!   must track the better of the two pure implementations at every
+//!   size. The hold model (pop the earliest event, schedule a
+//!   replacement at a pseudo-random future offset) measures the
+//!   amortized cost the simulators pay, not raw push or pop
+//!   throughput.
 //! * **Forest inference** — single-point prediction on TPM-shaped
 //!   random forests (12 features, 2 outputs, 30- and 100-tree
 //!   configurations): the boxed per-tree walk with its per-call `Vec`
-//!   allocations vs the flattened SoA [`FlatForest`] fast path. The
-//!   outputs are asserted bitwise identical before anything is timed.
+//!   allocations vs the flattened sibling-pair [`FlatForest`] fast
+//!   path. The outputs are asserted bitwise identical before anything
+//!   is timed.
+//! * **Sweep suite** — a quick Table-3-style grid of full-system cells
+//!   run twice per rep: once through a single reused [`SimWorkspace`]
+//!   (what `ScenarioRunner` hands each worker) and once with a fresh
+//!   workspace per cell. Reports are asserted byte-identical; the
+//!   rows carry wall clock, allocation events/bytes per cell (via the
+//!   `alloc-count` feature's counting allocator), TPM prediction-cache
+//!   hit/miss totals, and the adaptive queue's cumulative heap→wheel
+//!   migration count.
 //! * **Coalescing counterfactual** — one congested system run timed
 //!   with packet-burst coalescing on and off. The two reports are
 //!   asserted byte-identical (minus the counters that measure the fast
@@ -25,23 +39,52 @@
 //!   fabric slice) and the Fig. 5 weight-sweep grid, timed as the
 //!   binaries run them. These absorb every fast path together.
 //!
-//! Usage: `perf_baseline [quick|full] [out.json]` — `quick` shrinks
-//! the hold-op counts and uses quick experiment scales (the CI smoke
-//! job); `full` is what `BENCH_PR9.json` is generated from. The JSON
-//! report is written to `out.json` (default `results/bench_pr9.json`)
+//! Usage: `perf_baseline [quick|full] [out.json] [--baseline old.json]`
+//! — `quick` shrinks the hold-op counts and uses quick experiment
+//! scales (the CI smoke job); `full` is what `BENCH_PR10.json` is
+//! generated from. `--baseline` prints a report-only delta against a
+//! previously committed report (no thresholds: CI runners are 1–2
+//! vCPUs and wall clocks are not comparable across hosts). The JSON
+//! report is written to `out.json` (default `results/bench_pr10.json`)
 //! and echoed to stdout.
 
 use std::time::Instant;
 
 use ml::{Dataset, FlatForest, RandomForest, RandomForestParams, Regressor};
 use serde::Value;
-use sim_engine::{EventQueue, HeapEventQueue, NullSink, SimDuration, SimTime};
+use sim_engine::{
+    AdaptiveEventQueue, EventQueue, HeapEventQueue, NullSink, SimDuration, SimTime, SimWorkspace,
+    ADAPTIVE_MIGRATION_THRESHOLD,
+};
 use src_bench::rule;
+use src_core::ThroughputPredictionModel;
 use ssd_sim::SsdConfig;
-use system_sim::config::{spread_trace, Mode, SystemConfig};
-use system_sim::experiments::{fig5, fig9, fig9_fabric_slice, Scale};
-use system_sim::{run_system, RunOptions, SystemReport};
+use system_sim::config::{spread_source, spread_trace, Assignment, Mode, SystemConfig};
+use system_sim::experiments::{fig5, fig9, fig9_fabric_slice, paper_background, paper_pfc, Scale};
+use system_sim::{run_system, run_system_in, workspace_queue_migrations, RunOptions, SystemReport};
 use workload::micro::{generate_micro, MicroConfig};
+use workload::source::WorkloadSpec;
+use workload::WorkloadFeatures;
+
+/// Count allocations in this binary (and only this binary): the
+/// counting allocator is ~1 ns of relaxed-atomic overhead per
+/// allocation, noise for the wall-clock suites, and it buys the sweep
+/// suite's allocations-per-cell column.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: src_bench::alloc_count::CountingAlloc = src_bench::alloc_count::CountingAlloc;
+
+/// `(allocation events, requested bytes)` so far, if counting is on.
+fn alloc_snapshot() -> Option<(u64, u64)> {
+    #[cfg(feature = "alloc-count")]
+    {
+        Some(src_bench::alloc_count::snapshot())
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        None
+    }
+}
 
 const SEED: u64 = 42;
 /// Repetitions per timed entry; the reported number is the median.
@@ -58,7 +101,13 @@ fn median(mut sample: impl FnMut() -> f64) -> f64 {
     xs[xs.len() / 2]
 }
 
-/// Deterministic xorshift64 offsets so both queues replay the exact
+/// Median of an already-collected sample.
+fn mid(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+/// Deterministic xorshift64 offsets so all queues replay the exact
 /// same schedule.
 struct XorShift(u64);
 
@@ -72,16 +121,18 @@ impl XorShift {
 }
 
 /// One hold-model run: pre-fill `pending` events, then `ops` rounds of
-/// pop-earliest + schedule-replacement. Returns (ns/op, checksum); the
-/// checksum both defeats dead-code elimination and asserts the two
-/// implementations walked the identical event sequence.
+/// pop-earliest + schedule-replacement. Returns (ns/op, checksum, the
+/// spent queue); the checksum both defeats dead-code elimination and
+/// asserts the implementations walked the identical event sequence,
+/// and the returned queue lets the caller read diagnostics (the
+/// adaptive queue's migration count).
 fn hold<Q>(
     pending: usize,
     ops: usize,
     schedule: impl Fn(&mut Q, SimTime, u64),
     pop: impl Fn(&mut Q) -> Option<(SimTime, u64)>,
     mut q: Q,
-) -> (f64, u64) {
+) -> (f64, u64, Q) {
     let mut rng = XorShift(0x9e3779b97f4a7c15 ^ pending as u64);
     // Offsets mix short (collision-prone) and long horizons, like the
     // simulators: NIC serialization in the hundreds of ps, SSD program
@@ -109,53 +160,88 @@ fn hold<Q>(
         schedule(&mut q, now + SimDuration::from_ps(d), (pending + i) as u64);
     }
     let elapsed = started.elapsed();
-    (elapsed.as_nanos() as f64 / ops as f64, checksum)
+    (elapsed.as_nanos() as f64 / ops as f64, checksum, q)
 }
 
 fn queue_suite(quick: bool) -> Value {
     let mut rows = Vec::new();
-    for &pending in &[1_000usize, 64_000, 1_000_000] {
+    // 2k–32k bracket the heap→wheel crossover around the migration
+    // threshold; 1k / 64k / 1M are the headline sizes.
+    let sizes = [
+        1_000usize, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 1_000_000,
+    ];
+    for &pending in &sizes {
         let ops = if quick { 200_000 } else { 2_000_000 };
-        let mut sums = (None, None);
+        let mut sums: [Option<u64>; 3] = [None; 3];
+        let mut check = |slot: usize, sum: u64| {
+            assert!(
+                sums[slot].replace(sum).is_none_or(|prev| prev == sum),
+                "non-deterministic replay at pending={pending}"
+            );
+        };
         let wheel_ns = median(|| {
-            let (ns, sum) = hold(
+            let (ns, sum, _) = hold(
                 pending,
                 ops,
                 |q: &mut EventQueue<u64>, t, e| q.schedule(t, e),
                 |q| q.pop(),
                 EventQueue::new(),
             );
-            assert!(sums.0.replace(sum).is_none_or(|prev| prev == sum));
+            check(0, sum);
             ns
         });
         let heap_ns = median(|| {
-            let (ns, sum) = hold(
+            let (ns, sum, _) = hold(
                 pending,
                 ops,
                 |q: &mut HeapEventQueue<u64>, t, e| q.schedule(t, e),
                 |q| q.pop(),
                 HeapEventQueue::new(),
             );
-            assert!(sums.1.replace(sum).is_none_or(|prev| prev == sum));
+            check(1, sum);
+            ns
+        });
+        let mut migrated = false;
+        let adaptive_ns = median(|| {
+            let (ns, sum, q) = hold(
+                pending,
+                ops,
+                |q: &mut AdaptiveEventQueue<u64>, t, e| q.schedule(t, e),
+                |q| q.pop(),
+                AdaptiveEventQueue::new(),
+            );
+            check(2, sum);
+            migrated = q.migrations() > 0;
             ns
         });
         assert_eq!(
-            sums.0, sums.1,
+            sums[0], sums[1],
             "wheel and heap diverged at pending={pending}"
         );
+        assert_eq!(
+            sums[0], sums[2],
+            "wheel and adaptive diverged at pending={pending}"
+        );
+        let best_ns = wheel_ns.min(heap_ns);
         println!(
-            "  pending {:>9}: wheel {:>7.1} ns/op   heap {:>7.1} ns/op   ({:.2}x)",
+            "  pending {:>9}: wheel {:>7.1}   heap {:>7.1}   adaptive {:>7.1} ns/op   \
+             (adaptive/best {:.2}x, {})",
             pending,
             wheel_ns,
             heap_ns,
-            heap_ns / wheel_ns
+            adaptive_ns,
+            adaptive_ns / best_ns,
+            if migrated { "migrated" } else { "on heap" },
         );
         rows.push(obj(vec![
             ("pending", Value::UInt(pending as u64)),
             ("hold_ops", Value::UInt(ops as u64)),
             ("wheel_ns_per_op", Value::Float(wheel_ns)),
             ("heap_ns_per_op", Value::Float(heap_ns)),
+            ("adaptive_ns_per_op", Value::Float(adaptive_ns)),
             ("heap_over_wheel", Value::Float(heap_ns / wheel_ns)),
+            ("adaptive_over_best", Value::Float(adaptive_ns / best_ns)),
+            ("adaptive_migrated", Value::Bool(migrated)),
         ]));
     }
     Value::Array(rows)
@@ -230,10 +316,6 @@ fn forest_suite(quick: bool) -> Value {
             flat_reps.push(started.elapsed().as_nanos() as f64 / n_calls);
         }
         assert!(sink.is_finite());
-        let mid = |mut xs: Vec<f64>| {
-            xs.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
-            xs[xs.len() / 2]
-        };
         let (boxed_ns, flat_ns) = (mid(boxed_reps), mid(flat_reps));
         println!(
             "  {:>3} trees ({:>5} nodes): boxed {:>8.1} ns/op   flat {:>8.1} ns/op   ({:.2}x)",
@@ -252,6 +334,227 @@ fn forest_suite(quick: bool) -> Value {
         ]));
     }
     Value::Array(rows)
+}
+
+/// A tiny synthetic TPM (read throughput ~ 10/w Gbps) for the SRC
+/// cells of the sweep suite: the cache and controller machinery it
+/// exercises is the same as a fully trained model's, at a fraction of
+/// the training time.
+fn sweep_tpm() -> std::sync::Arc<ThroughputPredictionModel> {
+    let ch = WorkloadFeatures {
+        read_ratio: 0.5,
+        read_iat_mean_us: 10.0,
+        write_iat_mean_us: 10.0,
+        read_size_mean: 30_000.0,
+        write_size_mean: 30_000.0,
+        read_flow_bpus: 3_000.0,
+        write_flow_bpus: 3_000.0,
+        ..Default::default()
+    };
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for _rep in 0..8 {
+        for w in 1..=12u32 {
+            let mut row = ch.to_vec();
+            row.push(w as f64);
+            x.push(row);
+            y.push(vec![10.0 / w as f64, 2.0 + w as f64]);
+        }
+    }
+    std::sync::Arc::new(ThroughputPredictionModel::train(&Dataset::new(x, y), 40, 0))
+}
+
+/// The sweep-suite grid: a quick Table-3-style mix of DCQCN-only and
+/// DCQCN+SRC cells across seeds, each the paper's congested cell shape
+/// (1 initiator fanning to 2 targets, background traffic, paper PFC) —
+/// congested enough that DCQCN rate notifications fire and the SRC
+/// cells actually query the TPM through the prediction cache.
+fn sweep_grid(quick: bool) -> Vec<(SystemConfig, Vec<Assignment>)> {
+    let n = if quick { 150 } else { 600 };
+    let mut cells = Vec::new();
+    for seed in 1..=8u64 {
+        let mode = if seed % 2 == 0 {
+            Mode::DcqcnSrc
+        } else {
+            Mode::DcqcnOnly
+        };
+        let spec = WorkloadSpec::Micro(MicroConfig {
+            read_count: n,
+            write_count: n,
+            read_iat_mean_us: 10.0,
+            write_iat_mean_us: 10.0,
+            read_size_mean: 40_000.0,
+            write_size_mean: 40_000.0,
+            ..MicroConfig::default()
+        });
+        let assignments = spread_source(&spec, seed, 1, 2);
+        let cfg = SystemConfig::builder()
+            .n_initiators(1)
+            .n_targets(2)
+            .workload(spec)
+            .background(paper_background(&assignments))
+            .pfc(paper_pfc())
+            .mode(mode)
+            .build();
+        cells.push((cfg, assignments));
+    }
+    cells
+}
+
+fn sweep_suite(quick: bool) -> Value {
+    let tpm = sweep_tpm();
+    let cells = sweep_grid(quick);
+    fn cell_opts<'a>(
+        tpm: &std::sync::Arc<ThroughputPredictionModel>,
+        cfg: &SystemConfig,
+        a: &'a [Assignment],
+    ) -> RunOptions<'a> {
+        let o = RunOptions::assignments(a);
+        match cfg.mode {
+            Mode::DcqcnOnly => o,
+            Mode::DcqcnSrc => o.tpm(tpm.clone()),
+        }
+    }
+    // One run of the grid through `ws`, returning the serialized
+    // reports (the byte-identity evidence) and cache-stat totals.
+    let run_grid = |ws: &mut SimWorkspace| -> (Vec<String>, u64, u64) {
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let reports = cells
+            .iter()
+            .map(|(cfg, a)| {
+                let r = run_system_in(cfg, cell_opts(&tpm, cfg, a), ws, &mut NullSink);
+                hits += r.tpm_cache_hits;
+                misses += r.tpm_cache_misses;
+                serde_json::to_string(&r).expect("serializable report")
+            })
+            .collect();
+        (reports, hits, misses)
+    };
+    // Untimed warmup on a throwaway workspace absorbs one-time costs
+    // (allocator pools, page faults) so they don't land on whichever
+    // variant runs first.
+    let (reference, hits, misses) = run_grid(&mut SimWorkspace::new());
+    let mut ws = SimWorkspace::new();
+    let mut reuse_reps = Vec::with_capacity(REPS);
+    let mut fresh_reps = Vec::with_capacity(REPS);
+    let mut reuse_allocs = (0u64, 0u64);
+    let mut fresh_allocs = (0u64, 0u64);
+    let run_fresh_grid = || -> (Vec<String>, u64, u64) {
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let reports = cells
+            .iter()
+            .map(|(cfg, a)| {
+                let r = run_system_in(
+                    cfg,
+                    cell_opts(&tpm, cfg, a),
+                    &mut SimWorkspace::new(),
+                    &mut NullSink,
+                );
+                hits += r.tpm_cache_hits;
+                misses += r.tpm_cache_misses;
+                serde_json::to_string(&r).expect("serializable report")
+            })
+            .collect();
+        (reports, hits, misses)
+    };
+    // Interleave reuse/fresh reps like the other counterfactuals, and
+    // alternate which variant goes first so per-rep ordering effects
+    // (a warm data cache for whatever ran second) cancel in the
+    // medians.
+    for rep in 0..REPS {
+        for variant in 0..2 {
+            let reuse_turn = (rep + variant) % 2 == 0;
+            let before = alloc_snapshot();
+            let started = Instant::now();
+            let (reports, h, m) = if reuse_turn {
+                run_grid(&mut ws)
+            } else {
+                run_fresh_grid()
+            };
+            let wall_ms = started.elapsed().as_nanos() as f64 / 1e6;
+            let allocs = match (before, alloc_snapshot()) {
+                (Some(b), Some(a)) => (a.0 - b.0, a.1 - b.1),
+                _ => (0, 0),
+            };
+            assert_eq!(reports, reference, "a sweep variant changed a report");
+            assert_eq!((h, m), (hits, misses), "cache stats drifted");
+            if reuse_turn {
+                reuse_reps.push(wall_ms);
+                reuse_allocs = allocs;
+            } else {
+                fresh_reps.push(wall_ms);
+                fresh_allocs = allocs;
+            }
+        }
+    }
+    // Cumulative across all reuse reps: the counter deliberately
+    // survives `reset()` so reuse keeps the full history.
+    let migrations = workspace_queue_migrations(&mut ws);
+    let (reuse_ms, fresh_ms) = (mid(reuse_reps), mid(fresh_reps));
+    let n_cells = cells.len() as u64;
+    println!(
+        "  {} cells: reused workspace {:>8.1} ms   fresh per cell {:>8.1} ms   ({:.2}x)",
+        n_cells,
+        reuse_ms,
+        fresh_ms,
+        fresh_ms / reuse_ms
+    );
+    match alloc_snapshot() {
+        Some(_) => println!(
+            "    allocs/cell: reused {:>8}   fresh {:>8}   ({} vs {} KiB/cell)",
+            reuse_allocs.0 / n_cells,
+            fresh_allocs.0 / n_cells,
+            reuse_allocs.1 / n_cells / 1024,
+            fresh_allocs.1 / n_cells / 1024,
+        ),
+        None => println!("    allocs/cell: (alloc-count feature disabled)"),
+    }
+    println!(
+        "    tpm cache: {hits} hits / {misses} misses per pass   \
+         queue migrations: {migrations} over {REPS} reused passes"
+    );
+    let alloc_field = |v: u64| match alloc_snapshot() {
+        Some(_) => Value::UInt(v),
+        None => Value::Null,
+    };
+    Value::Array(vec![obj(vec![
+        (
+            "name",
+            Value::Str(
+                if quick {
+                    "table3_style_grid_quick"
+                } else {
+                    "table3_style_grid_full"
+                }
+                .into(),
+            ),
+        ),
+        ("cells", Value::UInt(n_cells)),
+        ("reused_workspace_wall_ms", Value::Float(reuse_ms)),
+        ("fresh_workspace_wall_ms", Value::Float(fresh_ms)),
+        ("fresh_over_reused", Value::Float(fresh_ms / reuse_ms)),
+        (
+            "reused_allocs_per_cell",
+            alloc_field(reuse_allocs.0 / n_cells),
+        ),
+        (
+            "reused_alloc_bytes_per_cell",
+            alloc_field(reuse_allocs.1 / n_cells),
+        ),
+        (
+            "fresh_allocs_per_cell",
+            alloc_field(fresh_allocs.0 / n_cells),
+        ),
+        (
+            "fresh_alloc_bytes_per_cell",
+            alloc_field(fresh_allocs.1 / n_cells),
+        ),
+        ("tpm_cache_hits", Value::UInt(hits)),
+        ("tpm_cache_misses", Value::UInt(misses)),
+        ("queue_migrations", Value::UInt(migrations)),
+        ("reused_passes", Value::UInt(REPS as u64)),
+        ("reports_identical", Value::Bool(true)),
+    ])])
 }
 
 /// Congested single-initiator run for the coalescing counterfactual —
@@ -315,10 +618,6 @@ fn coalescing_suite(quick: bool) -> Value {
         canon_off = canon(r);
     }
     assert_eq!(canon_on, canon_on_ref, "non-deterministic run");
-    let mid = |mut xs: Vec<f64>| {
-        xs.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
-        xs[xs.len() / 2]
-    };
     let (on_ms, off_ms) = (mid(on_reps), mid(off_reps));
     assert_eq!(
         canon_on, canon_off,
@@ -393,17 +692,114 @@ fn end_to_end(quick: bool) -> Value {
     ])
 }
 
+/// Report-only delta print against a previously committed report.
+/// Matches rows by their identifying field and prints side-by-side
+/// numbers; no thresholds, because wall clocks are only comparable
+/// between runs on the same host.
+fn print_baseline_delta(report: &Value, baseline_path: &str) {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("baseline {baseline_path}: unreadable ({e}) — skipping delta");
+            return;
+        }
+    };
+    let base = match serde_json::parse_value(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            println!("baseline {baseline_path}: unparsable ({e}) — skipping delta");
+            return;
+        }
+    };
+    let num = |v: &Value| match v {
+        Value::Float(f) => Some(*f),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    };
+    // Find the row in `suite` whose `key` field equals `id`.
+    let find_row = |root: &Value, suite: &str, key: &str, id: &Value| -> Option<Value> {
+        match root.get(suite)? {
+            Value::Array(rows) => rows
+                .iter()
+                .find(|r| r.get(key).map(|v| format!("{v:?}") == format!("{id:?}")) == Some(true))
+                .cloned(),
+            _ => None,
+        }
+    };
+    println!("delta vs {baseline_path} (report-only, same-host caveat applies):");
+    let mut printed = false;
+    // (suite, row-identity key, metric fields)
+    let plan: &[(&str, &str, &[&str])] = &[
+        (
+            "queue_hold",
+            "pending",
+            &["wheel_ns_per_op", "heap_ns_per_op", "adaptive_ns_per_op"],
+        ),
+        (
+            "forest_inference",
+            "n_trees",
+            &["boxed_ns_per_op", "flat_ns_per_op"],
+        ),
+        (
+            "sweep_suite",
+            "name",
+            &["reused_workspace_wall_ms", "fresh_workspace_wall_ms"],
+        ),
+        (
+            "coalescing",
+            "name",
+            &["coalesced_wall_ms", "per_packet_wall_ms"],
+        ),
+        ("end_to_end", "name", &["wall_ms"]),
+    ];
+    for &(suite, key, metrics) in plan {
+        let rows = match report.get(suite) {
+            Some(Value::Array(rows)) => rows,
+            _ => continue,
+        };
+        for row in rows {
+            let Some(id) = row.get(key) else { continue };
+            let Some(old) = find_row(&base, suite, key, id) else {
+                continue;
+            };
+            for &m in metrics {
+                if let (Some(new_v), Some(old_v)) =
+                    (row.get(m).and_then(num), old.get(m).and_then(num))
+                {
+                    if old_v > 0.0 {
+                        println!(
+                            "  {suite}[{key}={id:?}].{m}: {old_v:.1} -> {new_v:.1}  ({:+.1}%)",
+                            (new_v / old_v - 1.0) * 100.0
+                        );
+                        printed = true;
+                    }
+                }
+            }
+        }
+    }
+    if !printed {
+        println!("  (no comparable rows found — schemas may not overlap)");
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline = args.iter().position(|a| a == "--baseline").map(|i| {
+        let path = args.get(i + 1).cloned().expect("--baseline takes a path");
+        args.drain(i..=i + 1);
+        path
+    });
     let quick = !args.iter().any(|a| a == "full");
     let out = args
         .iter()
         .find(|a| a.ends_with(".json"))
         .cloned()
-        .unwrap_or_else(|| "results/bench_pr9.json".into());
+        .unwrap_or_else(|| "results/bench_pr10.json".into());
 
     println!(
-        "perf baseline ({} mode) — median of {REPS} reps per entry",
+        "perf baseline ({} mode) — median of {REPS} reps per entry \
+         (adaptive threshold: {ADAPTIVE_MIGRATION_THRESHOLD} pending)",
         if quick { "quick" } else { "full" }
     );
     rule();
@@ -411,6 +807,8 @@ fn main() {
     let queue = queue_suite(quick);
     println!("\nforest inference (TPM shape: 12 features, 2 outputs):");
     let forest = forest_suite(quick);
+    println!("\nsweep suite (reused vs fresh per-cell workspaces):");
+    let sweep = sweep_suite(quick);
     println!("\npacket-burst coalescing counterfactual:");
     let coalescing = coalescing_suite(quick);
     println!("\nend-to-end wall clock:");
@@ -419,14 +817,19 @@ fn main() {
     let report = obj(vec![
         (
             "schema",
-            Value::Str("srcsim-bench-pr9/v1 (each number = median of 3 reps)".into()),
+            Value::Str("srcsim-bench-pr10/v1 (each number = median of 3 reps)".into()),
         ),
         (
             "mode",
             Value::Str(if quick { "quick" } else { "full" }.into()),
         ),
+        (
+            "adaptive_migration_threshold",
+            Value::UInt(ADAPTIVE_MIGRATION_THRESHOLD as u64),
+        ),
         ("queue_hold", queue),
         ("forest_inference", forest),
+        ("sweep_suite", sweep),
         ("coalescing", coalescing),
         ("end_to_end", e2e),
     ]);
@@ -441,6 +844,10 @@ fn main() {
     rule();
     println!("{text}");
     println!("\nreport: {out}");
+    if let Some(b) = baseline {
+        rule();
+        print_baseline_delta(&report, &b);
+    }
     println!(
         "caveat: wall-clock numbers are from whatever machine ran this — \
          compare only runs from the same host (CI runners are often 1-2 vCPUs)."

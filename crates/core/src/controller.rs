@@ -7,7 +7,7 @@ use crate::cache::PredictionCache;
 use crate::monitor::WorkloadMonitor;
 use crate::tpm::ThroughputPredictionModel;
 use serde::{Deserialize, Serialize};
-use sim_engine::{ProbeBuffer, Rate, SimDuration, SimTime, TraceRecord};
+use sim_engine::{ProbeBuffer, Rate, SimDuration, SimTime, TraceRecord, TraceSink};
 use std::sync::Arc;
 use workload::Request;
 
@@ -67,6 +67,21 @@ pub struct SrcController {
 impl SrcController {
     /// Build from a trained TPM (shared across a machine's Targets).
     pub fn new(tpm: impl Into<Arc<ThroughputPredictionModel>>, cfg: SrcConfig) -> Self {
+        Self::with_cache(tpm, cfg, PredictionCache::default())
+    }
+
+    /// [`SrcController::new`] with caller-provided prediction-cache
+    /// storage — the workspace-reuse seam: a sweep worker recovers the
+    /// cache via [`SrcController::into_cache`] after each run and hands
+    /// it (reset) to the next run's controller, so the ~13 KB set table
+    /// is allocated once per worker instead of once per cell. The cache
+    /// must be freshly built or [`PredictionCache::reset`]; a dirty one
+    /// would replay another run's hit/miss trajectory.
+    pub fn with_cache(
+        tpm: impl Into<Arc<ThroughputPredictionModel>>,
+        cfg: SrcConfig,
+        cache: PredictionCache,
+    ) -> Self {
         let tpm = tpm.into();
         SrcController {
             tpm,
@@ -77,8 +92,14 @@ impl SrcController {
             decisions: Vec::new(),
             probes: ProbeBuffer::default(),
             scope: 0,
-            cache: PredictionCache::default(),
+            cache,
         }
+    }
+
+    /// Recover the prediction-cache storage for reuse (see
+    /// [`SrcController::with_cache`]).
+    pub fn into_cache(self) -> PredictionCache {
+        self.cache
     }
 
     /// Enable or disable telemetry probes; `scope` tags the records
@@ -93,6 +114,13 @@ impl SrcController {
     /// each non-suppressed congestion notification).
     pub fn drain_probes(&mut self) -> Vec<TraceRecord> {
         self.probes.drain()
+    }
+
+    /// Drain buffered trace records straight into `sink`, preserving
+    /// order and the probe buffer's capacity (the hot-loop form of
+    /// [`SrcController::drain_probes`]).
+    pub fn drain_probes_into(&mut self, sink: &mut dyn TraceSink) {
+        self.probes.drain_into(sink);
     }
 
     /// Feed the monitor with a request arriving at the Target.

@@ -5,13 +5,16 @@
 //! The fitted representation ([`crate::tree::DecisionTree`]) stores a
 //! 40-byte enum per node (the leaf variant carries a heap `Vec<f64>`)
 //! and every `predict_one` call allocates its output. The flat
-//! representation re-emits each tree depth-first into 16-byte packed
-//! [`FlatNode`]s — threshold, one child index, and a `u16` feature id
-//! with `u16::MAX` marking a leaf — plus one shared leaf-value slab.
-//! Depth-first emission makes every left child adjacent to its parent,
-//! so only one child index is stored and the common descend-left step
-//! is `i + 1`: a traversal walks a single dense array and the
-//! prediction loop never allocates.
+//! representation re-emits each tree into 16-byte packed [`FlatNode`]s
+//! — threshold, one child index, and a `u16` feature id with
+//! `u16::MAX` marking a leaf — plus one shared leaf-value slab.
+//! Emission reserves each split's two children as an *adjacent pair*
+//! before descending (see `DecisionTree::emit_flat`), so one stored
+//! index addresses both: the descend step is the branchless
+//! `idx + (goes_right as usize)`, siblings share a cache line, and
+//! shallow levels — the nodes every traversal touches — cluster near
+//! the root. A traversal walks a single dense array and the prediction
+//! loop never allocates.
 //!
 //! **Exactness**: [`FlatForest::predict_into`] replicates the fitted
 //! forest's arithmetic exactly — leaves are added tree-by-tree in the
@@ -31,18 +34,33 @@ pub(crate) const LEAF: u16 = u16::MAX;
 pub(crate) struct FlatNode {
     /// Split threshold (0.0 for leaves).
     pub(crate) threshold: f64,
-    /// For a split: index of the right child (the left child is always
-    /// the next node — depth-first emission). For a leaf: offset of its
-    /// value run in the leaf slab.
+    /// For a split: index of the left child; the right child is always
+    /// adjacent at `idx + 1` (children are reserved as a pair). For a
+    /// leaf: offset of its value run in the leaf slab.
     pub(crate) idx: u32,
     /// Split feature; [`LEAF`] marks a leaf.
     pub(crate) feature: u16,
 }
 
+impl FlatNode {
+    /// Reserved-but-unwritten slot during emission; every placeholder
+    /// is overwritten before `from_forest` returns.
+    pub(crate) const PLACEHOLDER: FlatNode = FlatNode {
+        threshold: 0.0,
+        idx: u32::MAX,
+        feature: LEAF,
+    };
+}
+
+/// Flat nodes must stay at 16 bytes — the whole point of the packed
+/// layout is four nodes per cache line.
+const _: () = assert!(std::mem::size_of::<FlatNode>() == 16);
+
 /// A [`RandomForest`] compiled into flat form (see module docs).
 #[derive(Clone, Debug)]
 pub struct FlatForest {
-    /// All trees' nodes, each tree a depth-first contiguous run.
+    /// All trees' nodes, each tree a contiguous run in sibling-pair
+    /// order.
     nodes: Vec<FlatNode>,
     /// All leaf value vectors, concatenated (`n_outputs` each).
     leaf_values: Vec<f64>,
@@ -106,11 +124,13 @@ impl FlatForest {
                     }
                     break;
                 }
-                i = if x[n.feature as usize] <= n.threshold {
-                    i + 1
-                } else {
-                    n.idx as usize
-                };
+                // Branchless descend: left child at idx, right at
+                // idx + 1. `!(x <= t)` (not `x > t`) keeps NaN routing
+                // identical to the fitted tree's `predict_one`.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                {
+                    i = n.idx as usize + !(x[n.feature as usize] <= n.threshold) as usize;
+                }
             }
         }
         let n = self.roots.len() as f64;

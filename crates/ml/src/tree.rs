@@ -291,33 +291,39 @@ impl DecisionTree {
     /// Append this tree's nodes to the SoA arrays of a
     /// [`crate::flat::FlatForest`] under construction; returns the root's
     /// index in the flat node table. Leaves store `u16::MAX` in
-    /// `feature` and their slab offset in `left`.
+    /// `feature` and their slab offset in `idx`.
     pub(crate) fn flatten_into(
         &self,
         nodes: &mut Vec<crate::flat::FlatNode>,
         leaf_values: &mut Vec<f64>,
     ) -> u32 {
         let root = u32::try_from(nodes.len()).expect("node table fits u32");
-        self.emit_flat(0, nodes, leaf_values);
+        nodes.push(crate::flat::FlatNode::PLACEHOLDER);
+        self.emit_flat(0, root as usize, nodes, leaf_values);
         root
     }
 
-    /// Depth-first re-emission for [`DecisionTree::flatten_into`]: the
-    /// left subtree directly follows its parent, so the flat node only
-    /// stores the right child's index.
+    /// Sibling-pair re-emission for [`DecisionTree::flatten_into`]: a
+    /// split reserves both children *adjacently* before either subtree
+    /// is emitted, so descending is one indexed load from `idx` or
+    /// `idx + 1` and siblings share a cache line. Because the pair is
+    /// reserved pre-order, shallow levels cluster near the root — the
+    /// part of the table every traversal walks. Leaf values still land
+    /// in the slab in left-to-right (in-order) sequence.
     fn emit_flat(
         &self,
         id: usize,
+        slot: usize,
         nodes: &mut Vec<crate::flat::FlatNode>,
         leaf_values: &mut Vec<f64>,
     ) {
         match &self.nodes[id] {
             Node::Leaf { value } => {
-                nodes.push(crate::flat::FlatNode {
+                nodes[slot] = crate::flat::FlatNode {
                     threshold: 0.0,
                     idx: u32::try_from(leaf_values.len()).expect("leaf slab fits u32"),
                     feature: crate::flat::LEAF,
-                });
+                };
                 leaf_values.extend_from_slice(value);
             }
             Node::Split {
@@ -327,15 +333,16 @@ impl DecisionTree {
                 right,
             } => {
                 assert!(*feature < u16::MAX as usize, "feature index fits u16");
-                let slot = nodes.len();
-                nodes.push(crate::flat::FlatNode {
+                let base = nodes.len();
+                nodes.push(crate::flat::FlatNode::PLACEHOLDER);
+                nodes.push(crate::flat::FlatNode::PLACEHOLDER);
+                nodes[slot] = crate::flat::FlatNode {
                     threshold: *threshold,
-                    idx: 0, // patched below, once the left subtree's extent is known
+                    idx: u32::try_from(base).expect("node table fits u32"),
                     feature: *feature as u16,
-                });
-                self.emit_flat(*left, nodes, leaf_values);
-                nodes[slot].idx = u32::try_from(nodes.len()).expect("node table fits u32");
-                self.emit_flat(*right, nodes, leaf_values);
+                };
+                self.emit_flat(*left, base, nodes, leaf_values);
+                self.emit_flat(*right, base + 1, nodes, leaf_values);
             }
         }
     }

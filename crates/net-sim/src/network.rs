@@ -10,7 +10,9 @@
 use crate::dcqcn::{DcqcnParams, NpState, RpState};
 use crate::timely::{TimelyParams, TimelyState};
 use crate::topology::{NodeId, NodeKind, Topology};
-use sim_engine::{FaultRng, ProbeBuffer, Rate, SimDuration, SimTime, TokenBucket, TraceRecord};
+use sim_engine::{
+    FaultRng, ProbeBuffer, Rate, SimDuration, SimTime, TokenBucket, TraceRecord, TraceSink,
+};
 use std::collections::VecDeque;
 
 /// Identifier of a unidirectional RDMA flow (queue pair).
@@ -57,6 +59,10 @@ pub struct Delivery {
     /// True on the final packet of the tagged message.
     pub last: bool,
 }
+
+/// `Delivery` is copied into every network step's delivery list on the
+/// hot path; keep it within half a cache line.
+const _: () = assert!(std::mem::size_of::<Delivery>() <= 32);
 
 /// Events the network schedules for itself.
 #[derive(Clone, Copy, Debug)]
@@ -468,6 +474,13 @@ impl Network {
     /// event-loop owner feeds these into its `TraceSink`.
     pub fn drain_probes(&mut self) -> Vec<TraceRecord> {
         self.probes.drain()
+    }
+
+    /// Drain pending probe records straight into `sink`, preserving
+    /// order and the probe buffer's capacity (the hot-loop form of
+    /// [`Network::drain_probes`]).
+    pub fn drain_probes_into(&mut self, sink: &mut dyn TraceSink) {
+        self.probes.drain_into(sink);
     }
 
     /// Sample one flow's RP state (`Rc`, `Rt`, alpha) into the probe

@@ -50,10 +50,11 @@ pub mod stats;
 pub mod telemetry;
 pub mod time;
 pub mod token_bucket;
+pub mod workspace;
 
 pub use checkpoint::{CheckpointSpec, CHECKPOINT_ENV};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRng, FaultScope};
-pub use queue::{EventQueue, HeapEventQueue};
+pub use queue::{AdaptiveEventQueue, EventQueue, HeapEventQueue, ADAPTIVE_MIGRATION_THRESHOLD};
 pub use rate::{ByteSize, Rate};
 pub use runner::ScenarioRunner;
 pub use series::TimeBinSeries;
@@ -63,3 +64,4 @@ pub use telemetry::{
 };
 pub use time::{SimDuration, SimTime};
 pub use token_bucket::TokenBucket;
+pub use workspace::{Scratch, SimWorkspace};

@@ -1,17 +1,26 @@
 //! Time-ordered event queue with deterministic FIFO tie-breaking.
 //!
-//! Two implementations share one contract (nondecreasing pop times,
+//! Three implementations share one contract (nondecreasing pop times,
 //! FIFO among equal timestamps via a monotone sequence number, debug
 //! causality check):
 //!
-//! * [`EventQueue`] — the production queue: a hierarchical timing wheel
-//!   with amortized O(1) schedule/pop, plus a binary-heap calendar
-//!   overflow for timers beyond the wheel horizon. Every simulator's
-//!   event loop drains through this.
+//! * [`EventQueue`] — the hierarchical timing wheel with amortized O(1)
+//!   schedule/pop, plus a binary-heap calendar overflow for timers
+//!   beyond the wheel horizon. The measured winner at large pending
+//!   counts (~1.2× over the heap at 64k pending, ~7× at 1M).
 //! * [`HeapEventQueue`] — the original `BinaryHeap` queue, kept as the
 //!   executable reference model: the property tests drive both with the
 //!   same interleavings and require identical pop sequences, and the
 //!   perf suite uses it as the baseline the wheel is measured against.
+//!   It is also the measured winner at *small* pending counts (up to
+//!   ~16k on the bench host), where the wheel's slot bookkeeping costs
+//!   more than `log n`.
+//! * [`AdaptiveEventQueue`] — the production queue: starts on the
+//!   binary heap and migrates **once** into the timing wheel when live
+//!   pending crosses [`ADAPTIVE_MIGRATION_THRESHOLD`], preserving every
+//!   already-assigned `(time, seq)` pair so the pop sequence is
+//!   identical to either queue run alone. Simulator event loops drain
+//!   through this and get the measured-best structure at every size.
 //!
 //! # Wheel design
 //!
@@ -79,6 +88,13 @@ const LEVELS: usize = 7;
 /// Bits covered by the wheel; times differing from `elapsed` at or
 /// above this bit live in the overflow heap.
 const SPAN_BITS: u32 = SLOT_BITS * LEVELS as u32;
+
+// A wheel/heap entry for a word-sized payload is exactly 24 bytes
+// (time + seq + payload, no padding): three entries per cache line in
+// slot vectors and the delivery batch. Growth here taxes every
+// simulator's hot loop, so it fails the build instead of slipping in.
+const _: () = assert!(std::mem::size_of::<Entry<u64>>() == 24);
+const _: () = assert!(std::mem::size_of::<Entry<()>>() == 16);
 
 /// The central data structure of every simulator in this workspace: a
 /// priority queue of `(SimTime, E)` pairs delivering events in
@@ -158,6 +174,16 @@ impl<E> EventQueue<E> {
     #[inline]
     fn place(&mut self, entry: Entry<E>) {
         let t = entry.time.0;
+        debug_assert!(t >= self.elapsed);
+        self.place_at(t, entry);
+    }
+
+    /// [`EventQueue::place`] with an explicit placement time `t` (the
+    /// entry keeps its own `time`): heap→wheel migration uses it to
+    /// apply the same past-time clamp [`EventQueue::schedule`] applies,
+    /// while preserving `(time, seq)` pairs assigned by the heap.
+    #[inline]
+    fn place_at(&mut self, t: u64, entry: Entry<E>) {
         debug_assert!(t >= self.elapsed);
         if (t ^ self.elapsed) >> SPAN_BITS != 0 {
             self.overflow.push(Reverse(entry));
@@ -309,6 +335,18 @@ impl<E> EventQueue<E> {
         self.deliver.clear();
         self.len = 0;
     }
+
+    /// Restore the pristine `EventQueue::new()` state — no pending
+    /// events, wheel position and sequence counter back at zero — while
+    /// keeping every slot/batch/overflow allocation. A reset queue is
+    /// observably indistinguishable from a freshly built one; workspace
+    /// reuse across simulation cells depends on exactly that.
+    pub fn reset(&mut self) {
+        self.clear();
+        self.elapsed = 0;
+        self.next_seq = 0;
+        self.last_popped = SimTime::ZERO;
+    }
 }
 
 /// The original `BinaryHeap` event queue: O(log n) schedule/pop.
@@ -388,6 +426,198 @@ impl<E> HeapEventQueue<E> {
     /// Drop all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Restore the pristine `HeapEventQueue::new()` state while keeping
+    /// the heap allocation (see [`EventQueue::reset`]).
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.last_popped = SimTime::ZERO;
+    }
+}
+
+/// Live-pending count at which [`AdaptiveEventQueue`] migrates from the
+/// binary heap to the timing wheel. Chosen from the measured heap/wheel
+/// crossover of the hold-model benchmark (`perf_baseline`, see
+/// BENCH_PR10.json): on the reference container the heap wins up to
+/// ~16k pending (cache-resident sift beats cascade bookkeeping) and
+/// the wheel wins from ~32k up, so the switch sits at the top of the
+/// heap's regime — a queue that grows past it is headed for the sizes
+/// where the wheel's win is large (1.2× at 64k, ~7× at 1M), while the
+/// crossover zone itself is within a few percent either way.
+/// Compile-time fixed — the migration point must be a pure function of
+/// the event sequence, never of wall-clock measurements.
+pub const ADAPTIVE_MIGRATION_THRESHOLD: usize = 16_384;
+
+/// Size-adaptive event queue: a [`HeapEventQueue`]-style binary heap
+/// while pending events are few, migrating **once** into the
+/// [`EventQueue`] timing wheel when live pending reaches
+/// [`ADAPTIVE_MIGRATION_THRESHOLD`].
+///
+/// Both underlying queues pop in strict `(time, seq)` order and the
+/// migration moves every entry with its already-assigned pair, so the
+/// pop sequence is identical to either structure run alone — the
+/// property tests drive all three through the same interleavings. The
+/// wheel allocation is retained across [`AdaptiveEventQueue::reset`],
+/// so a workspace-reused queue pays the wheel's slot-table allocation
+/// at most once per worker thread.
+pub struct AdaptiveEventQueue<E> {
+    /// Small-regime store (pre-migration).
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Large-regime store, stored inline so post-migration operations
+    /// pay no pointer hop — its slot table is one ~10 KB allocation at
+    /// construction, retained across `reset` for workspace reuse.
+    wheel: EventQueue<E>,
+    /// True once migrated: every operation delegates to the wheel.
+    on_wheel: bool,
+    threshold: usize,
+    next_seq: u64,
+    last_popped: SimTime,
+    /// Cumulative heap→wheel migrations (diagnostic; survives `reset`
+    /// so sweep harnesses can difference it across cells).
+    migrations: u64,
+}
+
+impl<E> Default for AdaptiveEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> AdaptiveEventQueue<E> {
+    /// Create an empty queue with the production migration threshold.
+    pub fn new() -> Self {
+        Self::with_threshold(ADAPTIVE_MIGRATION_THRESHOLD)
+    }
+
+    /// Create an empty queue migrating at `threshold` pending events
+    /// (minimum 1). The property tests use small thresholds to drive
+    /// interleavings across the migration point; production code uses
+    /// [`AdaptiveEventQueue::new`].
+    pub fn with_threshold(threshold: usize) -> Self {
+        AdaptiveEventQueue {
+            heap: BinaryHeap::new(),
+            wheel: EventQueue::new(),
+            on_wheel: false,
+            threshold: threshold.max(1),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+            migrations: 0,
+        }
+    }
+
+    /// Move every heap entry into the wheel, preserving `(time, seq)`.
+    /// The wheel starts positioned at the last popped timestamp — every
+    /// pending entry is at or after it (causality contract), and any
+    /// release-mode violator is clamped exactly as `schedule` clamps.
+    #[cold]
+    fn migrate(&mut self) {
+        let wheel = &mut self.wheel;
+        wheel.reset();
+        wheel.elapsed = self.last_popped.0;
+        wheel.last_popped = self.last_popped;
+        wheel.next_seq = self.next_seq;
+        wheel.len = self.heap.len();
+        for Reverse(entry) in self.heap.drain() {
+            let t = entry.time.0.max(wheel.elapsed);
+            wheel.place_at(t, entry);
+        }
+        self.on_wheel = true;
+        self.migrations += 1;
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `at` is earlier than the most recently
+    /// popped timestamp (scheduling into the past breaks causality).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        if self.on_wheel {
+            return self.wheel.schedule(at, event);
+        }
+        debug_assert!(
+            at >= self.last_popped,
+            "scheduling into the past: {at:?} < {:?}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
+        if self.heap.len() >= self.threshold {
+            self.migrate();
+        }
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.on_wheel {
+            return self.wheel.pop();
+        }
+        let Reverse(e) = self.heap.pop()?;
+        self.last_popped = e.time;
+        Some((e.time, e.event))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.on_wheel {
+            return self.wheel.peek_time();
+        }
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        if self.on_wheel {
+            return self.wheel.len();
+        }
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all pending events (position and sequence counter retained,
+    /// matching the other queues' `clear`; the current heap/wheel mode
+    /// is also retained).
+    pub fn clear(&mut self) {
+        if self.on_wheel {
+            return self.wheel.clear();
+        }
+        self.heap.clear();
+    }
+
+    /// Restore the pristine `AdaptiveEventQueue::new()` observable
+    /// state — empty, heap mode, position and sequence counter at zero
+    /// — while keeping the heap and wheel allocations (and the
+    /// cumulative [`AdaptiveEventQueue::migrations`] diagnostic). See
+    /// [`EventQueue::reset`].
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.wheel.reset();
+        self.on_wheel = false;
+        self.next_seq = 0;
+        self.last_popped = SimTime::ZERO;
+    }
+
+    /// Cumulative heap→wheel migrations since construction (not zeroed
+    /// by [`AdaptiveEventQueue::reset`]; sweep harnesses difference it
+    /// across cells).
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// True once this queue has migrated onto the timing wheel (resets
+    /// back to the heap on [`AdaptiveEventQueue::reset`]).
+    pub fn on_wheel(&self) -> bool {
+        self.on_wheel
     }
 }
 
@@ -525,6 +755,99 @@ mod tests {
         }
     }
 
+    #[test]
+    fn adaptive_migrates_once_and_keeps_fifo() {
+        let mut q = AdaptiveEventQueue::with_threshold(8);
+        let t = SimTime::from_us(3);
+        // Cross the threshold with heavy same-timestamp collisions: the
+        // migration must carry the heap-assigned sequence numbers.
+        for i in 0..20 {
+            q.schedule(t, i);
+        }
+        assert!(q.on_wheel(), "threshold crossed: must be on the wheel");
+        assert_eq!(q.migrations(), 1);
+        assert_eq!(q.len(), 20);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..20).collect::<Vec<_>>());
+        // Draining does not demote: the queue migrates once.
+        q.schedule(t, 99);
+        assert!(q.on_wheel());
+        assert_eq!(q.migrations(), 1);
+    }
+
+    #[test]
+    fn adaptive_below_threshold_stays_on_heap() {
+        let mut q = AdaptiveEventQueue::with_threshold(64);
+        for i in 0..63 {
+            q.schedule(SimTime::from_us(i), i);
+        }
+        assert!(!q.on_wheel());
+        assert_eq!(q.migrations(), 0);
+        assert_eq!(q.peek_time(), Some(SimTime::from_us(0)));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..63).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn adaptive_migration_through_overflow_times() {
+        // Entries past the 2^42 ps wheel horizon at migration time must
+        // come back in order through the wheel's overflow heap.
+        let mut q = AdaptiveEventQueue::with_threshold(4);
+        q.schedule(SimTime::from_secs(60), "far");
+        q.schedule(SimTime::from_us(1), "near");
+        q.schedule(SimTime::from_secs(61), "farther");
+        q.schedule(SimTime::from_us(2), "soon");
+        assert!(q.on_wheel());
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["near", "soon", "far", "farther"]);
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        // Drive all three queues through a run, reset, and require the
+        // second run's pops to be identical to a fresh queue's — the
+        // workspace-reuse contract.
+        let script = |q: &mut AdaptiveEventQueue<u64>| {
+            let mut popped = Vec::new();
+            for i in 0..12u64 {
+                q.schedule(SimTime::from_us(7 + (i % 3)), i);
+            }
+            while let Some((t, e)) = q.pop() {
+                popped.push((t, e));
+            }
+            popped
+        };
+        let mut reused = AdaptiveEventQueue::with_threshold(8);
+        let first = script(&mut reused);
+        assert_eq!(reused.migrations(), 1);
+        reused.reset();
+        assert!(!reused.on_wheel(), "reset returns to the heap regime");
+        assert!(reused.is_empty());
+        let second = script(&mut reused);
+        assert_eq!(first, second);
+        assert_eq!(reused.migrations(), 2, "cumulative across resets");
+
+        let mut wheel = EventQueue::new();
+        wheel.schedule(SimTime::from_us(5), 1u64);
+        let _ = wheel.pop();
+        wheel.schedule(SimTime::from_us(9), 2u64);
+        wheel.reset();
+        // After reset, seq and position are fresh: scheduling at an
+        // earlier time than before the reset must be legal and ordered.
+        wheel.schedule(SimTime::from_us(1), 3u64);
+        wheel.schedule(SimTime::from_us(1), 4u64);
+        assert_eq!(wheel.pop(), Some((SimTime::from_us(1), 3u64)));
+        assert_eq!(wheel.pop(), Some((SimTime::from_us(1), 4u64)));
+        assert!(wheel.pop().is_none());
+
+        let mut heap = HeapEventQueue::new();
+        heap.schedule(SimTime::from_us(5), 1u64);
+        let _ = heap.pop();
+        heap.reset();
+        heap.schedule(SimTime::from_us(1), 2u64);
+        assert_eq!(heap.pop(), Some((SimTime::from_us(1), 2u64)));
+    }
+
     proptest::proptest! {
         /// Popped timestamps are nondecreasing and equal-time events keep
         /// their insertion order, for arbitrary schedules.
@@ -598,6 +921,58 @@ mod tests {
             loop {
                 let (a, b) = (wheel.pop(), heap.pop());
                 proptest::prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+
+        /// The adaptive queue agrees with BOTH references — the binary
+        /// heap and the timing wheel — on arbitrary push/pop
+        /// interleavings whose pending count wanders across the
+        /// migration threshold (small thresholds force the migration to
+        /// happen mid-interleaving, in every offset regime).
+        #[test]
+        fn prop_adaptive_matches_both_references(
+            ops in proptest::collection::vec((0u8..8, 0u64..64), 1..400),
+            threshold in 1usize..48,
+        ) {
+            let mut adaptive = AdaptiveEventQueue::with_threshold(threshold);
+            let mut wheel = EventQueue::new();
+            let mut heap = HeapEventQueue::new();
+            let mut now = SimTime::ZERO;
+            let mut next_id = 0u64;
+            for &(kind, raw) in &ops {
+                match kind {
+                    0..=4 => {
+                        let offset = match kind {
+                            0 | 1 => raw % 4,
+                            2 => raw * 64,
+                            3 => raw << 36,
+                            _ => (1u64 << 42) + (raw << 30),
+                        };
+                        let t = now + SimDuration::from_ps(offset);
+                        adaptive.schedule(t, next_id);
+                        wheel.schedule(t, next_id);
+                        heap.schedule(t, next_id);
+                        next_id += 1;
+                    }
+                    _ => {
+                        let a = adaptive.pop();
+                        proptest::prop_assert_eq!(a, wheel.pop());
+                        proptest::prop_assert_eq!(a, heap.pop());
+                        proptest::prop_assert_eq!(adaptive.len(), heap.len());
+                        proptest::prop_assert_eq!(adaptive.peek_time(), heap.peek_time());
+                        if let Some((t, _)) = a {
+                            now = t;
+                        }
+                    }
+                }
+            }
+            loop {
+                let a = adaptive.pop();
+                proptest::prop_assert_eq!(a, wheel.pop());
+                proptest::prop_assert_eq!(a, heap.pop());
                 if a.is_none() {
                     break;
                 }

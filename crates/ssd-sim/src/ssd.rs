@@ -42,6 +42,10 @@ pub struct CommandCompletion {
     pub at: SimTime,
 }
 
+/// Step records are copied per command on the hot path; keep them
+/// within half a cache line.
+const _: () = assert!(std::mem::size_of::<CommandCompletion>() <= 32);
+
 /// Events the SSD schedules on its owner's event queue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SsdEvent {
@@ -69,6 +73,8 @@ pub struct CommandRelease {
     /// Its I/O type.
     pub op: IoType,
 }
+
+const _: () = assert!(std::mem::size_of::<CommandRelease>() <= 16);
 
 /// Result of feeding the SSD one stimulus: completions to deliver, slot
 /// releases, and new events to schedule.

@@ -31,6 +31,7 @@ pub mod sweep;
 pub use node::{DisciplineKind, NodeConfig, StorageNode};
 pub use report::NodeReport;
 pub use runner::{
-    run_trace, run_trace_windowed, run_trace_windowed_with_schedule, run_trace_with_schedule,
+    run_trace, run_trace_windowed, run_trace_windowed_in, run_trace_windowed_with_schedule,
+    run_trace_with_schedule,
 };
 pub use sweep::{weight_sweep, weight_sweep_source, SweepPoint};

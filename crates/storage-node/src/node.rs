@@ -99,6 +99,13 @@ impl StorageNode {
         self.probes.drain()
     }
 
+    /// Drain pending probe records straight into `sink`, preserving
+    /// order and the probe buffer's capacity (the hot-loop form of
+    /// [`StorageNode::drain_probes`]).
+    pub fn drain_probes_into(&mut self, sink: &mut dyn sim_engine::TraceSink) {
+        self.probes.drain_into(sink);
+    }
+
     /// Record one telemetry sample: SSD channel/chip utilization over
     /// the window since the previous sample, and per-class queue
     /// occupancy. The owner calls this on its series bin boundaries.

@@ -3,7 +3,10 @@
 
 use crate::node::{NodeConfig, StorageNode};
 use crate::report::NodeReport;
-use sim_engine::{EventQueue, NullSink, SimDuration, SimTime, TraceRecord, TraceSink};
+use sim_engine::{
+    AdaptiveEventQueue, NullSink, Scratch, SimDuration, SimTime, SimWorkspace, TraceRecord,
+    TraceSink,
+};
 use ssd_sim::SsdEvent;
 use std::collections::HashMap;
 use workload::{IoType, Trace};
@@ -18,12 +21,39 @@ enum Ev {
     SetWeight(u32),
 }
 
+/// Per-worker reusable state for the trace runner (the device-level
+/// analogue of system-sim's workspace scratch): the event queue, the
+/// SSD step buffer, and the submit-time map keep their allocations
+/// across runs. `reset` restores observable `Default`, keeping heap
+/// capacity.
+#[derive(Default)]
+struct TraceScratch {
+    queue: AdaptiveEventQueue<Ev>,
+    step: ssd_sim::SsdStep,
+    submit_time: HashMap<u64, SimTime>,
+}
+
+impl Scratch for TraceScratch {
+    fn reset(&mut self) {
+        self.queue.reset();
+        self.step.clear();
+        self.submit_time.clear();
+    }
+}
+
 /// Run a trace through a fresh node until *all* work drains; returns the
 /// report. Latency statistics are exact; the trimmed throughput rates are
 /// meaningful only when the workload keeps the device busy for most of
 /// the run.
 pub fn run_trace(cfg: &NodeConfig, trace: &Trace) -> NodeReport {
-    run_trace_impl(cfg, trace, &[], None, &mut NullSink)
+    run_trace_impl(
+        cfg,
+        trace,
+        &[],
+        None,
+        &mut SimWorkspace::new(),
+        &mut NullSink,
+    )
 }
 
 /// Run a trace and stop the clock at the last arrival: steady-state
@@ -32,7 +62,16 @@ pub fn run_trace(cfg: &NodeConfig, trace: &Trace) -> NodeReport {
 /// intentionally not drained — under saturation the split of *completed*
 /// bytes inside the window is exactly what the weight ratio controls.
 pub fn run_trace_windowed(cfg: &NodeConfig, trace: &Trace) -> NodeReport {
-    run_trace_impl(cfg, trace, &[], Some(trace.span()), &mut NullSink)
+    run_trace_windowed_in(cfg, trace, &mut SimWorkspace::new())
+}
+
+/// [`run_trace_windowed`] against caller-provided per-worker scratch
+/// storage (event queue, step buffer, submit-time map): the form sweep
+/// workers use so every cell after a worker's first reuses the same
+/// allocations. The scratch is fully reset at the start of every run,
+/// so the report is identical to [`run_trace_windowed`]'s.
+pub fn run_trace_windowed_in(cfg: &NodeConfig, trace: &Trace, ws: &mut SimWorkspace) -> NodeReport {
+    run_trace_impl(cfg, trace, &[], Some(trace.span()), ws, &mut NullSink)
 }
 
 /// Windowed run with scripted weight changes (see
@@ -48,7 +87,14 @@ pub fn run_trace_windowed_with_schedule(
     weight_schedule: &[(SimTime, u32)],
     sink: &mut dyn TraceSink,
 ) -> NodeReport {
-    run_trace_impl(cfg, trace, weight_schedule, Some(trace.span()), sink)
+    run_trace_impl(
+        cfg,
+        trace,
+        weight_schedule,
+        Some(trace.span()),
+        &mut SimWorkspace::new(),
+        sink,
+    )
 }
 
 /// Run a trace, applying `(time, weight)` changes as they come due
@@ -59,7 +105,14 @@ pub fn run_trace_with_schedule(
     trace: &Trace,
     weight_schedule: &[(SimTime, u32)],
 ) -> NodeReport {
-    run_trace_impl(cfg, trace, weight_schedule, None, &mut NullSink)
+    run_trace_impl(
+        cfg,
+        trace,
+        weight_schedule,
+        None,
+        &mut SimWorkspace::new(),
+        &mut NullSink,
+    )
 }
 
 fn run_trace_impl(
@@ -67,6 +120,7 @@ fn run_trace_impl(
     trace: &Trace,
     weight_schedule: &[(SimTime, u32)],
     horizon: Option<SimTime>,
+    ws: &mut SimWorkspace,
     sink: &mut dyn TraceSink,
 ) -> NodeReport {
     let tracing = sink.enabled();
@@ -75,10 +129,16 @@ fn run_trace_impl(
         node.set_telemetry(true, 0);
     }
     let mut last_sample = SimTime::ZERO;
-    let mut q: EventQueue<Ev> = EventQueue::new();
+    // Per-worker scratch, reset at the start of every run (see the
+    // workspace reset contract in `sim_engine::workspace`).
+    let scratch = ws.slot::<TraceScratch>();
+    scratch.reset();
+    let TraceScratch {
+        queue: q,
+        step,
+        submit_time,
+    } = scratch;
     let mut report = NodeReport::new(BIN);
-    let mut submit_time: HashMap<u64, SimTime> = HashMap::new();
-    let mut step = ssd_sim::SsdStep::default();
 
     for (i, r) in trace.requests().iter().enumerate() {
         q.schedule(r.arrival, Ev::Arrival(i));
@@ -98,9 +158,9 @@ fn run_trace_impl(
             Ev::Arrival(i) => {
                 let r = trace.requests()[i];
                 submit_time.insert(r.id, now);
-                node.submit_into(r, now, &mut step);
+                node.submit_into(r, now, &mut *step);
             }
-            Ev::Ssd(e) => node.on_ssd_event_into(e, now, &mut step),
+            Ev::Ssd(e) => node.on_ssd_event_into(e, now, &mut *step),
             Ev::SetWeight(w) => {
                 node.set_weight_ratio(w);
                 report.weight_changes.push((now, w));
@@ -113,7 +173,7 @@ fn run_trace_impl(
                         value: w as f64,
                     });
                 }
-                node.pump_into(now, &mut step);
+                node.pump_into(now, &mut *step);
             }
         };
         if tracing {
@@ -121,9 +181,7 @@ fn run_trace_impl(
                 node.sample_telemetry(now);
                 last_sample = now;
             }
-            for rec in node.drain_probes() {
-                sink.record(rec);
-            }
+            node.drain_probes_into(sink);
         }
         for c in &step.completions {
             let lat = submit_time

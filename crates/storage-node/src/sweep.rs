@@ -1,7 +1,7 @@
 //! Weight-ratio sweeps (Fig. 5) and TPM training-sample generation.
 
 use crate::node::{DisciplineKind, NodeConfig};
-use crate::runner::run_trace_windowed;
+use crate::runner::run_trace_windowed_in;
 use serde::{Deserialize, Serialize};
 use sim_engine::ScenarioRunner;
 use ssd_sim::SsdConfig;
@@ -28,13 +28,13 @@ pub struct SweepPoint {
 /// evaluates them in parallel with results in weight order.
 pub fn weight_sweep(ssd: &SsdConfig, trace: &Trace, weights: &[u32]) -> Vec<SweepPoint> {
     let features = extract_features(trace.requests());
-    ScenarioRunner::from_env().run_cells(weights, |_, &w| {
+    ScenarioRunner::from_env().run_cells_with_workspace(weights, |ws, _, &w| {
         let cfg = NodeConfig {
             ssd: ssd.clone(),
             discipline: DisciplineKind::Ssq { weight: w },
             merge_cap: None,
         };
-        let r = run_trace_windowed(&cfg, trace);
+        let r = run_trace_windowed_in(&cfg, trace, ws);
         SweepPoint {
             weight: w,
             read_gbps: r.read_tput().as_gbps_f64(),

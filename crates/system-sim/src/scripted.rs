@@ -70,9 +70,7 @@ pub fn run_scripted(
     // SRC's decisions first (they happen "before" the replayed storage
     // run applies them as a schedule), then the node run.
     if tracing {
-        for rec in controller.drain_probes() {
-            sink.record(rec);
-        }
+        controller.drain_probes_into(sink);
     }
     let report = run_trace_windowed_with_schedule(&node_cfg, trace, &schedule, sink);
     let convergence_ms = convergence_delays(&report, events);

@@ -9,9 +9,10 @@ use net_sim::topology::{build_clos, build_star, NodeId};
 use net_sim::FlowId;
 use serde::{Deserialize, Serialize};
 use sim_engine::{
-    EventQueue, FaultKind, FaultPlan, FaultScope, SimDuration, SimTime, TraceRecord, TraceSink,
+    AdaptiveEventQueue, FaultKind, FaultPlan, FaultScope, Scratch, SimDuration, SimTime,
+    SimWorkspace, TraceRecord, TraceSink,
 };
-use src_core::{SrcController, ThroughputPredictionModel};
+use src_core::{PredictionCache, SrcController, ThroughputPredictionModel};
 use ssd_sim::SsdEvent;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -221,6 +222,55 @@ impl<'a> RunOptions<'a> {
     }
 }
 
+/// Per-worker reusable simulation state for [`run_system_in`]: the
+/// adaptive event queue, the network/SSD step buffers, and the
+/// per-Target TPM prediction-cache storage all survive across runs
+/// inside one [`SimWorkspace`], so a sweep cell allocates (almost)
+/// nothing the previous cell already paid for.
+///
+/// `reset` restores every observable field to its `Default`, keeping
+/// heap capacity. The cumulative queue-migration counter is the one
+/// diagnostic that deliberately survives reset (see
+/// [`AdaptiveEventQueue::migrations`] and
+/// [`workspace_queue_migrations`]); it never feeds back into
+/// simulation results.
+#[derive(Default)]
+struct SystemScratch {
+    queue: AdaptiveEventQueue<Ev>,
+    net_step: NetStep,
+    io_step: NetStep,
+    ssd_scheds: Vec<(usize, ssd_sim::SsdStep)>,
+    ssd_pool: Vec<ssd_sim::SsdStep>,
+    notified: Vec<usize>,
+    tpm_caches: Vec<PredictionCache>,
+}
+
+impl Scratch for SystemScratch {
+    fn reset(&mut self) {
+        self.queue.reset();
+        while let Some((_, step)) = self.ssd_scheds.pop() {
+            self.ssd_pool.push(step);
+        }
+        for step in &mut self.ssd_pool {
+            step.clear();
+        }
+        self.net_step.clear();
+        self.io_step.clear();
+        self.notified.clear();
+        for cache in &mut self.tpm_caches {
+            cache.reset();
+        }
+    }
+}
+
+/// Cumulative [`AdaptiveEventQueue`] heap→wheel migrations performed by
+/// [`run_system_in`] calls against `ws` (a per-worker diagnostic for
+/// the benchmark suite; it survives workspace reuse by design and never
+/// appears in a [`SystemReport`]).
+pub fn workspace_queue_migrations(ws: &mut SimWorkspace) -> u64 {
+    ws.slot::<SystemScratch>().queue.migrations()
+}
+
 /// Run one full-system simulation.
 ///
 /// This is the single sink-polymorphic entry point — workload source,
@@ -245,6 +295,22 @@ impl<'a> RunOptions<'a> {
 pub fn run_system(
     cfg: &SystemConfig,
     opts: RunOptions<'_>,
+    sink: &mut dyn TraceSink,
+) -> SystemReport {
+    run_system_in(cfg, opts, &mut SimWorkspace::new(), sink)
+}
+
+/// [`run_system`] against caller-provided per-worker scratch storage:
+/// sweep workers hand the same [`SimWorkspace`] to every cell they
+/// claim, so the event queue, step pools, and prediction caches are
+/// allocated once per worker instead of once per run. The scratch is
+/// fully reset at the start of every run, so the report stays a pure
+/// function of `(cfg, opts, seed)` — byte-identical to [`run_system`]
+/// at any thread count (asserted by `tests/workspace_reuse.rs`).
+pub fn run_system_in(
+    cfg: &SystemConfig,
+    opts: RunOptions<'_>,
+    ws: &mut SimWorkspace,
     sink: &mut dyn TraceSink,
 ) -> SystemReport {
     if let TpmAssignment::PerTarget(tpms) = &opts.tpms {
@@ -276,6 +342,7 @@ pub fn run_system(
         plan,
         robustness,
         opts.coalescing,
+        ws,
         sink,
     )
 }
@@ -290,6 +357,7 @@ struct ReqState {
     done: bool,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_system_inner(
     cfg: &SystemConfig,
     assignments: &[Assignment],
@@ -297,12 +365,27 @@ fn run_system_inner(
     plan: &FaultPlan,
     robustness: Option<RobustnessConfig>,
     coalescing: bool,
+    ws: &mut SimWorkspace,
     sink: &mut dyn TraceSink,
 ) -> SystemReport {
     cfg.validate_fleet();
     if let Err(e) = plan.validate() {
         panic!("invalid fault plan: {e}");
     }
+    // Per-worker scratch: reset at the START of every run (defensive
+    // purity — even a panic-dirtied workspace cannot leak state into
+    // this run), then destructured so each piece borrows independently.
+    let scratch = ws.slot::<SystemScratch>();
+    scratch.reset();
+    let SystemScratch {
+        queue: q,
+        net_step,
+        io_step,
+        ssd_scheds,
+        ssd_pool,
+        notified,
+        tpm_caches,
+    } = scratch;
     let tracing = sink.enabled();
     let n_bg = cfg.background.as_ref().map_or(0, |b| b.n_sources);
     let n_hosts = cfg.n_initiators + cfg.n_targets + n_bg;
@@ -344,7 +427,11 @@ fn run_system_inner(
                 let tpm = tpms
                     .for_target(t_idx)
                     .expect("DcqcnSrc mode requires a trained TPM");
-                Some(SrcController::new(tpm, cfg.src.clone()))
+                Some(SrcController::with_cache(
+                    tpm,
+                    cfg.src.clone(),
+                    tpm_caches.pop().unwrap_or_default(),
+                ))
             }
         };
         let mut in_flows = Vec::with_capacity(cfg.n_initiators);
@@ -414,7 +501,6 @@ fn run_system_inner(
     }
 
     let mut report = SystemReport::new(cfg.n_targets);
-    let mut q: EventQueue<Ev> = EventQueue::new();
     for (i, a) in assignments.iter().enumerate() {
         q.schedule(a.request.arrival, Ev::Issue(i));
     }
@@ -469,17 +555,12 @@ fn run_system_inner(
     let tgt_host_index: HashMap<NodeId, usize> =
         tgt_hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
 
-    // Reusable scratch buffers for the hot loop: each event triggers at
-    // most one network step (`net_step`); sends issued while folding
-    // storage completions go through `io_step`; `ssd_scheds` keeps its
-    // LIFO processing order while `ssd_pool` recycles the drained step
-    // buffers, so the steady state allocates nothing per event.
-    let mut net_step = NetStep::default();
-    let mut io_step = NetStep::default();
-    let mut ssd_scheds: Vec<(usize, ssd_sim::SsdStep)> = Vec::new();
-    let mut ssd_pool: Vec<ssd_sim::SsdStep> = Vec::new();
-    let mut notified: Vec<usize> = Vec::new();
-
+    // The workspace's scratch buffers drive the hot loop: each event
+    // triggers at most one network step (`net_step`); sends issued
+    // while folding storage completions go through `io_step`;
+    // `ssd_scheds` keeps its LIFO processing order while `ssd_pool`
+    // recycles the drained step buffers, so the steady state allocates
+    // nothing per event — and across reused runs, not even at startup.
     while let Some((now, ev)) = q.pop() {
         if finished + abandoned >= total {
             break;
@@ -513,7 +594,7 @@ fn run_system_inner(
                 actual_target[a.request.id as usize] = target;
                 let ws =
                     initiators[a.initiator].issue(&a.request, out_flows[a.initiator][target], now);
-                net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut net_step);
+                net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut *net_step);
                 if let Some(rb) = robustness {
                     let req = a.request.id as usize;
                     req_state[req].attempt = 1;
@@ -521,7 +602,7 @@ fn run_system_inner(
                 }
             }
             Ev::Net(nev) => {
-                net.handle_into(nev, now, &mut net_step);
+                net.handle_into(nev, now, &mut *net_step);
             }
             Ev::Ssd { target, ev } => {
                 let mut step = ssd_pool.pop().unwrap_or_default();
@@ -543,7 +624,7 @@ fn run_system_inner(
                             bg.bytes_per_burst,
                             u64::MAX - src as u64, // tag unused for background
                             now,
-                            &mut net_step,
+                            &mut *net_step,
                         );
                     }
                     let next = now + bg.burst_interval;
@@ -568,7 +649,7 @@ fn run_system_inner(
                                 bandwidth_factor,
                                 extra_delay,
                                 now,
-                                &mut net_step,
+                                &mut *net_step,
                             );
                         } else {
                             net.clear_link_degrade(index);
@@ -576,7 +657,7 @@ fn run_system_inner(
                     }
                     (FaultKind::PacketLoss { probability }, FaultScope::Link { index }) => {
                         if activate {
-                            net.set_link_loss(index, probability, now, &mut net_step);
+                            net.set_link_loss(index, probability, now, &mut *net_step);
                         } else {
                             net.clear_link_loss(index);
                         }
@@ -641,7 +722,7 @@ fn run_system_inner(
                             out_flows[a.initiator][target],
                             now,
                         );
-                        net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut net_step);
+                        net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut *net_step);
                         q.schedule(
                             now + rb.timeout,
                             Ev::Timeout {
@@ -657,7 +738,7 @@ fn run_system_inner(
         // Process network outputs (may cascade into storage submissions,
         // which in turn produce more sends).
         {
-            let step = &net_step;
+            let step = &*net_step;
             for &(t, e) in &step.schedule {
                 q.schedule(t, Ev::Net(e));
             }
@@ -679,7 +760,7 @@ fn run_system_inner(
                     }
                 }
             }
-            for &t_idx in &notified {
+            for &t_idx in &**notified {
                 let demanded_bps: u64 = targets[t_idx]
                     .in_flows
                     .iter()
@@ -746,7 +827,7 @@ fn run_system_inner(
                                 // instead of resubmitting.
                                 let ws = t.proto.on_storage_completion(sub.request.id, now);
                                 io_step.clear();
-                                net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut io_step);
+                                net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut *io_step);
                                 for &(tt, e) in &io_step.schedule {
                                     q.schedule(tt, Ev::Net(e));
                                 }
@@ -809,7 +890,7 @@ fn run_system_inner(
                 let ws = targets[t_idx].proto.on_storage_completion(c.id, now);
                 if !lost {
                     io_step.clear();
-                    net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut io_step);
+                    net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut *io_step);
                     for &(t, e) in &io_step.schedule {
                         q.schedule(t, Ev::Net(e));
                     }
@@ -866,7 +947,7 @@ fn run_system_inner(
                         let ws = t.proto.on_storage_completion(c.id, now);
                         if !lost {
                             io_step.clear();
-                            net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut io_step);
+                            net.send_into(ws.flow, ws.bytes, ws.tag, now, &mut *io_step);
                             for &(tt, e) in &io_step.schedule {
                                 q.schedule(tt, Ev::Net(e));
                             }
@@ -925,17 +1006,11 @@ fn run_system_inner(
                     }
                 }
             }
-            for rec in net.drain_probes() {
-                sink.record(rec);
-            }
+            net.drain_probes_into(sink);
             for t in targets.iter_mut() {
-                for rec in t.node.drain_probes() {
-                    sink.record(rec);
-                }
+                t.node.drain_probes_into(sink);
                 if let Some(src) = t.src.as_mut() {
-                    for rec in src.drain_probes() {
-                        sink.record(rec);
-                    }
+                    src.drain_probes_into(sink);
                 }
             }
         }
@@ -999,6 +1074,13 @@ fn run_system_inner(
                     sink.count(("net", link as u64, "bursts_coalesced"), n);
                 }
             }
+        }
+    }
+    // Hand each controller's prediction-cache storage back to the
+    // workspace so the next run through it reuses the allocation.
+    for t in targets {
+        if let Some(src) = t.src {
+            tpm_caches.push(src.into_cache());
         }
     }
     report

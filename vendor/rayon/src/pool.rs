@@ -121,9 +121,28 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_with(n, || (), |(), i| f(i))
+}
+
+/// [`run_indexed`] with per-worker state: each worker thread builds one
+/// `S` via `make_state` when it starts and hands `f` a mutable borrow
+/// of it for every index that worker claims. The serial path builds one
+/// state and runs every index through it.
+///
+/// The determinism contract is unchanged **provided `f` does not let
+/// results depend on the state's history** — the intended use is
+/// reusable scratch storage (buffers, pools, caches) that `f` fully
+/// resets before reading, so which worker ran which cells is
+/// unobservable. Results are still assembled in index order.
+pub fn run_indexed_with<S, T, F>(n: usize, make_state: impl Fn() -> S + Sync, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let threads = current_num_threads().min(n);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        let mut state = make_state();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
     // Chunked claims: each cursor bump grabs a run of indices instead of
     // one, cutting contention on the shared counter for large grids.
@@ -135,6 +154,7 @@ where
     let cursor = AtomicUsize::new(0);
     let worker = || {
         IN_WORKER.with(|c| c.set(true));
+        let mut state = make_state();
         let mut got: Vec<(usize, T)> = Vec::new();
         loop {
             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -142,7 +162,7 @@ where
                 break;
             }
             for i in start..(start + chunk).min(n) {
-                got.push((i, f(i)));
+                got.push((i, f(&mut state, i)));
             }
         }
         got
@@ -308,6 +328,49 @@ mod tests {
                 "warning must name key and value: {warning}"
             );
         }
+    }
+
+    #[test]
+    fn per_worker_state_is_private_and_results_ordered() {
+        use std::sync::atomic::AtomicUsize;
+        // Each worker gets its own freshly made state; results are
+        // index-ordered regardless of which worker computed them.
+        let built = AtomicUsize::new(0);
+        let out = with_threads(4, || {
+            run_indexed_with(
+                64,
+                || {
+                    built.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::new()
+                },
+                |scratch, i| {
+                    scratch.push(i);
+                    // A result computed from reset-before-use scratch is
+                    // independent of the worker's history.
+                    scratch.last().copied().unwrap() * 2
+                },
+            )
+        });
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+        let n = built.load(Ordering::Relaxed);
+        assert!(n >= 1 && n <= 4, "one state per participating worker: {n}");
+        // Serial path: exactly one state, same results.
+        let built1 = AtomicUsize::new(0);
+        let serial = with_threads(1, || {
+            run_indexed_with(
+                64,
+                || {
+                    built1.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::new()
+                },
+                |scratch, i| {
+                    scratch.push(i);
+                    scratch.last().copied().unwrap() * 2
+                },
+            )
+        });
+        assert_eq!(serial, out);
+        assert_eq!(built1.load(Ordering::Relaxed), 1);
     }
 
     #[test]
